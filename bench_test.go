@@ -1,0 +1,534 @@
+// Package negfsim's root benchmark harness regenerates every table and
+// figure of the paper's evaluation section (§5). Each benchmark prints the
+// same rows/series the paper reports; where the paper's numbers come from
+// GPU supercomputers, the harness combines measured pure-Go kernel runs at
+// reduced scale with the calibrated analytic models (see EXPERIMENTS.md for
+// the paper-vs-measured record).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package negfsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"negfsim/internal/cmat"
+	"negfsim/internal/comm"
+	"negfsim/internal/core"
+	"negfsim/internal/device"
+	"negfsim/internal/perfmodel"
+	"negfsim/internal/rgf"
+	"negfsim/internal/sse"
+	"negfsim/internal/tensor"
+)
+
+// -----------------------------------------------------------------------------
+// Table 3 — single-iteration computational load (Pflop count)
+// -----------------------------------------------------------------------------
+
+// BenchmarkTable3Flops evaluates the analytic flop counts at paper scale
+// (they are closed-form, so the benchmark measures evaluation cost and
+// prints the table) and cross-checks the DaCe/OMEN kernel flop ratio by
+// running the real kernels with the hardware counter at mini scale.
+func BenchmarkTable3Flops(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, nkz := range []int{3, 5, 7, 9, 11} {
+			p := device.Paper4864(nkz)
+			_ = perfmodel.ContourFlops(p)
+			_ = perfmodel.RGFFlops(p)
+			_ = sse.SigmaFlopsOMEN(p)
+			_ = sse.SigmaFlopsDaCe(p)
+		}
+	}
+	b.StopTimer()
+	b.Log("Table 3: Single Iteration Computational Load (Pflop)")
+	for _, nkz := range []int{3, 5, 7, 9, 11} {
+		p := device.Paper4864(nkz)
+		b.Logf("Nkz=%2d  CI %6.2f  RGF %7.2f  SSE(OMEN) %7.2f  SSE(DaCe) %7.2f",
+			nkz, perfmodel.ContourFlops(p)/1e15, perfmodel.RGFFlops(p)/1e15,
+			sse.SigmaFlopsOMEN(p)/1e15, sse.SigmaFlopsDaCe(p)/1e15)
+	}
+	// Empirical cross-check at mini scale with the instrumented kernels.
+	dev, err := device.New(device.Mini())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sse.NewKernel(dev)
+	rng := rand.New(rand.NewSource(1))
+	g := randomG(rng, dev.P)
+	pre := k.PreprocessD(randomD(rng, dev.P))
+	cmat.Counter.Reset()
+	k.SigmaOMEN(g, pre)
+	omen := cmat.Counter.Reset()
+	k.SigmaDaCe(g, pre)
+	dace := cmat.Counter.Reset()
+	b.Logf("measured kernel flops at mini scale: OMEN %d, DaCe %d (ratio %.2f; paper's formula ratio ≈ 0.50)",
+		omen, dace, float64(dace)/float64(omen))
+}
+
+// -----------------------------------------------------------------------------
+// Tables 4 and 5 — SSE communication volume (weak / strong scaling)
+// -----------------------------------------------------------------------------
+
+// BenchmarkTable4CommWeak prints the weak-scaling volume table and measures
+// the actual byte traffic of both exchange patterns on the simulated
+// cluster at mini scale (validating the models that generate the table).
+func BenchmarkTable4CommWeak(b *testing.B) {
+	p := device.Mini()
+	const procs = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := comm.NewCluster(procs)
+		if err := c.Run(func(r *comm.Rank) error { return comm.DaCeExchangeSSE(r, p, 2, 2) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("Table 4: Weak Scaling of SSE Communication Volume (TiB)")
+	for _, nkz := range []int{3, 5, 7, 9, 11} {
+		procs, omen, dace := comm.Table4Row(nkz)
+		b.Logf("Nkz=%2d (P=%4d)  OMEN %7.2f  DaCe %5.2f", nkz, procs, omen, dace)
+	}
+}
+
+// BenchmarkTable5CommStrong prints the strong-scaling volume table; the
+// timed body is the OMEN exchange pattern on the mini cluster.
+func BenchmarkTable5CommStrong(b *testing.B) {
+	p := device.Mini()
+	const procs = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := comm.NewCluster(procs)
+		if err := c.Run(func(r *comm.Rank) error { return comm.OMENExchangeSSE(r, p) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("Table 5: Strong Scaling of SSE Communication Volume (TiB), Nkz=7")
+	for _, procs := range []int{224, 448, 896, 1792, 2688} {
+		omen, dace := comm.Table5Row(procs)
+		b.Logf("P=%4d  OMEN %7.2f  DaCe %5.2f", procs, omen, dace)
+	}
+}
+
+// -----------------------------------------------------------------------------
+// Table 6 — sparse vs dense 3-matrix multiplication in RGF
+// -----------------------------------------------------------------------------
+
+// table6Setup builds the representative RGF triple product F·g·E: two
+// sparse Hamiltonian blocks around a dense Green's function block. The
+// paper's GPU measurement used cuSPARSE at DFT block sizes; here the block
+// is scaled to CPU (n = 256) with Hamiltonian-like ~5% block sparsity.
+func table6Setup() (*cmat.CSR, *cmat.Dense, *cmat.CSR) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 256
+	const density = 0.05
+	mk := func() *cmat.CSR {
+		d := cmat.NewDense(n, n)
+		for i := range d.Data {
+			if rng.Float64() < density {
+				d.Data[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+			}
+		}
+		return cmat.CSRFromDense(d, 0)
+	}
+	return mk(), cmat.RandomDense(rng, n, n), mk()
+}
+
+func BenchmarkTable6DenseMM(b *testing.B) {
+	f, g, e := table6Setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmat.TripleProduct(cmat.DenseMM, f, g, e)
+	}
+}
+
+func BenchmarkTable6CSRMM(b *testing.B) {
+	f, g, e := table6Setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmat.TripleProduct(cmat.CSRMM, f, g, e)
+	}
+}
+
+func BenchmarkTable6CSRGEMM(b *testing.B) {
+	f, g, e := table6Setup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmat.TripleProduct(cmat.CSRGEMM, f, g, e)
+	}
+}
+
+// -----------------------------------------------------------------------------
+// Table 7 — single-node runtime of the GF and SSE phases per variant
+// -----------------------------------------------------------------------------
+
+func table7Device(b *testing.B) *device.Device {
+	b.Helper()
+	dev, err := device.New(device.Mini())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dev
+}
+
+func randomG(rng *rand.Rand, p device.Params) *tensor.GTensor {
+	g := tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb)
+	for i := range g.Data {
+		g.Data[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	return g
+}
+
+func randomD(rng *rand.Rand, p device.Params) *tensor.DTensor {
+	d := tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
+	for i := range d.Data {
+		d.Data[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	return d
+}
+
+// The GF phase two ways on an elongated 96-atom, 12-block fin (the regime
+// where RGF's O(bnum·bs³) beats dense O((bnum·bs)³)): the naive variant
+// inverts the full open-system operator densely (the algorithmic content of
+// Table 7's interpreted "Python" row), the optimized variant runs the
+// forward/backward RGF recursion. Both produce the same diagonal G^R and
+// G^< blocks from the same boundary self-energies (precomputed outside the
+// timed region, as OMEN amortizes them across the energy grid).
+func table7GFSetup(b *testing.B) (*cmat.BlockTri, []*cmat.Dense) {
+	b.Helper()
+	p := device.Params{
+		Nkz: 3, Nqz: 3, NE: 16, Nw: 4,
+		NA: 96, NB: 4, Norb: 2, N3D: 3,
+		Rows: 4, Bnum: 12,
+		Emin: -1, Emax: 1, Seed: 7,
+	}
+	dev, err := device.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := dev.Hamiltonian(0).ShiftDiag(complex(0.05, 1e-6), dev.Overlap(0))
+	sigL, sigR, err := rgf.BoundarySelfEnergies(a, 1e-10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Diag[0] = a.Diag[0].Sub(sigL)
+	a.Diag[a.N-1] = a.Diag[a.N-1].Sub(sigR)
+	sigma := make([]*cmat.Dense, a.N)
+	for i := range sigma {
+		sigma[i] = cmat.NewDense(a.Bs, a.Bs)
+	}
+	sigma[0].AddScaledInPlace(1i, rgf.Broadening(sigL))
+	sigma[a.N-1].AddScaledInPlace(complex(0, 0.2), rgf.Broadening(sigR))
+	return a, sigma
+}
+
+func BenchmarkTable7GFNaive(b *testing.B) {
+	a, sigma := table7GFSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rgf.DenseReference(a, sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7GFRGF(b *testing.B) {
+	a, sigma := table7GFSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ret, err := rgf.SolveRetarded(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ret.SolveKeldysh(sigma)
+	}
+}
+
+func benchSSEVariant(b *testing.B, v sse.Variant) {
+	dev := table7Device(b)
+	k := sse.NewKernel(dev)
+	rng := rand.New(rand.NewSource(7))
+	in := sse.PhaseInput{
+		GLess: randomG(rng, dev.P), GGtr: randomG(rng, dev.P),
+		DLess: randomD(rng, dev.P), DGtr: randomD(rng, dev.P),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ComputePhase(in, v)
+	}
+}
+
+func BenchmarkTable7SSENaive(b *testing.B) { benchSSEVariant(b, sse.Reference) }
+func BenchmarkTable7SSEOMEN(b *testing.B)  { benchSSEVariant(b, sse.OMEN) }
+func BenchmarkTable7SSEDaCe(b *testing.B)  { benchSSEVariant(b, sse.DaCe) }
+
+// -----------------------------------------------------------------------------
+// Fig. 13 — strong and weak scaling on Piz Daint and Summit (modeled)
+// -----------------------------------------------------------------------------
+
+func benchFig13Strong(b *testing.B, m perfmodel.Machine, nodes []int) {
+	p := device.Paper4864(7)
+	var pts []perfmodel.ScalingPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts = perfmodel.StrongScaling(m, p, nodes)
+	}
+	b.StopTimer()
+	b.Logf("Fig. 13 (%s) strong scaling, NA=4864, Nkz=7:", m.Name)
+	for _, pt := range pts {
+		b.Logf("  %5d GPUs: DaCe %7.1fs (comm %6.1fs) | OMEN %8.1fs (comm %8.1fs) | eff %5.1f%% | speedup %5.1f×",
+			pt.GPUs, pt.DaCe.Total(), pt.DaCe.Comm, pt.OMEN.Total(), pt.OMEN.Comm,
+			100*pt.ScalingEfficiency, pt.TotalSpeedup)
+	}
+}
+
+func BenchmarkFig13StrongDaint(b *testing.B) {
+	benchFig13Strong(b, perfmodel.PizDaint, []int{112, 224, 448, 900, 1800, 2700, 5400})
+}
+
+func BenchmarkFig13StrongSummit(b *testing.B) {
+	benchFig13Strong(b, perfmodel.Summit, []int{19, 38, 76, 114, 152, 228})
+}
+
+func benchFig13Weak(b *testing.B, m perfmodel.Machine, nodesPerKz int) {
+	kzs := []int{3, 5, 7, 9, 11}
+	var pts []perfmodel.ScalingPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts = perfmodel.WeakScaling(m, kzs, nodesPerKz)
+	}
+	b.StopTimer()
+	b.Logf("Fig. 13 (%s) weak scaling, NA=4864:", m.Name)
+	for i, pt := range pts {
+		b.Logf("  Nkz=%2d %5d GPUs: DaCe %7.1fs | OMEN %8.1fs | eff %5.1f%% | speedup %5.1f×",
+			kzs[i], pt.GPUs, pt.DaCe.Total(), pt.OMEN.Total(),
+			100*pt.ScalingEfficiency, pt.TotalSpeedup)
+	}
+}
+
+func BenchmarkFig13WeakDaint(b *testing.B)  { benchFig13Weak(b, perfmodel.PizDaint, 128) }
+func BenchmarkFig13WeakSummit(b *testing.B) { benchFig13Weak(b, perfmodel.Summit, 22) }
+
+// -----------------------------------------------------------------------------
+// Table 8 — extreme-scale run on Summit (modeled)
+// -----------------------------------------------------------------------------
+
+func BenchmarkTable8ExtremeScale(b *testing.B) {
+	var rows []perfmodel.Table8Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = perfmodel.Table8(perfmodel.PaperTable8Configs)
+	}
+	b.StopTimer()
+	b.Log("Table 8: Summit performance on 10,240 atoms (modeled):")
+	for _, r := range rows {
+		b.Logf("  Nkz=%2d (%4d nodes): GF %5.0f Pflop %6.1fs | SSE %5.0f Pflop %6.1fs | comm %6.1fs",
+			r.Nkz, r.Nodes, r.GFPflop, r.GFTime, r.SSEPflop, r.SSETime, r.CommTime)
+	}
+	p := device.Paper10240(21)
+	t := perfmodel.Summit.Project(p, 3525, perfmodel.DaCe)
+	b.Logf("  sustained: %.1f Pflop/s (paper: 19.71)", perfmodel.SustainedPflops(p, t))
+}
+
+// -----------------------------------------------------------------------------
+// End-to-end: one full self-consistent iteration (the §5 headline workload
+// at mini scale) and the distributed communication-avoiding SSE phase
+// -----------------------------------------------------------------------------
+
+func BenchmarkEndToEndIteration(b *testing.B) {
+	dev := table7Device(b)
+	opts := core.DefaultOptions()
+	opts.MaxIter = 1
+	sim := core.New(dev, opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedSSE(b *testing.B) {
+	dev := table7Device(b)
+	sim := core.New(dev, core.DefaultOptions())
+	rng := rand.New(rand.NewSource(11))
+	in := sse.PhaseInput{
+		GLess: randomG(rng, dev.P), GGtr: randomG(rng, dev.P),
+		DLess: randomD(rng, dev.P), DGtr: randomD(rng, dev.P),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.DistributedSSE(in, 2, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+
+// -----------------------------------------------------------------------------
+// Ablation benches — the design choices DESIGN.md calls out
+// -----------------------------------------------------------------------------
+
+// BenchmarkAblationSSELayout isolates the Fig. 10(c) data-layout
+// transformation: the DaCe kernel with and without atom-major G storage
+// (same algorithm, same flops, different locality and GEMM granularity).
+func ablationDevice(b *testing.B) *device.Device {
+	b.Helper()
+	// Larger (kz, E) grid and more orbitals than Mini so the fused GEMM has
+	// real rows to chew on (Nkz·NE·Norb = 768).
+	p := device.Params{
+		Nkz: 3, Nqz: 3, NE: 64, Nw: 8,
+		NA: 24, NB: 4, Norb: 4, N3D: 3,
+		Rows: 4, Bnum: 3,
+		Emin: -1, Emax: 1, Seed: 7,
+	}
+	dev, err := device.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dev
+}
+
+func BenchmarkAblationSSELayoutAtomMajor(b *testing.B) {
+	dev := ablationDevice(b)
+	k := sse.NewKernel(dev)
+	rng := rand.New(rand.NewSource(21))
+	g := randomG(rng, dev.P)
+	pre := k.PreprocessD(randomD(rng, dev.P))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.SigmaDaCe(g, pre)
+	}
+}
+
+func BenchmarkAblationSSELayoutOriginal(b *testing.B) {
+	dev := ablationDevice(b)
+	k := sse.NewKernel(dev)
+	rng := rand.New(rand.NewSource(21))
+	g := randomG(rng, dev.P)
+	pre := k.PreprocessD(randomD(rng, dev.P))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.SigmaDaCeNoLayout(g, pre)
+	}
+}
+
+// BenchmarkAblationGEMM compares the serial and row-banded parallel GEMM on
+// the fused (Nkz·NE·Norb) × Norb × Norb product shape of the DaCe SSE stage.
+func BenchmarkAblationGEMMSerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	m := cmat.RandomDense(rng, 4096, 12)
+	n := cmat.RandomDense(rng, 12, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mul(n)
+	}
+}
+
+func BenchmarkAblationGEMMParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	m := cmat.RandomDense(rng, 4096, 12)
+	n := cmat.RandomDense(rng, 12, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulPar(n, 4)
+	}
+}
+
+// BenchmarkAblationTileChoice shows what the §4.1 exhaustive search buys:
+// communication volume of the best, worst and energy-only decompositions
+// for the Table 5 configuration.
+func BenchmarkAblationTileChoice(b *testing.B) {
+	p := device.Paper4864(7)
+	var best comm.Decomposition
+	var feasible []comm.Decomposition
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		best, feasible = comm.SearchTiles(p, 1792, 0)
+	}
+	b.StopTimer()
+	worst := best
+	for _, d := range feasible {
+		if d.Bytes > worst.Bytes {
+			worst = d
+		}
+	}
+	b.Logf("tile search over %d candidates: best TE=%d×TA=%d %.2f TiB | worst TE=%d×TA=%d %.2f TiB (%.1f×)",
+		len(feasible), best.TE, best.TA, comm.TiB(best.Bytes),
+		worst.TE, worst.TA, comm.TiB(worst.Bytes), worst.Bytes/best.Bytes)
+}
+
+// BenchmarkAblationMixing compares Born-loop convergence cost: damped
+// linear mixing versus Anderson acceleration (GF phases are the expensive
+// unit; fewer iterations = faster time-to-solution).
+func BenchmarkAblationMixingLinear(b *testing.B)   { benchMixer(b, core.Linear) }
+func BenchmarkAblationMixingAnderson(b *testing.B) { benchMixer(b, core.Anderson) }
+
+func benchMixer(b *testing.B, kind core.MixerKind) {
+	dev := table7Device(b)
+	opts := core.DefaultOptions()
+	opts.MaxIter = 20
+	opts.Tol = 1e-6
+	opts.Mixing = 0.5
+	opts.Mixer = kind
+	b.ResetTimer()
+	var iters int
+	var conv bool
+	for i := 0; i < b.N; i++ {
+		res, err := core.New(dev, opts).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters, conv = res.Iterations, res.Converged
+	}
+	b.StopTimer()
+	b.Logf("Born iterations: %d (converged %v)", iters, conv)
+}
+
+// BenchmarkAblationSpatialRGF compares the sequential recursion against the
+// Schur-complement spatial decomposition (OMEN's third MPI level) on a long
+// chain. The decomposition performs ~3–4× the flops of the sequential pass
+// (two-sided local recursions + border strips + recovery) in exchange for
+// segment parallelism; on a multicore host the 8-way version amortizes
+// that, while on a single-core host (like this repo's CI box — see
+// EXPERIMENTS.md) the benchmark measures exactly the redundancy overhead.
+func BenchmarkAblationSpatialRGFSequential(b *testing.B) {
+	a := spatialChain(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rgf.SolveRetarded(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSpatialRGFPartitioned(b *testing.B) {
+	a := spatialChain(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rgf.PartitionedRetarded(a, 8, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func spatialChain(b *testing.B) *cmat.BlockTri {
+	b.Helper()
+	rng := rand.New(rand.NewSource(31))
+	const n, bs = 64, 32
+	a := cmat.NewBlockTri(n, bs)
+	for i := 0; i < n; i++ {
+		a.Diag[i] = cmat.RandomHermitian(rng, bs, 0).Scale(-1)
+		for j := 0; j < bs; j++ {
+			a.Diag[i].Set(j, j, a.Diag[i].At(j, j)+complex(3, 0.5))
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		a.Upper[i] = cmat.RandomDense(rng, bs, bs).Scale(0.3)
+		a.Lower[i] = a.Upper[i].ConjTranspose()
+	}
+	return a
+}

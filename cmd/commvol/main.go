@@ -1,0 +1,41 @@
+// Command commvol regenerates Tables 4 and 5 of the paper: the total SSE
+// communication volume (TiB) of the original OMEN scheme versus the
+// communication-avoiding DaCe scheme, in weak scaling (process count grows
+// with Nkz) and strong scaling (fixed Nkz = 7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"negfsim/internal/comm"
+)
+
+func main() {
+	log.SetFlags(0)
+	mode := flag.String("mode", "both", "weak | strong | both")
+	flag.Parse()
+
+	if *mode == "weak" || *mode == "both" {
+		fmt.Println("Table 4: Weak Scaling of SSE Communication Volume (TiB)")
+		fmt.Printf("%-10s %-12s %12s %12s %10s\n", "Nkz", "Processes", "OMEN", "DaCe", "ratio")
+		for _, nkz := range []int{3, 5, 7, 9, 11} {
+			procs, omen, dace := comm.Table4Row(nkz)
+			fmt.Printf("%-10d %-12d %12.2f %12.2f %9.0f×\n", nkz, procs, omen, dace, omen/dace)
+		}
+		fmt.Println("paper prints: OMEN 32.11/89.18/174.80/288.95/431.65,")
+		fmt.Println("              DaCe 0.54/1.22/2.17/3.38/4.86")
+		fmt.Println()
+	}
+	if *mode == "strong" || *mode == "both" {
+		fmt.Println("Table 5: Strong Scaling of SSE Communication Volume (TiB), Nkz = 7")
+		fmt.Printf("%-12s %12s %12s %10s\n", "Processes", "OMEN", "DaCe", "ratio")
+		for _, procs := range []int{224, 448, 896, 1792, 2688} {
+			omen, dace := comm.Table5Row(procs)
+			fmt.Printf("%-12d %12.2f %12.2f %9.0f×\n", procs, omen, dace, omen/dace)
+		}
+		fmt.Println("paper prints: OMEN 108.24/117.75/136.76/174.80/212.84,")
+		fmt.Println("              DaCe 0.95/1.13/1.48/2.17/2.87")
+	}
+}

@@ -1,0 +1,114 @@
+// Command qtsim runs a self-consistent dissipative quantum transport
+// simulation on a synthetic nano-device and reports currents, heat flow and
+// the convergence history.
+//
+// Example:
+//
+//	qtsim -na 48 -rows 4 -bnum 4 -nkz 3 -ne 24 -variant dace -iters 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"negfsim/internal/core"
+	"negfsim/internal/device"
+	"negfsim/internal/sse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qtsim: ")
+
+	na := flag.Int("na", 24, "number of atoms")
+	rows := flag.Int("rows", 4, "atoms per column (fin height)")
+	bnum := flag.Int("bnum", 3, "RGF blocks")
+	nkz := flag.Int("nkz", 3, "electron/phonon momentum points")
+	ne := flag.Int("ne", 16, "energy grid points")
+	nw := flag.Int("nw", 4, "phonon frequencies")
+	nb := flag.Int("nb", 4, "neighbors per atom")
+	norb := flag.Int("norb", 2, "orbitals per atom")
+	variant := flag.String("variant", "dace", "SSE kernel: reference | omen | dace")
+	iters := flag.Int("iters", 6, "max Born iterations")
+	tol := flag.Float64("tol", 1e-4, "convergence tolerance on G")
+	mix := flag.Float64("mix", 0.5, "self-energy mixing factor")
+	bias := flag.Float64("bias", 0.4, "source-drain bias (MuL−MuR) [eV]")
+	kt := flag.Float64("kt", 0.025, "electron thermal energy [eV]")
+	seed := flag.Uint64("seed", 7, "structure seed")
+	gate := flag.Float64("gate", math.NaN(), "gate voltage [V]; enables the coupled NEGF–Poisson solver")
+	flag.Parse()
+
+	p := device.Params{
+		Nkz: *nkz, Nqz: *nkz, NE: *ne, Nw: *nw,
+		NA: *na, NB: *nb, Norb: *norb, N3D: 3,
+		Rows: *rows, Bnum: *bnum,
+		Emin: -1, Emax: 1, Seed: *seed,
+	}
+	dev, err := device.New(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.MaxIter = *iters
+	opts.Tol = *tol
+	opts.Mixing = *mix
+	opts.Contacts.MuL = *bias / 2
+	opts.Contacts.MuR = -*bias / 2
+	opts.Contacts.KT = *kt
+	switch strings.ToLower(*variant) {
+	case "reference":
+		opts.Variant = sse.Reference
+	case "omen":
+		opts.Variant = sse.OMEN
+	case "dace":
+		opts.Variant = sse.DaCe
+	default:
+		log.Fatalf("unknown variant %q", *variant)
+	}
+
+	fmt.Printf("structure: NA=%d (%d×%d), Nkz=%d, NE=%d, Nω=%d, NB=%d, Norb=%d\n",
+		p.NA, p.Cols(), p.Rows, p.Nkz, p.NE, p.Nw, p.NB, p.Norb)
+	fmt.Printf("solver: %s kernel, ≤%d iterations, mixing %.2f, bias %.2f eV\n",
+		opts.Variant, opts.MaxIter, opts.Mixing, *bias)
+
+	sim := core.New(dev, opts)
+	var res *core.Result
+	if !math.IsNaN(*gate) {
+		g := core.DefaultGate(*gate, 0)
+		es, err := sim.RunWithPoisson(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nGummel: %d outer iterations (converged: %v)\n", es.OuterIterations, es.GummelConverged)
+		res = es.Result
+	} else {
+		var err error
+		res, err = sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("\niterations: %d (converged: %v)\n", res.Iterations, res.Converged)
+	for i, r := range res.Residuals {
+		fmt.Printf("  iter %d: |ΔG| = %.3e\n", i+1, r)
+	}
+	fmt.Printf("\nelectron current:  I_L = %+.6e   I_R = %+.6e\n", res.Obs.CurrentL, res.Obs.CurrentR)
+	fmt.Printf("phonon heat flow:  Q_L = %+.6e   Q_R = %+.6e\n", res.Obs.HeatL, res.Obs.HeatR)
+
+	var dmax float64
+	amax := 0
+	for a, d := range res.Obs.DissipationPerAtom {
+		if d > dmax {
+			dmax, amax = d, a
+		}
+	}
+	if dmax > 0 {
+		fmt.Printf("hottest atom: #%d at column %d (dissipation %.3e)\n",
+			amax, dev.Col(amax), dmax)
+	}
+}

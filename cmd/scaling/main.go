@@ -1,0 +1,100 @@
+// Command scaling regenerates the scalability results of the paper:
+// the strong- and weak-scaling curves of Fig. 13 on Piz Daint and Summit
+// (modeled from first-principles flop counts, communication volumes and
+// calibrated machine efficiencies), and the Table 8 extreme-scale run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"negfsim/internal/device"
+	"negfsim/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scaling: ")
+	machine := flag.String("machine", "both", "daint | summit | both")
+	mode := flag.String("mode", "both", "strong | weak | both")
+	extreme := flag.Bool("extreme", false, "print the Table 8 extreme-scale projection instead")
+	flag.Parse()
+
+	if *extreme {
+		printTable8()
+		return
+	}
+	machines := []perfmodel.Machine{}
+	switch strings.ToLower(*machine) {
+	case "daint":
+		machines = append(machines, perfmodel.PizDaint)
+	case "summit":
+		machines = append(machines, perfmodel.Summit)
+	case "both":
+		machines = append(machines, perfmodel.PizDaint, perfmodel.Summit)
+	default:
+		log.Fatalf("unknown machine %q", *machine)
+	}
+	for _, m := range machines {
+		if *mode == "strong" || *mode == "both" {
+			printStrong(m)
+		}
+		if *mode == "weak" || *mode == "both" {
+			printWeak(m)
+		}
+	}
+}
+
+func printStrong(m perfmodel.Machine) {
+	nodes := []int{112, 224, 448, 900, 1800, 2700, 5400}
+	if m.Name == "Summit" {
+		nodes = []int{19, 38, 76, 114, 152, 228}
+	}
+	fmt.Printf("Fig. 13 (%s) — strong scaling, NA=4864, Nkz=7\n", m.Name)
+	fmt.Printf("%-7s %-7s %11s %11s %11s %11s %8s %9s %9s\n",
+		"nodes", "GPUs", "DaCe comp", "DaCe comm", "OMEN comp", "OMEN comm", "eff", "speedup", "comm spd")
+	for _, pt := range perfmodel.StrongScaling(m, device.Paper4864(7), nodes) {
+		fmt.Printf("%-7d %-7d %10.1fs %10.1fs %10.1fs %10.1fs %7.1f%% %8.1f× %8.0f×\n",
+			pt.Nodes, pt.GPUs, pt.DaCe.Compute(), pt.DaCe.Comm,
+			pt.OMEN.Compute(), pt.OMEN.Comm,
+			100*pt.ScalingEfficiency, pt.TotalSpeedup, pt.CommSpeedup)
+	}
+	fmt.Println()
+}
+
+func printWeak(m perfmodel.Machine) {
+	nodesPerKz := 128
+	if m.Name == "Summit" {
+		nodesPerKz = 22
+	}
+	fmt.Printf("Fig. 13 (%s) — weak scaling, NA=4864, Nkz ∈ {3..11}, %d nodes/kz\n", m.Name, nodesPerKz)
+	fmt.Printf("%-5s %-7s %-7s %11s %11s %11s %11s %8s %9s\n",
+		"Nkz", "nodes", "GPUs", "DaCe comp", "DaCe comm", "OMEN comp", "OMEN comm", "eff", "speedup")
+	kzs := []int{3, 5, 7, 9, 11}
+	for i, pt := range perfmodel.WeakScaling(m, kzs, nodesPerKz) {
+		fmt.Printf("%-5d %-7d %-7d %10.1fs %10.1fs %10.1fs %10.1fs %7.1f%% %8.1f×\n",
+			kzs[i], pt.Nodes, pt.GPUs, pt.DaCe.Compute(), pt.DaCe.Comm,
+			pt.OMEN.Compute(), pt.OMEN.Comm,
+			100*pt.ScalingEfficiency, pt.TotalSpeedup)
+	}
+	fmt.Println()
+}
+
+func printTable8() {
+	fmt.Println("Table 8: Summit performance on 10,240 atoms (modeled)")
+	fmt.Printf("%-5s %-7s %10s %9s %10s %9s %9s\n",
+		"Nkz", "nodes", "GF Pflop", "GF time", "SSE Pflop", "SSE time", "comm")
+	for _, r := range perfmodel.Table8(perfmodel.PaperTable8Configs) {
+		fmt.Printf("%-5d %-7d %10.0f %8.1fs %10.0f %8.1fs %8.1fs\n",
+			r.Nkz, r.Nodes, r.GFPflop, r.GFTime, r.SSEPflop, r.SSETime, r.CommTime)
+	}
+	p := device.Paper10240(21)
+	t := perfmodel.Summit.Project(p, 3525, perfmodel.DaCe)
+	fmt.Printf("\nsustained at (21, 3525): %.1f Pflop/s (paper reports 19.71)\n",
+		perfmodel.SustainedPflops(p, t))
+	fmt.Println("paper prints: GF 2922/3985/5579/5579 Pflop, 75.84/75.90/150.38/76.09 s;")
+	fmt.Println("              SSE 490/910/1784/1784 Pflop, 95.46/116.67/346.56/175.15 s;")
+	fmt.Println("              comm 44.02/43.93/121.91/122.35 s")
+}

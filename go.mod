@@ -1,0 +1,3 @@
+module negfsim
+
+go 1.22

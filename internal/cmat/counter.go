@@ -1,0 +1,32 @@
+package cmat
+
+import "sync/atomic"
+
+// FlopCounter accumulates floating-point operation counts of the kernels in
+// this package. A complex multiply-add is counted as 8 real flops (6 for the
+// multiply, 2 for the add), matching the convention the paper uses when
+// quoting Pflop figures for complex arithmetic (64·… byte/flop expressions
+// in §4.3 assume 8 flops per complex MAC).
+//
+// Counting is always on; the overhead is one atomic add per kernel call,
+// which is negligible next to the O(n³) work of the kernels themselves.
+type FlopCounter struct {
+	flops atomic.Uint64
+}
+
+// Counter is the package-global flop counter used by all kernels.
+var Counter FlopCounter
+
+// AddGEMM records the flops of an R×K by K×C matrix multiplication.
+func (c *FlopCounter) AddGEMM(r, k, cols int) {
+	c.flops.Add(uint64(8 * r * k * cols))
+}
+
+// AddFlops records an arbitrary number of real flops.
+func (c *FlopCounter) AddFlops(n uint64) { c.flops.Add(n) }
+
+// Flops returns the total real flops recorded so far.
+func (c *FlopCounter) Flops() uint64 { return c.flops.Load() }
+
+// Reset zeroes the counter and returns the value it held.
+func (c *FlopCounter) Reset() uint64 { return c.flops.Swap(0) }

@@ -1,0 +1,283 @@
+package cmat
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CSR is a complex sparse matrix in compressed sparse row format.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int // length Rows+1
+	ColIdx     []int // length NNZ
+	Val        []complex128
+}
+
+// NewCSR allocates an empty CSR matrix with the given shape.
+func NewCSR(r, c int) *CSR {
+	return &CSR{Rows: r, Cols: c, RowPtr: make([]int, r+1)}
+}
+
+// NNZ returns the number of stored entries.
+func (s *CSR) NNZ() int { return len(s.Val) }
+
+// Density returns NNZ divided by the full element count.
+func (s *CSR) Density() float64 {
+	if s.Rows*s.Cols == 0 {
+		return 0
+	}
+	return float64(s.NNZ()) / float64(s.Rows*s.Cols)
+}
+
+// CSRFromDense converts m to CSR, dropping entries with magnitude ≤ tol.
+func CSRFromDense(m *Dense, tol float64) *CSR {
+	s := NewCSR(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			v := m.Data[i*m.Cols+j]
+			if cmplx.Abs(v) > tol {
+				s.ColIdx = append(s.ColIdx, j)
+				s.Val = append(s.Val, v)
+			}
+		}
+		s.RowPtr[i+1] = len(s.Val)
+	}
+	return s
+}
+
+// ToDense expands s into a dense matrix.
+func (s *CSR) ToDense() *Dense {
+	m := NewDense(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			m.Data[i*s.Cols+s.ColIdx[p]] = s.Val[p]
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of s.
+func (s *CSR) Clone() *CSR {
+	out := &CSR{Rows: s.Rows, Cols: s.Cols,
+		RowPtr: append([]int(nil), s.RowPtr...),
+		ColIdx: append([]int(nil), s.ColIdx...),
+		Val:    append([]complex128(nil), s.Val...)}
+	return out
+}
+
+// Transpose returns sᵀ in CSR form (equivalently, s viewed as CSC).
+func (s *CSR) Transpose() *CSR {
+	t := NewCSR(s.Cols, s.Rows)
+	t.ColIdx = make([]int, s.NNZ())
+	t.Val = make([]complex128, s.NNZ())
+	// Count entries per column of s.
+	for _, j := range s.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for i := 0; i < t.Rows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := append([]int(nil), t.RowPtr...)
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			j := s.ColIdx[p]
+			q := next[j]
+			next[j]++
+			t.ColIdx[q] = i
+			t.Val[q] = s.Val[p]
+		}
+	}
+	return t
+}
+
+// MulDense computes s·m with a dense result (the "CSRMM" building block:
+// sparse × dense → dense).
+func (s *CSR) MulDense(m *Dense) *Dense {
+	if s.Cols != m.Rows {
+		panic(fmt.Sprintf("cmat: CSR.MulDense dimension mismatch %d×%d · %d×%d", s.Rows, s.Cols, m.Rows, m.Cols))
+	}
+	out := NewDense(s.Rows, m.Cols)
+	nc := m.Cols
+	for i := 0; i < s.Rows; i++ {
+		orow := out.Data[i*nc : (i+1)*nc]
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			a := s.Val[p]
+			mrow := m.Data[s.ColIdx[p]*nc : (s.ColIdx[p]+1)*nc]
+			for j := 0; j < nc; j++ {
+				orow[j] += a * mrow[j]
+			}
+		}
+	}
+	Counter.AddFlops(uint64(8 * s.NNZ() * nc))
+	return out
+}
+
+// DenseMulCSR computes m·s with a dense result (dense × sparse → dense).
+// It walks s row-by-row, scattering into the output columns, which keeps
+// all accesses unit-stride on m and out rows.
+func DenseMulCSR(m *Dense, s *CSR) *Dense {
+	if m.Cols != s.Rows {
+		panic(fmt.Sprintf("cmat: DenseMulCSR dimension mismatch %d×%d · %d×%d", m.Rows, m.Cols, s.Rows, s.Cols))
+	}
+	out := NewDense(m.Rows, s.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*s.Cols : (i+1)*s.Cols]
+		for k := 0; k < s.Rows; k++ {
+			a := mrow[k]
+			if a == 0 {
+				continue
+			}
+			for p := s.RowPtr[k]; p < s.RowPtr[k+1]; p++ {
+				orow[s.ColIdx[p]] += a * s.Val[p]
+			}
+		}
+	}
+	Counter.AddFlops(uint64(8 * m.Rows * s.NNZ()))
+	return out
+}
+
+// MulCSR computes s·t with a sparse result (the "CSRGEMM" building block).
+// It uses the classical Gustavson row-merge algorithm with a dense
+// accumulator per output row.
+func (s *CSR) MulCSR(t *CSR) *CSR {
+	if s.Cols != t.Rows {
+		panic(fmt.Sprintf("cmat: CSR.MulCSR dimension mismatch %d×%d · %d×%d", s.Rows, s.Cols, t.Rows, t.Cols))
+	}
+	out := NewCSR(s.Rows, t.Cols)
+	acc := make([]complex128, t.Cols)
+	marker := make([]int, t.Cols)
+	for i := range marker {
+		marker[i] = -1
+	}
+	var flops uint64
+	for i := 0; i < s.Rows; i++ {
+		var cols []int
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			a := s.Val[p]
+			k := s.ColIdx[p]
+			for q := t.RowPtr[k]; q < t.RowPtr[k+1]; q++ {
+				j := t.ColIdx[q]
+				if marker[j] != i {
+					marker[j] = i
+					acc[j] = 0
+					cols = append(cols, j)
+				}
+				acc[j] += a * t.Val[q]
+				flops += 8
+			}
+		}
+		// Deterministic ordering of the output row.
+		insertionSort(cols)
+		for _, j := range cols {
+			if acc[j] != 0 {
+				out.ColIdx = append(out.ColIdx, j)
+				out.Val = append(out.Val, acc[j])
+			}
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	Counter.AddFlops(flops)
+	return out
+}
+
+// Add returns s + t as a new CSR matrix.
+func (s *CSR) Add(t *CSR) *CSR {
+	if s.Rows != t.Rows || s.Cols != t.Cols {
+		panic("cmat: CSR.Add dimension mismatch")
+	}
+	out := NewCSR(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		p, q := s.RowPtr[i], t.RowPtr[i]
+		for p < s.RowPtr[i+1] || q < t.RowPtr[i+1] {
+			switch {
+			case q >= t.RowPtr[i+1] || (p < s.RowPtr[i+1] && s.ColIdx[p] < t.ColIdx[q]):
+				out.ColIdx = append(out.ColIdx, s.ColIdx[p])
+				out.Val = append(out.Val, s.Val[p])
+				p++
+			case p >= s.RowPtr[i+1] || t.ColIdx[q] < s.ColIdx[p]:
+				out.ColIdx = append(out.ColIdx, t.ColIdx[q])
+				out.Val = append(out.Val, t.Val[q])
+				q++
+			default:
+				v := s.Val[p] + t.Val[q]
+				if v != 0 {
+					out.ColIdx = append(out.ColIdx, s.ColIdx[p])
+					out.Val = append(out.Val, v)
+				}
+				p++
+				q++
+			}
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}
+
+// Scale returns alpha·s as a new CSR matrix.
+func (s *CSR) Scale(alpha complex128) *CSR {
+	out := s.Clone()
+	for i := range out.Val {
+		out.Val[i] *= alpha
+	}
+	return out
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// TripleProductStrategy selects how the RGF triple product
+// F[n]·gR[n+1]·E[n+1] (two sparse Hamiltonian blocks around a dense Green's
+// function block) is evaluated. These are the three approaches compared in
+// Table 6 of the paper.
+type TripleProductStrategy int
+
+const (
+	// DenseMM converts both sparse operands to dense and performs two dense
+	// multiplications.
+	DenseMM TripleProductStrategy = iota
+	// CSRMM multiplies sparse×dense, then dense×sparse, keeping the
+	// intermediate dense. This was the fastest variant in the paper.
+	CSRMM
+	// CSRGEMM keeps everything sparse: the dense middle operand is
+	// sparsified and two sparse-sparse products are performed.
+	CSRGEMM
+)
+
+// String returns the paper's name for the strategy.
+func (s TripleProductStrategy) String() string {
+	switch s {
+	case DenseMM:
+		return "Dense-MM"
+	case CSRMM:
+		return "CSRMM"
+	case CSRGEMM:
+		return "CSRGEMM"
+	}
+	return fmt.Sprintf("TripleProductStrategy(%d)", int(s))
+}
+
+// TripleProduct computes F·g·E using the selected strategy, returning a
+// dense result. F and E are sparse block matrices of the Hamiltonian; g is
+// a dense Green's function block.
+func TripleProduct(strategy TripleProductStrategy, f *CSR, g *Dense, e *CSR) *Dense {
+	switch strategy {
+	case DenseMM:
+		fd := f.ToDense()
+		ed := e.ToDense()
+		return fd.Mul(g).Mul(ed)
+	case CSRMM:
+		fg := f.MulDense(g)
+		return DenseMulCSR(fg, e)
+	case CSRGEMM:
+		gs := CSRFromDense(g, 0)
+		return f.MulCSR(gs).MulCSR(e).ToDense()
+	default:
+		panic("cmat: unknown TripleProductStrategy")
+	}
+}

@@ -1,0 +1,163 @@
+package cmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSparse builds an r×c matrix with roughly the given density.
+func randomSparse(rng *rand.Rand, r, c int, density float64) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		if rng.Float64() < density {
+			m.Data[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+		}
+	}
+	return m
+}
+
+func TestCSRRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomSparse(r, 1+r.Intn(10), 1+r.Intn(10), 0.3)
+		return CSRFromDense(m, 0).ToDense().Equalish(m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRDropTolerance(t *testing.T) {
+	m := DenseFromSlice(2, 2, []complex128{1e-14, 1, 0, 2})
+	s := CSRFromDense(m, 1e-12)
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2 (tiny entry dropped)", s.NNZ())
+	}
+}
+
+func TestCSRMulDenseMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSparse(r, 1+r.Intn(8), 1+r.Intn(8), 0.4)
+		b := RandomDense(r, a.Cols, 1+r.Intn(8))
+		return CSRFromDense(a, 0).MulDense(b).Equalish(a.Mul(b), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseMulCSRMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := randomSparse(r, 1+r.Intn(8), 1+r.Intn(8), 0.4)
+		a := RandomDense(r, 1+r.Intn(8), b.Rows)
+		return DenseMulCSR(a, CSRFromDense(b, 0)).Equalish(a.Mul(b), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRMulCSRMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSparse(r, 1+r.Intn(8), 1+r.Intn(8), 0.4)
+		b := randomSparse(r, a.Cols, 1+r.Intn(8), 0.4)
+		got := CSRFromDense(a, 0).MulCSR(CSRFromDense(b, 0)).ToDense()
+		return got.Equalish(a.Mul(b), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomSparse(r, 1+r.Intn(9), 1+r.Intn(9), 0.35)
+		return CSRFromDense(m, 0).Transpose().ToDense().Equalish(m.Transpose(), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRAddMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		a := randomSparse(r, rows, cols, 0.3)
+		b := randomSparse(r, rows, cols, 0.3)
+		got := CSRFromDense(a, 0).Add(CSRFromDense(b, 0)).ToDense()
+		return got.Equalish(a.Add(b), 1e-13)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRAddCancellationDropsEntries(t *testing.T) {
+	a := CSRFromDense(DenseFromSlice(1, 2, []complex128{1, 5}), 0)
+	b := CSRFromDense(DenseFromSlice(1, 2, []complex128{-1, 2}), 0)
+	sum := a.Add(b)
+	if sum.NNZ() != 1 {
+		t.Fatalf("NNZ after exact cancellation = %d, want 1", sum.NNZ())
+	}
+}
+
+func TestCSRScale(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	m := randomSparse(r, 5, 5, 0.5)
+	got := CSRFromDense(m, 0).Scale(2 + 1i).ToDense()
+	if !got.Equalish(m.Scale(2+1i), 1e-14) {
+		t.Fatal("CSR.Scale mismatch")
+	}
+}
+
+func TestCSRDensity(t *testing.T) {
+	m := NewDense(4, 5)
+	m.Set(0, 0, 1)
+	m.Set(3, 4, 1)
+	s := CSRFromDense(m, 0)
+	if got, want := s.Density(), 2.0/20.0; got != want {
+		t.Fatalf("density = %g, want %g", got, want)
+	}
+	if NewCSR(0, 0).Density() != 0 {
+		t.Fatal("empty matrix density should be 0")
+	}
+}
+
+func TestTripleProductStrategiesAgree(t *testing.T) {
+	// All three Table 6 strategies must compute the same F·g·E product.
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + r.Intn(12)
+		f := CSRFromDense(randomSparse(r, n, n, 0.2), 0)
+		e := CSRFromDense(randomSparse(r, n, n, 0.2), 0)
+		g := RandomDense(r, n, n)
+		want := TripleProduct(DenseMM, f, g, e)
+		for _, strat := range []TripleProductStrategy{CSRMM, CSRGEMM} {
+			got := TripleProduct(strat, f, g, e)
+			if !got.Equalish(want, 1e-10) {
+				t.Fatalf("strategy %v disagrees with Dense-MM: max diff %g", strat, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestTripleProductStrategyString(t *testing.T) {
+	if DenseMM.String() != "Dense-MM" || CSRMM.String() != "CSRMM" || CSRGEMM.String() != "CSRGEMM" {
+		t.Fatal("strategy names do not match the paper's Table 6")
+	}
+}
+
+func TestCSRMulDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCSR(2, 3).MulDense(NewDense(2, 2))
+}

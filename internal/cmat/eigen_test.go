@@ -1,0 +1,111 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenKnown2x2(t *testing.T) {
+	// [[2, i], [-i, 2]] has eigenvalues 1 and 3.
+	a := DenseFromSlice(2, 2, []complex128{2, 1i, -1i, 2})
+	ev, err := EigenHermitian(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev[0]-1) > 1e-10 || math.Abs(ev[1]-3) > 1e-10 {
+		t.Fatalf("eigenvalues %v, want [1 3]", ev)
+	}
+}
+
+func TestEigenDiagonal(t *testing.T) {
+	a := NewDense(4, 4)
+	vals := []float64{-2, 0.5, 3, 7}
+	for i, v := range vals {
+		a.Set(i, i, complex(v, 0))
+	}
+	ev, err := EigenHermitian(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(vals)
+	for i := range vals {
+		if math.Abs(ev[i]-vals[i]) > 1e-12 {
+			t.Fatalf("eigenvalues %v, want %v", ev, vals)
+		}
+	}
+}
+
+func TestEigenCharacteristicProperty(t *testing.T) {
+	// Every computed eigenvalue must be a root of det(A − λI), and the
+	// trace/eigenvalue-sum identity must hold.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := RandomHermitian(rng, n, 0)
+		ev, err := EigenHermitian(a, 0)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range ev {
+			sum += v
+		}
+		if math.Abs(sum-real(a.Trace())) > 1e-8*(1+math.Abs(sum)) {
+			return false
+		}
+		scale := math.Pow(1+a.MaxAbs(), float64(n))
+		for _, lambda := range ev {
+			shifted := a.Clone()
+			for i := 0; i < n; i++ {
+				shifted.Set(i, i, shifted.At(i, i)-complex(lambda, 0))
+			}
+			f, err := FactorLU(shifted)
+			if err != nil {
+				continue // exactly singular: perfect root
+			}
+			if cmplx.Abs(f.Det()) > 1e-6*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenRejectsNonHermitian(t *testing.T) {
+	a := DenseFromSlice(2, 2, []complex128{1, 2, 3, 4})
+	if _, err := EigenHermitian(a, 0); err == nil {
+		t.Fatal("non-Hermitian input must be rejected")
+	}
+	if _, err := EigenHermitian(NewDense(2, 3), 0); err == nil {
+		t.Fatal("non-square input must be rejected")
+	}
+}
+
+func TestSpectralBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := RandomHermitian(rng, 6, 0)
+	lo, hi, err := SpectralBounds(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > hi {
+		t.Fatalf("bounds inverted: %g > %g", lo, hi)
+	}
+	// Rayleigh quotients of random vectors must lie inside [lo, hi].
+	for trial := 0; trial < 10; trial++ {
+		v := RandomDense(rng, 6, 1)
+		num := v.ConjTranspose().Mul(a).Mul(v).At(0, 0)
+		den := v.ConjTranspose().Mul(v).At(0, 0)
+		r := real(num) / real(den)
+		if r < lo-1e-8 || r > hi+1e-8 {
+			t.Fatalf("Rayleigh quotient %g outside [%g, %g]", r, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package cmat
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when a factorization encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("cmat: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, where L is
+// unit lower triangular and U upper triangular, both packed into lu.
+type LU struct {
+	lu   *Dense
+	piv  []int
+	sign int
+}
+
+// FactorLU computes the LU factorization of a (which is not modified).
+func FactorLU(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("cmat: LU of non-square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	d := lu.Data
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest magnitude in column k.
+		p := k
+		pmax := cmplx.Abs(d[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if m := cmplx.Abs(d[i*n+k]); m > pmax {
+				pmax, p = m, i
+			}
+		}
+		if pmax == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				d[k*n+j], d[p*n+j] = d[p*n+j], d[k*n+j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := d[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := d[i*n+k] / pivVal
+			d[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				d[i*n+j] -= m * d[k*n+j]
+			}
+		}
+	}
+	Counter.AddFlops(uint64(8 * n * n * n / 3))
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve returns X such that A·X = B, where A is the factored matrix.
+func (f *LU) Solve(b *Dense) *Dense {
+	n := f.lu.Rows
+	if b.Rows != n {
+		panic("cmat: LU.Solve dimension mismatch")
+	}
+	nc := b.Cols
+	x := NewDense(n, nc)
+	// Apply the row permutation to B.
+	for i := 0; i < n; i++ {
+		copy(x.Data[i*nc:(i+1)*nc], b.Data[f.piv[i]*nc:(f.piv[i]+1)*nc])
+	}
+	d := f.lu.Data
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		xi := x.Data[i*nc : (i+1)*nc]
+		for k := 0; k < i; k++ {
+			m := d[i*n+k]
+			if m == 0 {
+				continue
+			}
+			xk := x.Data[k*nc : (k+1)*nc]
+			for j := 0; j < nc; j++ {
+				xi[j] -= m * xk[j]
+			}
+		}
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		xi := x.Data[i*nc : (i+1)*nc]
+		for k := i + 1; k < n; k++ {
+			m := d[i*n+k]
+			if m == 0 {
+				continue
+			}
+			xk := x.Data[k*nc : (k+1)*nc]
+			for j := 0; j < nc; j++ {
+				xi[j] -= m * xk[j]
+			}
+		}
+		inv := 1 / d[i*n+i]
+		for j := 0; j < nc; j++ {
+			xi[j] *= inv
+		}
+	}
+	Counter.AddFlops(uint64(8 * n * n * nc))
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() complex128 {
+	n := f.lu.Rows
+	det := complex(float64(f.sign), 0)
+	for i := 0; i < n; i++ {
+		det *= f.lu.Data[i*n+i]
+	}
+	return det
+}
+
+// Inverse returns A⁻¹ for a square matrix A using LU with partial pivoting.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(Identity(a.Rows)), nil
+}
+
+// Solve returns X with A·X = B.
+func Solve(a, b *Dense) (*Dense, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

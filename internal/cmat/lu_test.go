@@ -1,0 +1,130 @@
+package cmat
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInverseIdentityProperty(t *testing.T) {
+	// A · A⁻¹ = I for random well-conditioned matrices.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := RandomDense(r, n, n)
+		for i := 0; i < n; i++ { // diagonal dominance for conditioning
+			a.Data[i*n+i] += complex(float64(n), 0)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return a.Mul(inv).Equalish(Identity(n), 1e-9) && inv.Mul(a).Equalish(Identity(n), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveMatchesMul(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, nc := 1+r.Intn(8), 1+r.Intn(5)
+		a := RandomDense(r, n, n)
+		for i := 0; i < n; i++ {
+			a.Data[i*n+i] += complex(float64(n), 0)
+		}
+		x := RandomDense(r, n, nc)
+		b := a.Mul(x)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return got.Equalish(x, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := DenseFromSlice(2, 2, []complex128{1, 2, 2, 4})
+	if _, err := FactorLU(a); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	if _, err := Inverse(NewDense(3, 3)); err == nil {
+		t.Fatal("inverse of zero matrix should fail")
+	}
+}
+
+func TestNonSquareRejected(t *testing.T) {
+	if _, err := FactorLU(NewDense(2, 3)); err == nil {
+		t.Fatal("LU of non-square matrix should fail")
+	}
+}
+
+func TestDeterminantKnown(t *testing.T) {
+	// det [[1, 2],[3, 4]] = -2; complex case det [[i, 0],[0, i]] = -1.
+	f, err := FactorLU(DenseFromSlice(2, 2, []complex128{1, 2, 3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); cmplx.Abs(d-(-2)) > 1e-14 {
+		t.Fatalf("det = %v, want -2", d)
+	}
+	f, err = FactorLU(DenseFromSlice(2, 2, []complex128{1i, 0, 0, 1i}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); cmplx.Abs(d-(-1)) > 1e-14 {
+		t.Fatalf("det = %v, want -1", d)
+	}
+}
+
+func TestDetProductProperty(t *testing.T) {
+	// det(AB) = det(A)·det(B)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := RandomDense(r, n, n)
+		b := RandomDense(r, n, n)
+		for i := 0; i < n; i++ {
+			a.Data[i*n+i] += 2
+			b.Data[i*n+i] += 2
+		}
+		fa, err1 := FactorLU(a)
+		fb, err2 := FactorLU(b)
+		fab, err3 := FactorLU(a.Mul(b))
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return cmplx.Abs(fab.Det()-fa.Det()*fb.Det()) <= 1e-8*(1+cmplx.Abs(fab.Det()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPivotingHandlesZeroLeadingDiagonal(t *testing.T) {
+	a := DenseFromSlice(2, 2, []complex128{0, 1, 1, 0})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Equalish(a, 1e-14) { // a swap matrix is its own inverse
+		t.Fatal("inverse of swap matrix should be itself")
+	}
+}
+
+func TestInverseOfHermitianIsHermitian(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	h := RandomHermitian(r, 8, 9)
+	inv, err := Inverse(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.IsHermitian(1e-10) {
+		t.Fatal("inverse of a Hermitian matrix must be Hermitian")
+	}
+}

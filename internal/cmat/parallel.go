@@ -1,0 +1,52 @@
+package cmat
+
+import "sync"
+
+// MulPar computes m·n with the row range of the output partitioned across
+// `workers` goroutines. Worthwhile for the large fused GEMMs of the
+// DaCe-transformed SSE stage (the (Nkz·NE·Norb) × Norb × Norb products);
+// at small sizes the fork/join overhead dominates, so callers should gate
+// on size (see ParallelThreshold).
+func (m *Dense) MulPar(n *Dense, workers int) *Dense {
+	out := NewDense(m.Rows, n.Cols)
+	m.MulParInto(out, n, workers)
+	return out
+}
+
+// ParallelThreshold is the output-row count above which MulPar typically
+// beats Mul on multicore hosts.
+const ParallelThreshold = 256
+
+// MulParInto computes out = m·n in parallel over row bands.
+func (m *Dense) MulParInto(out, n *Dense, workers int) {
+	if m.Cols != n.Rows {
+		panic("cmat: MulPar dimension mismatch")
+	}
+	if out.Rows != m.Rows || out.Cols != n.Cols {
+		panic("cmat: MulParInto output shape mismatch")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || m.Rows < 2*workers {
+		m.MulInto(out, n)
+		return
+	}
+	out.Zero()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * m.Rows / workers
+		hi := (w + 1) * m.Rows / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			band := DenseFromSlice(hi-lo, m.Cols, m.Data[lo*m.Cols:hi*m.Cols])
+			outBand := DenseFromSlice(hi-lo, out.Cols, out.Data[lo*out.Cols:hi*out.Cols])
+			band.MulAddInto(outBand, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,35 @@
+package cmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulParMatchesMul(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := RandomDense(r, 1+r.Intn(40), 1+r.Intn(12))
+		n := RandomDense(r, m.Cols, 1+r.Intn(12))
+		for _, workers := range []int{1, 2, 4, 7} {
+			if !m.MulPar(n, workers).Equalish(m.Mul(n), 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulParCountsFlopsOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m := RandomDense(r, 32, 8)
+	n := RandomDense(r, 8, 8)
+	Counter.Reset()
+	m.MulPar(n, 4)
+	if got, want := Counter.Reset(), uint64(8*32*8*8); got != want {
+		t.Fatalf("parallel GEMM flops %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,205 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cluster is an in-process stand-in for an MPI communicator: one goroutine
+// per rank, channel links, and byte accounting on every transfer. It runs
+// the simulator's real exchange patterns at reduced scale so the measured
+// traffic can be checked against the closed-form models.
+type Cluster struct {
+	n       int
+	mailbox [][]chan []complex128 // mailbox[to][from]
+	sent    []atomic.Int64        // bytes sent per rank
+	recvd   []atomic.Int64        // bytes received per rank
+	timeout time.Duration
+}
+
+// NewCluster creates a communicator with n ranks. A Recv that waits longer
+// than the deadlock timeout fails, so protocol mismatches surface as test
+// errors instead of hangs.
+func NewCluster(n int) *Cluster {
+	if n < 1 {
+		panic("comm: cluster needs at least one rank")
+	}
+	c := &Cluster{n: n, timeout: 10 * time.Second,
+		sent: make([]atomic.Int64, n), recvd: make([]atomic.Int64, n)}
+	c.mailbox = make([][]chan []complex128, n)
+	for to := 0; to < n; to++ {
+		c.mailbox[to] = make([]chan []complex128, n)
+		for from := 0; from < n; from++ {
+			c.mailbox[to][from] = make(chan []complex128, 64)
+		}
+	}
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Cluster) Size() int { return c.n }
+
+// TotalBytes returns all bytes moved between distinct ranks so far.
+func (c *Cluster) TotalBytes() int64 {
+	var t int64
+	for i := range c.sent {
+		t += c.sent[i].Load()
+	}
+	return t
+}
+
+// SentBytes returns the bytes rank r has sent to other ranks.
+func (c *Cluster) SentBytes(r int) int64 { return c.sent[r].Load() }
+
+// ReceivedBytes returns the bytes rank r has received from other ranks.
+func (c *Cluster) ReceivedBytes(r int) int64 { return c.recvd[r].Load() }
+
+// Run spawns one goroutine per rank executing fn and waits for all of them.
+// The first error (including simulated rank failures) is returned.
+func (c *Cluster) Run(fn func(r *Rank) error) error {
+	errs := make([]error, c.n)
+	var wg sync.WaitGroup
+	for id := 0; id < c.n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[id] = fmt.Errorf("comm: rank %d panicked: %v", id, p)
+				}
+			}()
+			errs[id] = fn(&Rank{ID: id, c: c})
+		}(id)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Rank is one process of the simulated cluster.
+type Rank struct {
+	ID int
+	c  *Cluster
+}
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.c.n }
+
+// Send transfers data to rank `to`. Self-sends are local copies and are not
+// counted as communication, mirroring how MPI implementations short-circuit
+// them in shared memory.
+func (r *Rank) Send(to int, data []complex128) error {
+	if to < 0 || to >= r.c.n {
+		return fmt.Errorf("comm: rank %d sent to invalid rank %d", r.ID, to)
+	}
+	buf := append([]complex128(nil), data...)
+	select {
+	case r.c.mailbox[to][r.ID] <- buf:
+	case <-time.After(r.c.timeout):
+		return fmt.Errorf("comm: rank %d send to %d timed out (mailbox full — protocol mismatch?)", r.ID, to)
+	}
+	if to != r.ID {
+		n := int64(bytesPerComplex * len(data))
+		r.c.sent[r.ID].Add(n)
+		r.c.recvd[to].Add(n)
+	}
+	return nil
+}
+
+// Recv blocks until a message from rank `from` arrives.
+func (r *Rank) Recv(from int) ([]complex128, error) {
+	if from < 0 || from >= r.c.n {
+		return nil, fmt.Errorf("comm: rank %d received from invalid rank %d", r.ID, from)
+	}
+	select {
+	case data := <-r.c.mailbox[r.ID][from]:
+		return data, nil
+	case <-time.After(r.c.timeout):
+		return nil, fmt.Errorf("comm: rank %d recv from %d timed out (deadlock or dead peer)", r.ID, from)
+	}
+}
+
+// Bcast distributes root's data to every rank and returns each rank's copy.
+func (r *Rank) Bcast(root int, data []complex128) ([]complex128, error) {
+	if r.ID == root {
+		for to := 0; to < r.c.n; to++ {
+			if to == root {
+				continue
+			}
+			if err := r.Send(to, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	return r.Recv(root)
+}
+
+// Reduce element-wise sums every rank's contribution at root; non-root
+// ranks return nil.
+func (r *Rank) Reduce(root int, data []complex128) ([]complex128, error) {
+	if r.ID != root {
+		return nil, r.Send(root, data)
+	}
+	acc := append([]complex128(nil), data...)
+	for from := 0; from < r.c.n; from++ {
+		if from == root {
+			continue
+		}
+		part, err := r.Recv(from)
+		if err != nil {
+			return nil, err
+		}
+		if len(part) != len(acc) {
+			return nil, fmt.Errorf("comm: reduce length mismatch: %d vs %d", len(part), len(acc))
+		}
+		for i := range acc {
+			acc[i] += part[i]
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce sums contributions on rank 0 and broadcasts the result.
+func (r *Rank) Allreduce(data []complex128) ([]complex128, error) {
+	acc, err := r.Reduce(0, data)
+	if err != nil {
+		return nil, err
+	}
+	return r.Bcast(0, acc)
+}
+
+// Alltoallv exchanges variable-size buffers: send[i] goes to rank i, and
+// the returned slice holds what every rank sent to this one. This is the
+// collective the communication-avoiding decomposition maps onto (§4.1).
+func (r *Rank) Alltoallv(send [][]complex128) ([][]complex128, error) {
+	if len(send) != r.c.n {
+		return nil, fmt.Errorf("comm: alltoallv needs %d buffers, got %d", r.c.n, len(send))
+	}
+	// Post all sends first (buffered mailboxes decouple the phases), then
+	// collect.
+	for to, buf := range send {
+		if err := r.Send(to, buf); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]complex128, r.c.n)
+	for from := 0; from < r.c.n; from++ {
+		data, err := r.Recv(from)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = data
+	}
+	return out, nil
+}
+
+// Barrier synchronizes all ranks (zero-byte all-to-all; uncounted).
+func (r *Rank) Barrier() error {
+	if _, err := r.Alltoallv(make([][]complex128, r.c.n)); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package comm
+
+import (
+	"fmt"
+
+	"negfsim/internal/device"
+)
+
+// This file implements the two SSE exchange patterns on the simulated
+// cluster, with buffer sizes matching the §4.1 models element-for-element,
+// so tests can verify the closed-form volumes against measured traffic.
+// The actual tensor payloads of the self-consistent solver travel through
+// the same collectives (see internal/core); here the buffers carry the
+// correctly-sized slices.
+
+// ceilDiv returns ⌈a/b⌉.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// OMENExchangeSSE runs OMEN's original Nqz·Nω-round pattern on rank r:
+// for every (qz, ω) round, the owner broadcasts the D^≷ slice, every rank
+// forwards its shifted G^≷ slice around a ring, and the partial Π^≷ are
+// reduced at the owner.
+func OMENExchangeSSE(r *Rank, p device.Params) error {
+	procs := r.Size()
+	gSlice := make([]complex128, 4*p.Nkz*ceilDiv(p.NE, procs)*p.NA*p.Norb*p.Norb)
+	dSlice := make([]complex128, 2*p.NA*p.NB*p.N3D*p.N3D)
+	piSlice := make([]complex128, 2*p.NA*p.NB*p.N3D*p.N3D)
+	for qz := 0; qz < p.Nqz; qz++ {
+		for w := 0; w < p.Nw; w++ {
+			owner := (qz*p.Nw + w) % procs
+			// Broadcast the phonon Green's functions D^≷(ω, qz).
+			if _, err := r.Bcast(owner, dSlice); err != nil {
+				return fmt.Errorf("round (%d,%d) bcast: %w", qz, w, err)
+			}
+			// Replicate the shifted electron Green's functions G^≷(E±ℏω,
+			// kz−qz): ring exchange of each rank's energy slice.
+			if err := r.Send((r.ID+1)%procs, gSlice); err != nil {
+				return err
+			}
+			if _, err := r.Recv((r.ID - 1 + procs) % procs); err != nil {
+				return err
+			}
+			// Reduce the partial phonon self-energies Π^≷(ω, qz).
+			if _, err := r.Reduce(owner, piSlice); err != nil {
+				return fmt.Errorf("round (%d,%d) reduce: %w", qz, w, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ExpectedOMENExchangeBytes returns the exact traffic OMENExchangeSSE
+// generates on a cluster of the given size: the §4.1 model with the
+// integer slice sizes and the (P−1)/P broadcast/reduce correction (the
+// owner neither receives its own broadcast nor sends to itself).
+func ExpectedOMENExchangeBytes(p device.Params, procs int) int64 {
+	rounds := int64(p.Nqz * p.Nw)
+	g := int64(4 * p.Nkz * ceilDiv(p.NE, procs) * p.NA * p.Norb * p.Norb)
+	dpi := int64(4 * p.NA * p.NB * p.N3D * p.N3D)
+	perRound := int64(procs)*g + int64(procs-1)*dpi
+	return bytesPerComplex * rounds * perRound
+}
+
+// DaCeExchangeSSE runs the communication-avoiding pattern on rank r: ONE
+// alltoallv in which every rank contributes its G^≷/Σ^≷ tile (with energy
+// and atom halos) and its D^≷/Π^≷ tile. The rank grid is TE×TA with
+// te·ta = Size().
+func DaCeExchangeSSE(r *Rank, p device.Params, te, ta int) error {
+	procs := r.Size()
+	if te*ta != procs {
+		return fmt.Errorf("comm: TE·TA = %d·%d does not cover %d ranks", te, ta, procs)
+	}
+	atoms := ceilDiv(p.NA, ta) + p.NB
+	energies := ceilDiv(p.NE, te) + 2*p.Nw
+	contribution := 4*p.Nkz*energies*atoms*p.Norb*p.Norb +
+		4*p.Nqz*p.Nw*atoms*p.NB*p.N3D*p.N3D
+	// The full contribution leaves the rank, split across the P−1 peers.
+	send := make([][]complex128, procs)
+	per := contribution / (procs - 1)
+	rem := contribution % (procs - 1)
+	seen := 0
+	for to := 0; to < procs; to++ {
+		if to == r.ID {
+			send[to] = nil
+			continue
+		}
+		n := per
+		if seen < rem {
+			n++
+		}
+		seen++
+		send[to] = make([]complex128, n)
+	}
+	_, err := r.Alltoallv(send)
+	return err
+}
+
+// ExpectedDaCeExchangeBytes returns the exact traffic DaCeExchangeSSE
+// generates: every rank's full contribution crosses the network once.
+func ExpectedDaCeExchangeBytes(p device.Params, te, ta int) int64 {
+	atoms := int64(ceilDiv(p.NA, ta) + p.NB)
+	energies := int64(ceilDiv(p.NE, te) + 2*p.Nw)
+	contribution := 4*int64(p.Nkz)*energies*atoms*int64(p.Norb*p.Norb) +
+		4*int64(p.Nqz*p.Nw)*atoms*int64(p.NB)*int64(p.N3D*p.N3D)
+	return bytesPerComplex * int64(te*ta) * contribution
+}

@@ -1,0 +1,128 @@
+// Package comm models and simulates the communication of the SSE phase:
+// the closed-form volume formulas of §4.1 (regenerating Tables 4 and 5),
+// the exhaustive tile-size search for the communication-avoiding
+// decomposition, and an in-process simulated cluster with byte-accounted
+// collectives used to execute the real exchange patterns at reduced scale.
+package comm
+
+import (
+	"math"
+
+	"negfsim/internal/device"
+)
+
+// bytesPerComplex is the wire size of one complex128 element.
+const bytesPerComplex = 16
+
+// TiB converts bytes to tebibytes (the unit of Tables 4 and 5).
+func TiB(bytes float64) float64 { return bytes / (1 << 40) }
+
+// OMENVolumePerProcess returns the bytes one process receives/sends in
+// OMEN's original NqzNω-round SSE exchange (§4.1):
+//
+//   - electrons: 64·Nkz·(NE/P)·Nqz·Nω·NA·Norb² bytes of G^≷ received
+//     (16 bytes per element × 2 tensor types × 2 energy shifts E±ℏω);
+//   - phonons: 64·Nqz·Nω·NA·NB·N3D² bytes for the D^≷ broadcast and the
+//     Π^≷ reduction (16 bytes × {D,Π} × {<,>}).
+func OMENVolumePerProcess(p device.Params, procs int) (electron, phonon float64) {
+	electron = 64 * float64(p.Nkz) * float64(p.NE) / float64(procs) *
+		float64(p.Nqz) * float64(p.Nw) * float64(p.NA) * sq(p.Norb)
+	phonon = 64 * float64(p.Nqz) * float64(p.Nw) * float64(p.NA) * float64(p.NB) * sq(p.N3D)
+	return electron, phonon
+}
+
+// OMENVolume returns the total bytes moved by OMEN's SSE exchange across
+// all processes. Evaluated at the Table 4/5 configurations this reproduces
+// the paper's printed numbers (e.g. 32.11 TiB at Nkz=3, P=768).
+func OMENVolume(p device.Params, procs int) float64 {
+	e, ph := OMENVolumePerProcess(p, procs)
+	return float64(procs) * (e + ph)
+}
+
+// DaCeVolumePerProcess returns the bytes one process contributes to the
+// all-to-all exchanges of the communication-avoiding decomposition with TE
+// energy partitions and TA atom partitions (P = TE·TA):
+//
+//   - electrons: 64·Nkz·(NE/TE + 2Nω)·(NA/TA + NB)·Norb² for G^≷ and Σ^≷;
+//   - phonons:   64·Nqz·Nω·(NA/TA + NB)·NB·N3D² for D^≷ and Π^≷.
+//
+// The +2Nω and +NB terms are the halo regions in energy (the E±ℏω window)
+// and in atoms (the f(a, b) neighborhood, propagated via the §4.1
+// indirection model).
+func DaCeVolumePerProcess(p device.Params, te, ta int) (electron, phonon float64) {
+	atomHalo := float64(p.NA)/float64(ta) + float64(p.NB)
+	electron = 64 * float64(p.Nkz) * (float64(p.NE)/float64(te) + 2*float64(p.Nw)) *
+		atomHalo * sq(p.Norb)
+	phonon = 64 * float64(p.Nqz) * float64(p.Nw) * atomHalo * float64(p.NB) * sq(p.N3D)
+	return electron, phonon
+}
+
+// DaCeVolume returns the total bytes of the communication-avoiding SSE
+// exchange for a TE×TA decomposition.
+func DaCeVolume(p device.Params, te, ta int) float64 {
+	e, ph := DaCeVolumePerProcess(p, te, ta)
+	return float64(te*ta) * (e + ph)
+}
+
+func sq(n int) float64 { x := float64(n); return x * x }
+
+// Decomposition is a (TE, TA) partitioning choice with its predicted volume.
+type Decomposition struct {
+	TE, TA int
+	Bytes  float64
+}
+
+// SearchTiles enumerates every feasible factorization P = TE·TA (the
+// exhaustive search of §4.1 — the full space is small, so it "completes in
+// just a few seconds" even at paper scale; here it is microseconds) and
+// returns the volume-minimizing decomposition. memLimit, if positive,
+// rejects decompositions whose per-process tensor footprint exceeds it.
+func SearchTiles(p device.Params, procs int, memLimit float64) (best Decomposition, feasible []Decomposition) {
+	best = Decomposition{Bytes: math.Inf(1)}
+	for te := 1; te <= procs; te++ {
+		if procs%te != 0 {
+			continue
+		}
+		ta := procs / te
+		if te > p.NE || ta > p.NA {
+			continue
+		}
+		if memLimit > 0 && PerProcessMemory(p, te, ta) > memLimit {
+			continue
+		}
+		d := Decomposition{TE: te, TA: ta, Bytes: DaCeVolume(p, te, ta)}
+		feasible = append(feasible, d)
+		if d.Bytes < best.Bytes {
+			best = d
+		}
+	}
+	return best, feasible
+}
+
+// PerProcessMemory estimates the bytes of Green's-function and self-energy
+// storage one process holds under a TE×TA decomposition, including the
+// energy and atom halos.
+func PerProcessMemory(p device.Params, te, ta int) float64 {
+	atoms := float64(p.NA)/float64(ta) + float64(p.NB)
+	energies := float64(p.NE)/float64(te) + 2*float64(p.Nw)
+	electron := 4 * bytesPerComplex * float64(p.Nkz) * energies * atoms * sq(p.Norb) // G≷ + Σ≷
+	phonon := 4 * bytesPerComplex * float64(p.Nqz) * float64(p.Nw) * atoms *
+		float64(p.NB+1) * sq(p.N3D) // D≷ + Π≷
+	return electron + phonon
+}
+
+// Table4Row evaluates one weak-scaling row of Table 4: the paper grows the
+// process count with Nkz (P = 256·Nkz, i.e. TE = Nkz, TA = 256) and reports
+// total volume in TiB for both schemes.
+func Table4Row(nkz int) (procs int, omenTiB, daceTiB float64) {
+	p := device.Paper4864(nkz)
+	procs = 256 * nkz
+	return procs, TiB(OMENVolume(p, procs)), TiB(DaCeVolume(p, nkz, 256))
+}
+
+// Table5Row evaluates one strong-scaling row of Table 5: Nkz = 7 fixed,
+// TE = 7 and TA = P/7.
+func Table5Row(procs int) (omenTiB, daceTiB float64) {
+	p := device.Paper4864(7)
+	return TiB(OMENVolume(p, procs)), TiB(DaCeVolume(p, 7, procs/7))
+}

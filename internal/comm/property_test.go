@@ -1,0 +1,55 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"negfsim/internal/device"
+)
+
+func TestDaCeVolumeAlwaysBelowOMEN(t *testing.T) {
+	// Property: for any paper-scale configuration and any balanced tiling,
+	// the CA scheme never moves more data than the original.
+	f := func(nkzSeed, pSeed uint8) bool {
+		nkz := 3 + 2*int(nkzSeed%5) // 3..11
+		p := device.Paper4864(nkz)
+		procs := 64 * (1 + int(pSeed%32)) // 64..2048
+		best, feasible := SearchTiles(p, procs, 0)
+		if len(feasible) == 0 {
+			return true
+		}
+		return best.Bytes < OMENVolume(p, procs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOMENVolumeGrowsWithProcs(t *testing.T) {
+	// The phonon term of the OMEN scheme is replicated per process, so
+	// total volume must grow monotonically with P — the strong-scaling
+	// pathology of Table 5.
+	p := device.Paper4864(7)
+	prev := 0.0
+	for procs := 112; procs <= 3584; procs *= 2 {
+		v := OMENVolume(p, procs)
+		if v <= prev {
+			t.Fatalf("OMEN volume must grow with P: %g at %d", v, procs)
+		}
+		prev = v
+	}
+}
+
+func TestDaCeVolumeHasInteriorOptimum(t *testing.T) {
+	// The energy-only (TA=1) and atom-only (TE=1) extremes both waste
+	// volume on halos; the optimum lies strictly between them.
+	p := device.Paper4864(7)
+	const procs = 1792
+	best, _ := SearchTiles(p, procs, 0)
+	if best.TE == 1 || best.TA == 1 {
+		t.Fatalf("optimum at an extreme: TE=%d TA=%d", best.TE, best.TA)
+	}
+	if DaCeVolume(p, 1, procs) <= best.Bytes || DaCeVolume(p, procs, 1) <= best.Bytes {
+		t.Fatal("extremes should be worse than the interior optimum")
+	}
+}

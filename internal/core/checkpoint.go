@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"negfsim/internal/device"
+	"negfsim/internal/tensor"
+)
+
+// Checkpointing: extreme-scale NEGF runs are restarted from saved
+// self-energies (a converged Σ is by far the most expensive object a run
+// produces). A Checkpoint captures everything needed to resume the Born
+// loop mid-flight; the encoding is stdlib gob.
+
+// Checkpoint is a restartable snapshot of a self-consistent run.
+type Checkpoint struct {
+	Params     device.Params
+	Iterations int
+
+	SigmaLess, SigmaGtr *tensor.GTensor
+	PiLess, PiGtr       *tensor.DTensor
+}
+
+// CheckpointOf captures the current self-energies of a result.
+func CheckpointOf(p device.Params, res *Result) *Checkpoint {
+	return &Checkpoint{
+		Params: p, Iterations: res.Iterations,
+		SigmaLess: res.SigmaLess, SigmaGtr: res.SigmaGtr,
+		PiLess: res.PiLess, PiGtr: res.PiGtr,
+	}
+}
+
+// Save writes the checkpoint.
+func (c *Checkpoint) Save(w io.Writer) error {
+	if c.SigmaLess == nil || c.PiLess == nil {
+		return fmt.Errorf("core: checkpoint has no self-energies (run at least one full iteration)")
+	}
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// LoadCheckpoint reads a checkpoint written by Save.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	return &c, nil
+}
+
+// Compatible reports whether the checkpoint can seed a simulator for p.
+func (c *Checkpoint) Compatible(p device.Params) error {
+	if c.Params != p {
+		return fmt.Errorf("core: checkpoint is for %+v, simulator has %+v", c.Params, p)
+	}
+	return nil
+}
+
+// RunFrom resumes the Born loop from a checkpoint's self-energies. The
+// first GF phase immediately uses the saved Σ/Π, so a resumed run continues
+// where the saved one stopped (up to the mixing state, which restarts).
+func (s *Simulator) RunFrom(ck *Checkpoint) (*Result, error) {
+	if err := ck.Compatible(s.Dev.P); err != nil {
+		return nil, err
+	}
+	return s.run(ck)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"negfsim/internal/device"
+)
+
+func TestCheckpointRoundTripAndResume(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxIter = 3
+	s1 := miniSim(t, opts)
+	first, err := s1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := CheckpointOf(s1.Dev.P, first).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.SigmaLess.MaxAbsDiff(first.SigmaLess) != 0 {
+		t.Fatal("checkpoint round trip altered Σ")
+	}
+
+	// A run that goes 3+3 iterations via checkpoint must land close to a
+	// straight 6-iteration run (the mixing history restarts, so agreement
+	// is to the convergence scale, not bit-exact).
+	resumed, err := miniSim(t, opts).RunFrom(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsFull := DefaultOptions()
+	optsFull.MaxIter = 6
+	full, err := miniSim(t, optsFull).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := resumed.GLess.MaxAbsDiff(full.GLess); d > 1e-3 {
+		t.Fatalf("resumed run far from the straight-through run: %g", d)
+	}
+	// And the resumed run starts much closer to the fixed point than a
+	// fresh one: its first residual is far below the cold-start residual.
+	if len(resumed.Residuals) == 0 || len(full.Residuals) == 0 {
+		t.Fatal("missing residual histories")
+	}
+	if resumed.Residuals[0] > full.Residuals[0]/2 {
+		t.Fatalf("warm start residual %g should beat cold start %g",
+			resumed.Residuals[0], full.Residuals[0])
+	}
+}
+
+func TestCheckpointCompatibility(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxIter = 2
+	s := miniSim(t, opts)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := CheckpointOf(s.Dev.P, res)
+	other := device.Mini()
+	other.NE = 8
+	if err := ck.Compatible(other); err == nil {
+		t.Fatal("mismatched parameters must be rejected")
+	}
+	dev, _ := device.New(other)
+	if _, err := New(dev, opts).RunFrom(ck); err == nil {
+		t.Fatal("RunFrom must reject incompatible checkpoints")
+	}
+}
+
+func TestCheckpointRequiresSelfEnergies(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &Checkpoint{}
+	if err := empty.Save(&buf); err == nil {
+		t.Fatal("empty checkpoint must not save")
+	}
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("corrupt checkpoint must fail to load")
+	}
+}

@@ -1,0 +1,510 @@
+// Package core is the paper's primary contribution assembled into a
+// runnable simulator: the self-consistent NEGF loop coupling the Green's
+// function (GF) phase — RGF solves of Eqs. (1) and (2) over all momentum,
+// energy and frequency points — with the scattering self-energy (SSE)
+// phase of Eqs. (3)–(5), in any of the three kernel variants (naive
+// reference, OMEN-style, DaCe-transformed), plus the communication-avoiding
+// distributed execution of the SSE phase on the simulated cluster.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"negfsim/internal/cmat"
+	"negfsim/internal/device"
+	"negfsim/internal/rgf"
+	"negfsim/internal/sse"
+	"negfsim/internal/tensor"
+)
+
+// Options configures the self-consistent solver.
+type Options struct {
+	// Variant selects the SSE kernel formulation.
+	Variant sse.Variant
+	// MaxIter bounds the Born (GF↔SSE) iteration count.
+	MaxIter int
+	// Tol is the convergence threshold on the relative change of G^≷.
+	Tol float64
+	// Mixing linearly mixes new self-energies into the previous ones
+	// (1 = full update). Values below 1 damp the Born iteration.
+	Mixing float64
+	// Contacts sets the electron reservoir occupations.
+	Contacts rgf.Contacts
+	// PhononKTL/R set the contact lattice temperatures (thermal energies).
+	PhononKTL, PhononKTR float64
+	// Eta is the numerical broadening of the retarded solves.
+	Eta float64
+	// Workers bounds the shared-memory parallelism over grid points;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// Mixer selects the self-consistency update rule (Linear or Anderson).
+	Mixer MixerKind
+	// AndersonHistory is the Anderson mixer's history depth (default 3).
+	AndersonHistory int
+}
+
+// DefaultOptions returns a stable configuration for the synthetic devices.
+func DefaultOptions() Options {
+	return Options{
+		Variant: sse.DaCe,
+		MaxIter: 10,
+		Tol:     1e-5,
+		Mixing:  0.8,
+		Contacts: rgf.Contacts{
+			MuL: 0.2, MuR: -0.2, KT: 0.025,
+		},
+		PhononKTL: 0.026, PhononKTR: 0.025,
+		Eta: 1e-6,
+	}
+}
+
+// Observables are the physical outputs of a converged run.
+type Observables struct {
+	// CurrentL/R are the energy-integrated electron contact currents
+	// (natural units; positive = into the device).
+	CurrentL, CurrentR float64
+	// EnergyCurrentL/R are the energy-weighted contact currents
+	// ∫E·I(E)dE — the electronic heat injection that self-heating studies
+	// track (§1).
+	EnergyCurrentL, EnergyCurrentR float64
+	// HeatL/R are the integrated phonon energy currents at the contacts.
+	HeatL, HeatR float64
+	// CurrentPerEnergy is the kz-summed spectral current at the left
+	// contact, one entry per energy grid point.
+	CurrentPerEnergy []float64
+	// DissipationPerAtom is the per-atom electron-phonon particle
+	// exchange, the quantity behind the self-heating map of Fig. 1(d).
+	DissipationPerAtom []float64
+	// EnergyDissipationPerAtom is the energy-weighted exchange
+	// (Joule heat delivered to the lattice per atom).
+	EnergyDissipationPerAtom []float64
+}
+
+// Timings records where a run's wall time went — the per-phase breakdown
+// the paper reports in Tables 7 and 8.
+type Timings struct {
+	GF, SSE time.Duration
+}
+
+// Result is the outcome of a self-consistent run.
+type Result struct {
+	Iterations int
+	Converged  bool
+	// Residuals[i] is the relative G change after iteration i.
+	Residuals []float64
+	// Timings is the accumulated per-phase wall time.
+	Timings Timings
+
+	GLess, GGtr         *tensor.GTensor
+	DLess, DGtr         *tensor.DTensor
+	SigmaLess, SigmaGtr *tensor.GTensor
+	PiLess, PiGtr       *tensor.DTensor
+
+	Obs Observables
+}
+
+// Simulator couples a device with solver options and cached operators.
+type Simulator struct {
+	Dev    *device.Device
+	Kernel *sse.Kernel
+	Opts   Options
+
+	h, s []*cmat.BlockTri // per kz
+	phi  []*cmat.BlockTri // per qz
+}
+
+// New builds a simulator, generating and caching H(kz), S(kz), Φ(qz).
+func New(dev *device.Device, opts Options) *Simulator {
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 1
+	}
+	if opts.Mixing <= 0 || opts.Mixing > 1 {
+		opts.Mixing = 1
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Simulator{Dev: dev, Kernel: sse.NewKernel(dev), Opts: opts}
+	p := dev.P
+	s.h = make([]*cmat.BlockTri, p.Nkz)
+	s.s = make([]*cmat.BlockTri, p.Nkz)
+	for kz := 0; kz < p.Nkz; kz++ {
+		s.h[kz] = dev.Hamiltonian(kz)
+		s.s[kz] = dev.Overlap(kz)
+	}
+	s.phi = make([]*cmat.BlockTri, p.Nqz)
+	for qz := 0; qz < p.Nqz; qz++ {
+		s.phi[qz] = dev.Dynamical(qz)
+	}
+	return s
+}
+
+// scatteringBlocks assembles the per-RGF-block electron scattering matrices
+// for one (kz, E) point from the per-atom self-energy tensors (diagonal
+// atom blocks only, as in the paper).
+func (s *Simulator) scatteringBlocks(kz, e int, sigR, sigL, sigG *tensor.GTensor) rgf.Scattering {
+	p := s.Dev.P
+	if sigR == nil {
+		return rgf.Scattering{}
+	}
+	bs := p.ElectronBlockSize()
+	apb := p.AtomsPerBlock()
+	out := rgf.Scattering{
+		R:    make([]*cmat.Dense, p.Bnum),
+		Less: make([]*cmat.Dense, p.Bnum),
+		Gtr:  make([]*cmat.Dense, p.Bnum),
+	}
+	for blk := 0; blk < p.Bnum; blk++ {
+		r := cmat.NewDense(bs, bs)
+		l := cmat.NewDense(bs, bs)
+		g := cmat.NewDense(bs, bs)
+		for la := 0; la < apb; la++ {
+			a := blk*apb + la
+			off := la * p.Norb
+			r.SetSubmatrix(off, off, sigR.Block(kz, e, a))
+			l.SetSubmatrix(off, off, sigL.Block(kz, e, a))
+			g.SetSubmatrix(off, off, sigG.Block(kz, e, a))
+		}
+		out.R[blk], out.Less[blk], out.Gtr[blk] = r, l, g
+	}
+	return out
+}
+
+// phononScatteringBlocks assembles the per-RGF-block phonon self-energy
+// matrices for one (qz, ω) point. Neighbor couplings within an RGF block
+// are kept; the few couplings that straddle block boundaries are dropped
+// (a truncation the block-tridiagonal Keldysh recursion requires; the full
+// couplings still travel through the SSE data path).
+func (s *Simulator) phononScatteringBlocks(qz, w int, piR, piL, piG *tensor.DTensor) rgf.PhononScattering {
+	p := s.Dev.P
+	if piR == nil {
+		return rgf.PhononScattering{}
+	}
+	bs := p.PhononBlockSize()
+	apb := p.AtomsPerBlock()
+	out := rgf.PhononScattering{
+		R:    make([]*cmat.Dense, p.Bnum),
+		Less: make([]*cmat.Dense, p.Bnum),
+		Gtr:  make([]*cmat.Dense, p.Bnum),
+	}
+	for blk := 0; blk < p.Bnum; blk++ {
+		out.R[blk] = cmat.NewDense(bs, bs)
+		out.Less[blk] = cmat.NewDense(bs, bs)
+		out.Gtr[blk] = cmat.NewDense(bs, bs)
+	}
+	place := func(dst []*cmat.Dense, t *tensor.DTensor, a, f, slot int) {
+		blk := s.Dev.BlockOf(a)
+		if s.Dev.BlockOf(f) != blk {
+			return
+		}
+		ra := (a - blk*apb) * p.N3D
+		rf := (f - blk*apb) * p.N3D
+		dst[blk].SetSubmatrix(ra, rf, t.Block(qz, w, a, slot))
+	}
+	for a := 0; a < p.NA; a++ {
+		place(out.R, piR, a, a, p.NB)
+		place(out.Less, piL, a, a, p.NB)
+		place(out.Gtr, piG, a, a, p.NB)
+		for b := 0; b < p.NB; b++ {
+			f := s.Dev.Neigh[a][b]
+			if f < 0 {
+				continue
+			}
+			place(out.R, piR, a, f, b)
+			place(out.Less, piL, a, f, b)
+			place(out.Gtr, piG, a, f, b)
+		}
+	}
+	return out
+}
+
+// extractElectron copies the per-atom diagonal blocks of an RGF solution
+// into the 5-D tensors at (kz, e).
+func (s *Simulator) extractElectron(kz, e int, res *rgf.ElectronResult, gl, gg *tensor.GTensor) {
+	p := s.Dev.P
+	apb := p.AtomsPerBlock()
+	for blk := 0; blk < p.Bnum; blk++ {
+		for la := 0; la < apb; la++ {
+			a := blk*apb + la
+			off := la * p.Norb
+			gl.Block(kz, e, a).CopyFrom(res.GLess[blk].Submatrix(off, off+p.Norb, off, off+p.Norb))
+			gg.Block(kz, e, a).CopyFrom(res.GGtr[blk].Submatrix(off, off+p.Norb, off, off+p.Norb))
+		}
+	}
+}
+
+// extractPhonon copies the per-atom self blocks and in-block neighbor
+// couplings of a phonon RGF solution into the 6-D tensors at (qz, w).
+func (s *Simulator) extractPhonon(qz, w int, res *rgf.PhononResult, dl, dg *tensor.DTensor) {
+	p := s.Dev.P
+	apb := p.AtomsPerBlock()
+	grab := func(src []*cmat.Dense, dst *tensor.DTensor, a, f, slot int) {
+		blk := s.Dev.BlockOf(a)
+		if s.Dev.BlockOf(f) != blk {
+			return // cross-block coupling: not available from diagonal RGF blocks
+		}
+		ra := (a - blk*apb) * p.N3D
+		rf := (f - blk*apb) * p.N3D
+		dst.Block(qz, w, a, slot).CopyFrom(src[blk].Submatrix(ra, ra+p.N3D, rf, rf+p.N3D))
+	}
+	for a := 0; a < p.NA; a++ {
+		grab(res.DLess, dl, a, a, p.NB)
+		grab(res.DGtr, dg, a, a, p.NB)
+		for b := 0; b < p.NB; b++ {
+			f := s.Dev.Neigh[a][b]
+			if f < 0 {
+				continue
+			}
+			grab(res.DLess, dl, a, f, b)
+			grab(res.DGtr, dg, a, f, b)
+		}
+	}
+}
+
+// gfPhase runs the full GF phase: all (kz, E) electron points and all
+// (qz, ω) phonon points, in parallel over Workers goroutines. It returns
+// fresh Green's function tensors and accumulated contact observables.
+func (s *Simulator) gfPhase(sigR, sigL, sigG *tensor.GTensor, piR, piL, piG *tensor.DTensor) (
+	gl, gg *tensor.GTensor, dl, dg *tensor.DTensor, obs Observables, err error) {
+	p := s.Dev.P
+	gl = tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb)
+	gg = tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb)
+	dl = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
+	dg = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
+	obs.CurrentPerEnergy = make([]float64, p.NE)
+
+	type job struct{ kz, e, qz, w int } // e < 0 marks a phonon job
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	eWeight := p.EStep() / float64(p.Nkz)
+	for i := 0; i < s.Opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if j.e >= 0 {
+					scat := s.scatteringBlocks(j.kz, j.e, sigR, sigL, sigG)
+					res, e := rgf.SolveElectron(s.h[j.kz], s.s[j.kz], p.Energy(j.e), scat, s.Opts.Contacts, s.Opts.Eta)
+					if e != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("electron point (kz=%d, E=%d): %w", j.kz, j.e, e)
+						}
+						mu.Unlock()
+						continue
+					}
+					s.extractElectron(j.kz, j.e, res, gl, gg)
+					mu.Lock()
+					obs.CurrentL += res.CurrentL * eWeight
+					obs.CurrentR += res.CurrentR * eWeight
+					obs.EnergyCurrentL += p.Energy(j.e) * res.CurrentL * eWeight
+					obs.EnergyCurrentR += p.Energy(j.e) * res.CurrentR * eWeight
+					obs.CurrentPerEnergy[j.e] += res.CurrentL
+					mu.Unlock()
+				} else {
+					scat := s.phononScatteringBlocks(j.qz, j.w, piR, piL, piG)
+					hw := float64(p.PhononShift(j.w)) * p.EStep()
+					res, e := rgf.SolvePhonon(s.phi[j.qz], hw, scat,
+						rgf.PhononContacts{KTL: s.Opts.PhononKTL, KTR: s.Opts.PhononKTR}, s.Opts.Eta)
+					if e != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("phonon point (qz=%d, ω=%d): %w", j.qz, j.w, e)
+						}
+						mu.Unlock()
+						continue
+					}
+					s.extractPhonon(j.qz, j.w, res, dl, dg)
+					mu.Lock()
+					obs.HeatL += res.HeatL * eWeight
+					obs.HeatR += res.HeatR * eWeight
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for kz := 0; kz < p.Nkz; kz++ {
+		for e := 0; e < p.NE; e++ {
+			jobs <- job{kz: kz, e: e}
+		}
+	}
+	for qz := 0; qz < p.Nqz; qz++ {
+		for w := 0; w < p.Nw; w++ {
+			jobs <- job{kz: 0, e: -1, qz: qz, w: w}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, nil, nil, obs, firstErr
+	}
+	return gl, gg, dl, dg, obs, nil
+}
+
+// Run executes the self-consistent Born loop: Σ = Π = 0, GF phase, SSE
+// phase, mix, repeat until the Green's functions stop changing (§2).
+func (s *Simulator) Run() (*Result, error) { return s.run(nil) }
+
+// run is the Born loop, optionally seeded with checkpointed self-energies.
+func (s *Simulator) run(ck *Checkpoint) (*Result, error) {
+	res := &Result{}
+	var sigR, sigL, sigG *tensor.GTensor
+	var piR, piL, piG *tensor.DTensor
+	var prevL, prevG *tensor.GTensor
+	if ck != nil {
+		sigL, sigG = ck.SigmaLess.Clone(), ck.SigmaGtr.Clone()
+		piL, piG = ck.PiLess.Clone(), ck.PiGtr.Clone()
+		sigR = sse.Retarded(sigL, sigG)
+		piR = sse.RetardedD(piL, piG)
+	}
+	var anderson *andersonState
+	if s.Opts.Mixer == Anderson {
+		h := s.Opts.AndersonHistory
+		if h <= 0 {
+			h = 3
+		}
+		anderson = newAndersonState(h)
+	}
+
+	for iter := 0; iter < s.Opts.MaxIter; iter++ {
+		t0 := time.Now()
+		gl, gg, dl, dg, obs, err := s.gfPhase(sigR, sigL, sigG, piR, piL, piG)
+		if err != nil {
+			return nil, err
+		}
+		res.Timings.GF += time.Since(t0)
+		res.GLess, res.GGtr, res.DLess, res.DGtr = gl, gg, dl, dg
+		res.Obs = obs
+		res.Iterations = iter + 1
+
+		if prevL != nil {
+			r := relChange(prevL, gl)
+			if rg := relChange(prevG, gg); rg > r {
+				r = rg
+			}
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				return res, errors.New("core: Born iteration diverged (non-finite Green's functions)")
+			}
+			res.Residuals = append(res.Residuals, r)
+			if r < s.Opts.Tol {
+				res.Converged = true
+				break
+			}
+		}
+		prevL, prevG = gl, gg
+
+		t1 := time.Now()
+		out := s.Kernel.ComputePhaseParallel(sse.PhaseInput{GLess: gl, GGtr: gg, DLess: dl, DGtr: dg}, s.Opts.Variant, s.Opts.Workers)
+		res.Timings.SSE += time.Since(t1)
+		sse.AntiHermitize(out.SigmaLess)
+		sse.AntiHermitize(out.SigmaGtr)
+		switch {
+		case anderson != nil:
+			if sigL == nil {
+				sigL = tensor.NewGTensor(gl.Nkz, gl.NE, gl.NA, gl.Norb)
+				sigG = tensor.NewGTensor(gl.Nkz, gl.NE, gl.NA, gl.Norb)
+				piL = tensor.NewDTensor(dl.Nqz, dl.Nw, dl.NA, dl.NB, dl.N3D)
+				piG = tensor.NewDTensor(dl.Nqz, dl.Nw, dl.NA, dl.NB, dl.N3D)
+			}
+			x := concatSelfEnergies(sigL, sigG, piL, piG)
+			g := concatSelfEnergies(out.SigmaLess, out.SigmaGtr, out.PiLess, out.PiGtr)
+			scatterSelfEnergies(anderson.update(x, g, s.Opts.Mixing), sigL, sigG, piL, piG)
+		case sigL == nil:
+			sigL, sigG = out.SigmaLess, out.SigmaGtr
+			piL, piG = out.PiLess, out.PiGtr
+		default:
+			mixG(sigL, out.SigmaLess, s.Opts.Mixing)
+			mixG(sigG, out.SigmaGtr, s.Opts.Mixing)
+			mixD(piL, out.PiLess, s.Opts.Mixing)
+			mixD(piG, out.PiGtr, s.Opts.Mixing)
+		}
+		sigR = sse.Retarded(sigL, sigG)
+		piR = sse.RetardedD(piL, piG)
+		res.SigmaLess, res.SigmaGtr = sigL, sigG
+		res.PiLess, res.PiGtr = piL, piG
+	}
+	res.Obs.DissipationPerAtom, res.Obs.EnergyDissipationPerAtom = s.dissipationPerAtom(res)
+	return res, nil
+}
+
+// relChange returns max|a−b| / (1 + max|b|).
+func relChange(a, b *tensor.GTensor) float64 {
+	return a.MaxAbsDiff(b) / (1 + maxAbsG(b))
+}
+
+func maxAbsG(g *tensor.GTensor) float64 {
+	var m float64
+	for _, v := range g.Data {
+		if a := math.Hypot(real(v), imag(v)); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func mixG(dst, fresh *tensor.GTensor, mix float64) {
+	c := complex(mix, 0)
+	for i := range dst.Data {
+		dst.Data[i] = (1-c)*dst.Data[i] + c*fresh.Data[i]
+	}
+}
+
+func mixD(dst, fresh *tensor.DTensor, mix float64) {
+	c := complex(mix, 0)
+	for i := range dst.Data {
+		dst.Data[i] = (1-c)*dst.Data[i] + c*fresh.Data[i]
+	}
+}
+
+// concatSelfEnergies flattens the four self-energy tensors into one vector
+// for the Anderson mixer.
+func concatSelfEnergies(sl, sg *tensor.GTensor, pl, pg *tensor.DTensor) []complex128 {
+	out := make([]complex128, 0, 2*len(sl.Data)+2*len(pl.Data))
+	out = append(out, sl.Data...)
+	out = append(out, sg.Data...)
+	out = append(out, pl.Data...)
+	out = append(out, pg.Data...)
+	return out
+}
+
+// scatterSelfEnergies is the inverse of concatSelfEnergies.
+func scatterSelfEnergies(v []complex128, sl, sg *tensor.GTensor, pl, pg *tensor.DTensor) {
+	n := len(sl.Data)
+	m := len(pl.Data)
+	copy(sl.Data, v[:n])
+	copy(sg.Data, v[n:2*n])
+	copy(pl.Data, v[2*n:2*n+m])
+	copy(pg.Data, v[2*n+m:])
+}
+
+// dissipationPerAtom evaluates Tr[Σ^<_S·G^> − Σ^>_S·G^<] per atom, summed
+// over the (kz, E) grid — the local electron-phonon exchange that paints
+// the self-heating map — both unweighted (particle) and energy-weighted
+// (Joule heat).
+func (s *Simulator) dissipationPerAtom(r *Result) (particle, energy []float64) {
+	p := s.Dev.P
+	particle = make([]float64, p.NA)
+	energy = make([]float64, p.NA)
+	if r.SigmaLess == nil || r.GLess == nil {
+		return particle, energy
+	}
+	w := p.EStep() / float64(p.Nkz)
+	for kz := 0; kz < p.Nkz; kz++ {
+		for e := 0; e < p.NE; e++ {
+			for a := 0; a < p.NA; a++ {
+				t := r.SigmaLess.Block(kz, e, a).TraceMul(r.GGtr.Block(kz, e, a)) -
+					r.SigmaGtr.Block(kz, e, a).TraceMul(r.GLess.Block(kz, e, a))
+				particle[a] += real(t) * w
+				energy[a] += real(t) * w * p.Energy(e)
+			}
+		}
+	}
+	return particle, energy
+}

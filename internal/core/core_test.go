@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"negfsim/internal/comm"
+	"negfsim/internal/device"
+	"negfsim/internal/sse"
+)
+
+func miniSim(t *testing.T, opts Options) *Simulator {
+	t.Helper()
+	dev, err := device.New(device.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(dev, opts)
+}
+
+func TestBallisticFirstIteration(t *testing.T) {
+	// One iteration with Σ = Π = 0 is the ballistic solve: current flows,
+	// is conserved, and all tensors are finite.
+	opts := DefaultOptions()
+	opts.MaxIter = 1
+	s := miniSim(t, opts)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+	if res.Obs.CurrentL == 0 {
+		t.Fatal("bias must drive current")
+	}
+	if rel := math.Abs(res.Obs.CurrentL+res.Obs.CurrentR) / math.Abs(res.Obs.CurrentL); rel > 1e-3 {
+		t.Fatalf("ballistic current not conserved: %g vs %g", res.Obs.CurrentL, res.Obs.CurrentR)
+	}
+	for _, v := range res.GLess.Data {
+		if math.IsNaN(real(v)) || math.IsNaN(imag(v)) {
+			t.Fatal("NaN in G^<")
+		}
+	}
+	if len(res.Obs.CurrentPerEnergy) != s.Dev.P.NE {
+		t.Fatal("per-energy current length")
+	}
+}
+
+func TestBornIterationConverges(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxIter = 10
+	opts.Tol = 1e-4
+	s := miniSim(t, opts)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Residuals) == 0 {
+		t.Fatal("no residual history")
+	}
+	// Residuals must decrease overall (damped Born iteration).
+	first, last := res.Residuals[0], res.Residuals[len(res.Residuals)-1]
+	if last > first {
+		t.Fatalf("residuals grew: %v", res.Residuals)
+	}
+	if !res.Converged && res.Iterations == opts.MaxIter && last > 10*opts.Tol {
+		t.Fatalf("iteration made no progress: %v", res.Residuals)
+	}
+	// Scattering redistributes energy: the dissipation map is nonzero and
+	// sums to (minus) the net energy the contacts inject.
+	var dissip float64
+	for _, d := range res.Obs.DissipationPerAtom {
+		dissip += math.Abs(d)
+	}
+	if dissip == 0 {
+		t.Fatal("electron-phonon coupling should dissipate energy")
+	}
+	if len(res.Obs.DissipationPerAtom) != s.Dev.P.NA {
+		t.Fatal("dissipation map length")
+	}
+}
+
+func TestVariantsGiveSameSelfConsistentResult(t *testing.T) {
+	// The three SSE formulations must drive the Born loop to the same
+	// fixed point trajectory.
+	run := func(v sse.Variant) *Result {
+		opts := DefaultOptions()
+		opts.MaxIter = 3
+		opts.Variant = v
+		res, err := miniSim(t, opts).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(sse.Reference)
+	for _, v := range []sse.Variant{sse.OMEN, sse.DaCe} {
+		got := run(v)
+		if d := ref.GLess.MaxAbsDiff(got.GLess); d > 1e-8 {
+			t.Fatalf("%v: G^< differs from reference trajectory by %g", v, d)
+		}
+		if rel := math.Abs(ref.Obs.CurrentL-got.Obs.CurrentL) / (1 + math.Abs(ref.Obs.CurrentL)); rel > 1e-8 {
+			t.Fatalf("%v: current differs: %g vs %g", v, got.Obs.CurrentL, ref.Obs.CurrentL)
+		}
+	}
+}
+
+func TestHeatCurrentsFlowFromHotContact(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxIter = 1
+	opts.PhononKTL = 0.040
+	opts.PhononKTR = 0.020
+	s := miniSim(t, opts)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs.HeatL == 0 || res.Obs.HeatR == 0 {
+		t.Fatal("temperature difference should drive heat current")
+	}
+	// Ballistic phonons: conservation.
+	if rel := math.Abs(res.Obs.HeatL+res.Obs.HeatR) / math.Abs(res.Obs.HeatL); rel > 1e-3 {
+		t.Fatalf("heat current not conserved: %g vs %g", res.Obs.HeatL, res.Obs.HeatR)
+	}
+}
+
+func TestDistributedSSEMatchesSerial(t *testing.T) {
+	opts := DefaultOptions()
+	s := miniSim(t, opts)
+	gl, gg, dl, dg, _, err := s.gfPhase(nil, nil, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sse.PhaseInput{GLess: gl, GGtr: gg, DLess: dl, DGtr: dg}
+	serial := s.Kernel.ComputePhase(in, sse.DaCe)
+
+	dist, err := s.DistributedSSE(in, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 1e-9 * (1 + maxAbsG(serial.SigmaLess))
+	if d := serial.SigmaLess.MaxAbsDiff(dist.SigmaLess); d > scale {
+		t.Fatalf("distributed Σ^< differs from serial by %g", d)
+	}
+	if d := serial.SigmaGtr.MaxAbsDiff(dist.SigmaGtr); d > scale {
+		t.Fatalf("distributed Σ^> differs from serial by %g", d)
+	}
+	if d := serial.PiLess.MaxAbsDiff(dist.PiLess); d > 1e-9 {
+		t.Fatalf("distributed Π^< differs from serial by %g", d)
+	}
+	if d := serial.PiGtr.MaxAbsDiff(dist.PiGtr); d > 1e-9 {
+		t.Fatalf("distributed Π^> differs from serial by %g", d)
+	}
+}
+
+func TestDistributedSSETrafficNearModel(t *testing.T) {
+	opts := DefaultOptions()
+	s := miniSim(t, opts)
+	gl, gg, dl, dg, _, err := s.gfPhase(nil, nil, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sse.PhaseInput{GLess: gl, GGtr: gg, DLess: dl, DGtr: dg}
+	dist, err := s.DistributedSSE(in, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.MeasuredBytes == 0 {
+		t.Fatal("no traffic measured")
+	}
+	// The closed-form model uses the contiguous-range halo approximation of
+	// §4.1; the real neighbor-set halo at mini scale differs by a bounded
+	// factor.
+	ratio := float64(dist.MeasuredBytes) / dist.ModelBytes
+	if ratio < 0.2 || ratio > 3 {
+		t.Fatalf("measured/model traffic ratio %.2f (measured %d, model %.0f)",
+			ratio, dist.MeasuredBytes, dist.ModelBytes)
+	}
+}
+
+func TestDistributedSSEErrors(t *testing.T) {
+	s := miniSim(t, DefaultOptions())
+	gl, gg, dl, dg, _, err := s.gfPhase(nil, nil, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sse.PhaseInput{GLess: gl, GGtr: gg, DLess: dl, DGtr: dg}
+	if _, err := s.DistributedSSE(in, 1, 1); err == nil {
+		t.Fatal("single rank must be rejected")
+	}
+	if _, err := s.DistributedSSE(in, 17, 17); err == nil {
+		t.Fatal("more ranks than energies must be rejected")
+	}
+}
+
+func TestSearchTilesIntegration(t *testing.T) {
+	// The decomposition the tile search picks must be runnable end-to-end.
+	s := miniSim(t, DefaultOptions())
+	best, _ := comm.SearchTiles(s.Dev.P, 4, 0)
+	if best.TE*best.TA != 4 {
+		t.Fatalf("search returned %d×%d", best.TE, best.TA)
+	}
+	gl, gg, dl, dg, _, err := s.gfPhase(nil, nil, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sse.PhaseInput{GLess: gl, GGtr: gg, DLess: dl, DGtr: dg}
+	if _, err := s.DistributedSSE(in, best.TE, best.TA); err != nil {
+		t.Fatal(err)
+	}
+}

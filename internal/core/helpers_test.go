@@ -1,0 +1,8 @@
+package core
+
+import "negfsim/internal/sse"
+
+// phaseInputOf extracts the SSE inputs from a run's final Green's functions.
+func phaseInputOf(r *Result) sse.PhaseInput {
+	return sse.PhaseInput{GLess: r.GLess, GGtr: r.GGtr, DLess: r.DLess, DGtr: r.DGtr}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"negfsim/internal/cmat"
+)
+
+// Self-consistency acceleration. The paper's Born loop iterates
+// Σ_{k+1} = g(Σ_k) with plain (optionally damped) updates; production NEGF
+// codes accelerate this fixed-point iteration. Two mixers are provided:
+//
+//   - Linear: Σ_{k+1} = (1−β)·Σ_k + β·g(Σ_k) — the default, always stable
+//     for β small enough;
+//   - Anderson: type-II Anderson acceleration with a short history, which
+//     extrapolates through the residual space and typically converges in
+//     far fewer GF phases (each of which is the expensive part).
+
+// MixerKind selects the self-consistency update rule.
+type MixerKind int
+
+const (
+	// Linear is damped fixed-point mixing.
+	Linear MixerKind = iota
+	// Anderson is Anderson acceleration (type II) with a short history.
+	Anderson
+)
+
+// andersonState holds the iterate/residual history for Anderson mixing.
+type andersonState struct {
+	history int
+	xs, fs  [][]complex128 // iterates x_k and residuals f_k = g(x_k) − x_k
+}
+
+func newAndersonState(history int) *andersonState {
+	if history < 1 {
+		history = 1
+	}
+	return &andersonState{history: history}
+}
+
+// update consumes the current iterate x and its fixed-point image g,
+// returning the next iterate. With an empty history it reduces to damped
+// mixing with factor beta.
+func (a *andersonState) update(x, g []complex128, beta float64) []complex128 {
+	f := make([]complex128, len(x))
+	for i := range f {
+		f[i] = g[i] - x[i]
+	}
+	a.xs = append(a.xs, append([]complex128(nil), x...))
+	a.fs = append(a.fs, f)
+	if len(a.xs) > a.history+1 {
+		a.xs = a.xs[1:]
+		a.fs = a.fs[1:]
+	}
+	m := len(a.xs) - 1 // history depth actually available
+	bc := complex(beta, 0)
+	if m == 0 {
+		out := make([]complex128, len(x))
+		for i := range out {
+			out[i] = x[i] + bc*f[i]
+		}
+		return out
+	}
+	// Solve min ‖f_k − Σ_j γ_j (f_k − f_{k−j-1})‖ via the normal equations
+	// of the residual-difference matrix (m is tiny, 2–4).
+	df := make([][]complex128, m)
+	for j := 0; j < m; j++ {
+		col := make([]complex128, len(f))
+		prev := a.fs[m-1-j]
+		for i := range col {
+			col[i] = f[i] - prev[i]
+		}
+		df[j] = col
+	}
+	gram := cmat.NewDense(m, m)
+	rhs := cmat.NewDense(m, 1)
+	for r := 0; r < m; r++ {
+		for c := 0; c < m; c++ {
+			gram.Set(r, c, dot(df[r], df[c]))
+		}
+		rhs.Set(r, 0, dot(df[r], f))
+		// Tikhonov regularization keeps near-collinear histories harmless.
+		gram.Set(r, r, gram.At(r, r)+complex(1e-12, 0))
+	}
+	gamma, err := cmat.Solve(gram, rhs)
+	if err != nil {
+		// Degenerate history: fall back to damped mixing.
+		out := make([]complex128, len(x))
+		for i := range out {
+			out[i] = x[i] + bc*f[i]
+		}
+		return out
+	}
+	out := make([]complex128, len(x))
+	for i := range out {
+		// x̄ = x_k − Σ γ_j (x_k − x_{k−j−1}), f̄ analogous; next = x̄ + β·f̄.
+		xb := x[i]
+		fb := f[i]
+		for j := 0; j < m; j++ {
+			gj := gamma.At(j, 0)
+			xb -= gj * (x[i] - a.xs[m-1-j][i])
+			fb -= gj * (f[i] - a.fs[m-1-j][i])
+		}
+		out[i] = xb + bc*fb
+	}
+	return out
+}
+
+func dot(a, b []complex128) complex128 {
+	var s complex128
+	for i := range a {
+		s += conj(a[i]) * b[i]
+	}
+	return s
+}
+
+func conj(v complex128) complex128 { return complex(real(v), -imag(v)) }

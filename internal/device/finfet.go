@@ -1,0 +1,64 @@
+package device
+
+import "fmt"
+
+// FinFET geometry helpers: the paper characterizes devices by their
+// physical dimensions (Fig. 1: width w ≤ 7 nm, height h ≥ 40 nm, length
+// L ≤ 100 nm; the evaluation uses W = 2.1 nm / L = 35 nm for the
+// 4,864-atom fin and W = 4.8 nm / L = 35 nm for the 10,240-atom one).
+// FinFET converts dimensions to grid parameters: the height is the
+// periodic z direction (momentum points), width spans the rows, length the
+// columns.
+
+// FinFETSpec describes a fin in physical units.
+type FinFETSpec struct {
+	WidthNM, LengthNM float64 // the 2-D simulated cross-section
+	Nkz               int     // momentum points resolving the periodic height
+	NE, Nw            int     // energy and frequency grids
+	NB, Norb          int     // coupling ranges and basis size
+	ColumnsPerBlock   int     // RGF granularity
+	Seed              uint64
+}
+
+// FinFET builds Params for the given physical fin. Atom counts follow the
+// synthetic lattice constant; columns are rounded to fill whole RGF blocks.
+func FinFET(spec FinFETSpec) (Params, error) {
+	if spec.WidthNM <= 0 || spec.LengthNM <= 0 {
+		return Params{}, fmt.Errorf("device: non-positive fin dimensions %g×%g nm", spec.WidthNM, spec.LengthNM)
+	}
+	if spec.WidthNM > 7 {
+		return Params{}, fmt.Errorf("device: fin width %g nm exceeds the FinFET regime (≤ 7 nm, Fig. 1)", spec.WidthNM)
+	}
+	if spec.LengthNM > 100 {
+		return Params{}, fmt.Errorf("device: fin length %g nm exceeds the FinFET regime (≤ 100 nm, Fig. 1)", spec.LengthNM)
+	}
+	rows := int(spec.WidthNM/LatticeConst + 0.5)
+	if rows < 2 {
+		rows = 2
+	}
+	cols := int(spec.LengthNM/LatticeConst + 0.5)
+	cpb := spec.ColumnsPerBlock
+	if cpb < 1 {
+		cpb = 8
+	}
+	if cols < 2*cpb {
+		cols = 2 * cpb
+	}
+	cols = (cols / cpb) * cpb // whole blocks
+	p := Params{
+		Nkz: spec.Nkz, Nqz: spec.Nkz, NE: spec.NE, Nw: spec.Nw,
+		NA: rows * cols, NB: spec.NB, Norb: spec.Norb, N3D: 3,
+		Rows: rows, Bnum: cols / cpb,
+		Emin: -1, Emax: 1, Seed: spec.Seed,
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// Dimensions reports the physical width and length of a parameter set in
+// nm (the inverse of FinFET, up to rounding).
+func (p Params) Dimensions() (widthNM, lengthNM float64) {
+	return float64(p.Rows) * LatticeConst, float64(p.Cols()) * LatticeConst
+}

@@ -1,0 +1,66 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFinFETGeometry(t *testing.T) {
+	p, err := FinFET(FinFETSpec{
+		WidthNM: 2.1, LengthNM: 35,
+		Nkz: 3, NE: 24, Nw: 4, NB: 4, Norb: 2,
+		ColumnsPerBlock: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, l := p.Dimensions()
+	if math.Abs(w-2.1) > LatticeConst {
+		t.Fatalf("width %.2f nm, want ≈ 2.1", w)
+	}
+	if math.Abs(l-35) > 8*LatticeConst {
+		t.Fatalf("length %.2f nm, want ≈ 35", l)
+	}
+	if p.Cols()%p.Bnum != 0 {
+		t.Fatal("columns must fill whole RGF blocks")
+	}
+	// The generated parameters must actually build.
+	if _, err := New(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinFETRegimeLimits(t *testing.T) {
+	base := FinFETSpec{WidthNM: 2, LengthNM: 35, Nkz: 3, NE: 24, Nw: 4, NB: 4, Norb: 2, ColumnsPerBlock: 8}
+	wide := base
+	wide.WidthNM = 9 // > 7 nm: not a FinFET (Fig. 1)
+	if _, err := FinFET(wide); err == nil {
+		t.Fatal("width beyond the FinFET regime must be rejected")
+	}
+	long := base
+	long.LengthNM = 150
+	if _, err := FinFET(long); err == nil {
+		t.Fatal("length beyond the FinFET regime must be rejected")
+	}
+	bad := base
+	bad.WidthNM = 0
+	if _, err := FinFET(bad); err == nil {
+		t.Fatal("non-positive dimensions must be rejected")
+	}
+}
+
+func TestPaperStructureDimensions(t *testing.T) {
+	// The paper's 4,864-atom structure is quoted as W = 2.1 nm, L = 35 nm
+	// (Table 3 caption); the synthetic lattice should land in the same
+	// regime of physical size.
+	w, l := Paper4864(7).Dimensions()
+	if w < 1 || w > 4 {
+		t.Fatalf("paper fin width %.2f nm implausible", w)
+	}
+	if l < 100 {
+		// 608 columns at 0.27 nm — longer than the paper's 35 nm because
+		// the synthetic lattice is mono-atomic where Si has a basis; the
+		// data-movement shapes depend only on NA, which matches.
+		t.Logf("note: synthetic length %.1f nm vs paper's 35 nm (mono-atomic lattice)", l)
+	}
+}

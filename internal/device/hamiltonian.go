@@ -1,0 +1,277 @@
+package device
+
+import (
+	"math"
+	"math/cmplx"
+
+	"negfsim/internal/cmat"
+)
+
+// Hopping amplitudes of the synthetic operators (eV and eV/nm scales chosen
+// so the resulting spectra sit inside the paper's [−1, 1] eV energy window).
+const (
+	onsiteSpread  = 0.20 // spread of orbital onsite energies
+	hopScale      = 0.12 // in-plane hopping magnitude
+	periodicScale = 0.08 // out-of-plane (kz) coupling magnitude
+	overlapScale  = 0.04 // GTO non-orthogonality
+	springScale   = 0.30 // dynamical-matrix spring constant scale
+	springZScale  = 0.10 // periodic (qz) spring constant
+	gradHScale    = 0.06 // ∇H magnitude (eV/nm-like units)
+	etaContact    = 1e-6 // numerical broadening used by boundary solvers
+)
+
+// KzPhase returns the Bloch phase angle of momentum index k in [0, Nkz):
+// θ_k = 2π·k/Nkz, covering the periodic z axis of Fig. 1(b).
+func (d *Device) KzPhase(k int) float64 { return 2 * math.Pi * float64(k) / float64(d.P.Nkz) }
+
+// QzPhase returns the phonon momentum phase angle of index q.
+func (d *Device) QzPhase(q int) float64 { return 2 * math.Pi * float64(q) / float64(d.P.Nqz) }
+
+// onsite returns the Hermitian Norb×Norb onsite block of atom a at kz phase
+// θ: H0_aa + T_a·e^{iθ} + T_a^H·e^{−iθ}, where T_a couples the atom to its
+// periodic image along z.
+func (d *Device) onsite(a int, theta float64) *cmat.Dense {
+	no := d.P.Norb
+	h := cmat.NewDense(no, no)
+	for m := 0; m < no; m++ {
+		// Orbital ladder: deterministic onsite energies.
+		h.Set(m, m, complex(onsiteSpread*symFloat(mix(d.P.Seed, tagOnsite, uint64(a), uint64(m))), 0))
+		for n := 0; n < no; n++ {
+			t := complex(
+				periodicScale*symFloat(mix(d.P.Seed, tagPeriodic, uint64(a), uint64(m), uint64(n))),
+				periodicScale*symFloat(mix(d.P.Seed, tagPeriodic, uint64(a), uint64(m), uint64(n), 1)))
+			ph := cmplx.Exp(complex(0, theta))
+			h.Set(m, n, h.At(m, n)+t*ph)
+			h.Set(n, m, h.At(n, m)+cmplx.Conj(t*ph))
+		}
+	}
+	return h
+}
+
+// hop returns the Norb×Norb hopping block H_ab for an ordered atom pair
+// a < b; H_ba is its conjugate transpose. The magnitude falls off with bond
+// length so farther pairs couple more weakly.
+func (d *Device) hop(a, b int) *cmat.Dense {
+	no := d.P.Norb
+	h := cmat.NewDense(no, no)
+	dx := d.Pos[b][0] - d.Pos[a][0]
+	dy := d.Pos[b][1] - d.Pos[a][1]
+	decay := hopScale / (1 + math.Hypot(dx, dy)/LatticeConst)
+	for m := 0; m < no; m++ {
+		for n := 0; n < no; n++ {
+			h.Set(m, n, complex(
+				decay*symFloat(mix(d.P.Seed, tagHop, uint64(a), uint64(b), uint64(m), uint64(n))),
+				decay*symFloat(mix(d.P.Seed, tagHop, uint64(a), uint64(b), uint64(m), uint64(n), 1))))
+		}
+	}
+	return h
+}
+
+// hopPairs enumerates the in-plane Hamiltonian bonds: ordered pairs (a, b)
+// with a < b, |Δcol| ≤ 1 and |Δrow| ≤ 1. This nearest-neighbor hopping
+// range is what keeps H block-tridiagonal for any block of ≥1 column.
+func (d *Device) hopPairs(yield func(a, b int)) {
+	p := d.P
+	for a := 0; a < p.NA; a++ {
+		ca, ra := d.Col(a), d.Row(a)
+		for dc := 0; dc <= 1; dc++ {
+			for dr := -1; dr <= 1; dr++ {
+				if dc == 0 && dr <= 0 {
+					continue // keep a < b only
+				}
+				c, r := ca+dc, ra+dr
+				if c >= p.Cols() || r < 0 || r >= p.Rows {
+					continue
+				}
+				yield(a, c*p.Rows+r)
+			}
+		}
+	}
+}
+
+// assembleElectron places per-atom Norb×Norb blocks into the bnum-block
+// tridiagonal container.
+func (d *Device) assembleElectron(diagBlock func(a int) *cmat.Dense, bond func(a, b int) *cmat.Dense) *cmat.BlockTri {
+	p := d.P
+	bt := cmat.NewBlockTri(p.Bnum, p.ElectronBlockSize())
+	apb := p.AtomsPerBlock()
+	place := func(a, b int, m *cmat.Dense) {
+		ba, bb := d.BlockOf(a), d.BlockOf(b)
+		ra := (a - ba*apb) * p.Norb
+		rb := (b - bb*apb) * p.Norb
+		switch {
+		case ba == bb:
+			bt.Diag[ba].SetSubmatrix(ra, rb, m)
+		case bb == ba+1:
+			bt.Upper[ba].SetSubmatrix(ra, rb, m)
+		case bb == ba-1:
+			bt.Lower[bb].SetSubmatrix(ra, rb, m)
+		default:
+			panic("device: bond couples non-adjacent blocks")
+		}
+	}
+	for a := 0; a < p.NA; a++ {
+		place(a, a, diagBlock(a))
+	}
+	d.hopPairs(func(a, b int) {
+		m := bond(a, b)
+		place(a, b, m)
+		place(b, a, m.ConjTranspose())
+	})
+	return bt
+}
+
+// Hamiltonian returns H(kz) as a Hermitian block-tridiagonal matrix of
+// Bnum blocks, each (NA/Bnum)·Norb square.
+func (d *Device) Hamiltonian(kz int) *cmat.BlockTri {
+	theta := d.KzPhase(kz)
+	return d.assembleElectron(
+		func(a int) *cmat.Dense { return d.onsite(a, theta) },
+		func(a, b int) *cmat.Dense { return d.hop(a, b) })
+}
+
+// Overlap returns S(kz): identity plus a small Hermitian non-orthogonality
+// on the same bond pattern as H (Gaussian-type orbitals overlap).
+func (d *Device) Overlap(kz int) *cmat.BlockTri {
+	no := d.P.Norb
+	return d.assembleElectron(
+		func(a int) *cmat.Dense { return cmat.Identity(no) },
+		func(a, b int) *cmat.Dense {
+			s := cmat.NewDense(no, no)
+			for m := 0; m < no; m++ {
+				for n := 0; n < no; n++ {
+					s.Set(m, n, complex(overlapScale*symFloat(mix(d.P.Seed, tagOverlap, uint64(a), uint64(b), uint64(m), uint64(n))), 0))
+				}
+			}
+			return s
+		})
+}
+
+// springBlock returns the 3×3 force-constant matrix of the bond a—f with
+// unit direction e: k·(e eᵀ) + k_t·(I − e eᵀ), symmetric positive definite.
+func (d *Device) springBlock(a, slot int) *cmat.Dense {
+	f := d.Neigh[a][slot]
+	e := d.BondDir[a][slot]
+	k := springScale * (0.75 + 0.5*unitFloat(mix(d.P.Seed, tagSpring, uint64(min(a, f)), uint64(max(a, f)))))
+	kt := 0.35 * k
+	m := cmat.NewDense(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			v := k * e[i] * e[j]
+			if i == j {
+				v += kt * (1 - e[i]*e[j])
+			} else {
+				v += kt * (0 - e[i]*e[j])
+			}
+			m.Set(i, j, complex(v, 0))
+		}
+	}
+	return m
+}
+
+// Dynamical returns the phonon dynamical matrix Φ(qz) as a Hermitian
+// block-tridiagonal matrix of Bnum blocks, each (NA/Bnum)·N3D square.
+// The construction is a valence-force spring model obeying the acoustic sum
+// rule at qz = 0 (Φ_aa = Σ_b K_ab, Φ_ab = −K_ab), which makes Φ positive
+// semi-definite — the physical requirement ω² ≥ 0.
+func (d *Device) Dynamical(qz int) *cmat.BlockTri {
+	p := d.P
+	theta := d.QzPhase(qz)
+	bt := cmat.NewBlockTri(p.Bnum, p.PhononBlockSize())
+	apb := p.AtomsPerBlock()
+	place := func(a, b int, m *cmat.Dense, add bool) {
+		ba, bb := d.BlockOf(a), d.BlockOf(b)
+		ra := (a - ba*apb) * p.N3D
+		rb := (b - bb*apb) * p.N3D
+		var dst *cmat.Dense
+		switch {
+		case ba == bb:
+			dst = bt.Diag[ba]
+		case bb == ba+1:
+			dst = bt.Upper[ba]
+		case bb == ba-1:
+			dst = bt.Lower[bb]
+		default:
+			panic("device: phonon bond couples non-adjacent blocks")
+		}
+		for i := 0; i < p.N3D; i++ {
+			for j := 0; j < p.N3D; j++ {
+				if add {
+					dst.Set(ra+i, rb+j, dst.At(ra+i, rb+j)+m.At(i, j))
+				} else {
+					dst.Set(ra+i, rb+j, m.At(i, j))
+				}
+			}
+		}
+	}
+	// Spring bonds follow the Hamiltonian's nearest-neighbor pattern so the
+	// block tridiagonal structure is preserved; the SSE neighbor list (NB
+	// atoms) is wider and used only by the self-energy kernels.
+	d.hopPairs(func(a, b int) {
+		slot := d.NeighborSlot(a, b)
+		if slot < 0 {
+			return
+		}
+		k := d.springBlock(a, slot)
+		place(a, b, k.Scale(-1), false)
+		place(b, a, k.Transpose().Scale(-1), false)
+		place(a, a, k, true)
+		place(b, b, k.Transpose(), true)
+	})
+	// Periodic z springs: (1 − cos θ) stiffening of the diagonal, the 1-D
+	// chain dispersion along the fin height.
+	for a := 0; a < p.NA; a++ {
+		ba := d.BlockOf(a)
+		ra := (a - ba*apb) * p.N3D
+		kz := springZScale * (0.75 + 0.5*unitFloat(mix(p.Seed, tagSpring, uint64(a), 999)))
+		v := complex(2*kz*(1-math.Cos(theta)), 0)
+		for i := 0; i < p.N3D; i++ {
+			bt.Diag[ba].Set(ra+i, ra+i, bt.Diag[ba].At(ra+i, ra+i)+v)
+		}
+	}
+	return bt
+}
+
+// GradH returns ∇_i H_ab, the derivative of the Hamiltonian block coupling
+// atom a to its slot-b neighbor w.r.t. direction i ∈ {x, y, z} of the bond
+// vector (Eq. 3). Returns nil for missing neighbors (structure edge).
+// The derivative is proportional to the bond's direction cosine along i,
+// mirroring how ab initio ∇H projects onto bond displacements.
+func (d *Device) GradH(a, slot, i int) *cmat.Dense {
+	f := d.Neigh[a][slot]
+	if f < 0 {
+		return nil
+	}
+	no := d.P.Norb
+	m := cmat.NewDense(no, no)
+	dir := d.BondDir[a][slot][i]
+	for p := 0; p < no; p++ {
+		for q := 0; q < no; q++ {
+			m.Set(p, q, complex(
+				gradHScale*dir*symFloat(mix(d.P.Seed, tagGradH, uint64(a), uint64(f), uint64(i), uint64(p), uint64(q))),
+				gradHScale*dir*symFloat(mix(d.P.Seed, tagGradH, uint64(a), uint64(f), uint64(i), uint64(p), uint64(q), 1))))
+		}
+	}
+	return m
+}
+
+// GradHAll precomputes ∇H for all (atom, neighbor slot, direction) triples;
+// the [a][b][i] entry is nil where the neighbor is missing.
+func (d *Device) GradHAll() [][][]*cmat.Dense {
+	p := d.P
+	out := make([][][]*cmat.Dense, p.NA)
+	for a := 0; a < p.NA; a++ {
+		out[a] = make([][]*cmat.Dense, p.NB)
+		for b := 0; b < p.NB; b++ {
+			out[a][b] = make([]*cmat.Dense, p.N3D)
+			for i := 0; i < p.N3D; i++ {
+				out[a][b][i] = d.GradH(a, b, i)
+			}
+		}
+	}
+	return out
+}
+
+// Eta returns the small imaginary broadening used when inverting the
+// boundary problem (keeps the contact Green's functions causal).
+func Eta() float64 { return etaContact }

@@ -1,0 +1,39 @@
+package device
+
+// Deterministic value generation: every synthetic matrix entry is a pure
+// function of (structure seed, atom indices, orbital indices, tag), so
+// structures are reproducible regardless of construction order or
+// parallelism. The mixer is SplitMix64, the standard 64-bit finalizer.
+
+const (
+	tagOnsite uint64 = iota + 1
+	tagHop
+	tagPeriodic
+	tagOverlap
+	tagSpring
+	tagGradH
+)
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix folds a sequence of keys into a single 64-bit hash.
+func mix(keys ...uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, k := range keys {
+		h = splitmix64(h ^ k)
+	}
+	return h
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// symFloat maps a hash to (−1, 1).
+func symFloat(h uint64) float64 { return 2*unitFloat(h) - 1 }

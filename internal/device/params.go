@@ -1,0 +1,125 @@
+// Package device generates the nano-structures that the simulator studies:
+// a 2-D slice (x–y plane) of a Silicon FinFET, the neighbor coupling map
+// f(a, b), and synthetic DFT-like operators — Hamiltonian H(kz), overlap
+// S(kz), dynamical matrix Φ(qz) and Hamiltonian derivatives ∇H — with
+// exactly the shapes, Hermiticity and block-tridiagonal sparsity that the
+// paper's CP2K-produced inputs have (§2, Table 1).
+//
+// Substitution note (see DESIGN.md): the numerical entries are deterministic
+// synthetic values, not ab initio ones. Every consumer in this repository
+// (RGF, SSE, communication schemes) depends only on the operator shapes and
+// structure, which are reproduced faithfully.
+package device
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params collects the simulation parameters of Table 1 of the paper.
+type Params struct {
+	Nkz  int // electron momentum points            [1, 21]
+	Nqz  int // phonon momentum points               [1, 21]
+	NE   int // energy points                        [700, 1500]
+	Nw   int // phonon frequencies                   [10, 100]
+	NA   int // total atoms in the structure
+	NB   int // neighbors considered per atom        [4, 50]
+	Norb int // orbitals per atom                    [1, 30]
+	N3D  int // crystal vibration directions (always 3)
+	Bnum int // RGF blocks (block tri-diagonal split)
+
+	Rows int // atoms per column in the 2-D slice (fin height direction)
+
+	Emin, Emax float64 // electron energy window [eV]
+	Seed       uint64  // deterministic structure seed
+}
+
+// Validate checks internal consistency of the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.NA <= 0 || p.NE <= 0 || p.Nkz <= 0 || p.Nqz <= 0 || p.Nw <= 0:
+		return fmt.Errorf("device: non-positive grid parameter: %+v", p)
+	case p.Norb <= 0 || p.N3D <= 0 || p.NB <= 0:
+		return fmt.Errorf("device: non-positive per-atom parameter: %+v", p)
+	case p.Rows <= 0 || p.NA%p.Rows != 0:
+		return fmt.Errorf("device: NA=%d not divisible into Rows=%d columns", p.NA, p.Rows)
+	case p.Bnum <= 0 || (p.NA/p.Rows)%p.Bnum != 0:
+		return fmt.Errorf("device: %d columns not divisible into Bnum=%d blocks", p.NA/p.Rows, p.Bnum)
+	case p.NB >= p.NA:
+		return errors.New("device: NB must be smaller than NA")
+	case p.Emax <= p.Emin:
+		return errors.New("device: empty energy window")
+	case p.Nw >= p.NE:
+		return errors.New("device: need Nw < NE (phonon energies live on the electron grid)")
+	}
+	return nil
+}
+
+// Cols returns the number of atom columns along the transport direction.
+func (p Params) Cols() int { return p.NA / p.Rows }
+
+// AtomsPerBlock returns NA/Bnum, the atoms per RGF block.
+func (p Params) AtomsPerBlock() int { return p.NA / p.Bnum }
+
+// EStep returns the electron energy grid spacing.
+func (p Params) EStep() float64 { return (p.Emax - p.Emin) / float64(p.NE) }
+
+// Energy returns the energy of grid point e.
+func (p Params) Energy(e int) float64 { return p.Emin + (float64(e)+0.5)*p.EStep() }
+
+// PhononShift returns the electron-grid index shift of phonon frequency w.
+// Phonon energies are commensurate with the electron grid: ℏω_w = (w+1)·ΔE,
+// so the SSE shift E−ℏω is an integer grid displacement (OMEN uses the same
+// commensurate-grid convention for the scattering integrals).
+func (p Params) PhononShift(w int) int { return w + 1 }
+
+// ElectronBlockSize returns the RGF block dimension NA/Bnum · Norb.
+func (p Params) ElectronBlockSize() int { return p.AtomsPerBlock() * p.Norb }
+
+// PhononBlockSize returns the phonon RGF block dimension NA/Bnum · N3D.
+func (p Params) PhononBlockSize() int { return p.AtomsPerBlock() * p.N3D }
+
+// Paper4864 returns the 4,864-atom Silicon structure used throughout §5 of
+// the paper (W = 2.1 nm, L = 35 nm): NB = 34, Norb = 12, NE = 706, Nω = 70.
+// Nkz is a free parameter in the paper's sweeps, so it is an argument.
+func Paper4864(nkz int) Params {
+	return Params{
+		Nkz: nkz, Nqz: nkz, NE: 706, Nw: 70,
+		NA: 4864, NB: 34, Norb: 12, N3D: 3,
+		Rows: 8, Bnum: 19, // 608 columns → 19 blocks of 32 columns
+		Emin: -1.0, Emax: 1.0, Seed: 4864,
+	}
+}
+
+// Paper10240 returns the 10,240-atom extreme-scale structure of Table 8
+// (W = 4.8 nm, L = 35 nm): NE = 1,000, Nω = 70.
+func Paper10240(nkz int) Params {
+	return Params{
+		Nkz: nkz, Nqz: nkz, NE: 1000, Nw: 70,
+		NA: 10240, NB: 34, Norb: 12, N3D: 3,
+		Rows: 16, Bnum: 20, // 640 columns → 20 blocks of 32 columns
+		Emin: -1.0, Emax: 1.0, Seed: 10240,
+	}
+}
+
+// PaperValidation2112 returns the small validation structure mentioned in
+// §2.1 (NA=2,112, Norb=4, Nkz=Nqz=11, NE=650, Nω=30, NB=13).
+func PaperValidation2112() Params {
+	return Params{
+		Nkz: 11, Nqz: 11, NE: 650, Nw: 30,
+		NA: 2112, NB: 13, Norb: 4, N3D: 3,
+		Rows: 8, Bnum: 12, // 264 columns → 12 blocks of 22 columns
+		Emin: -1.0, Emax: 1.0, Seed: 2112,
+	}
+}
+
+// Mini returns a laptop-scale structure that exercises every code path
+// (used by tests, examples and measured benchmarks).
+func Mini() Params {
+	return Params{
+		Nkz: 3, Nqz: 3, NE: 16, Nw: 4,
+		NA: 24, NB: 4, Norb: 2, N3D: 3,
+		Rows: 4, Bnum: 3, // 6 columns → 3 blocks of 2 columns
+		Emin: -1.0, Emax: 1.0, Seed: 7,
+	}
+}

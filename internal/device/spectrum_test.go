@@ -1,0 +1,44 @@
+package device
+
+import (
+	"testing"
+
+	"negfsim/internal/cmat"
+)
+
+func TestDynamicalMatrixPositiveSemiDefinite(t *testing.T) {
+	// The spring construction must yield ω² ≥ 0 for every phonon momentum —
+	// verified directly on the spectrum, not just the diagonal.
+	d, err := New(Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qz := 0; qz < d.P.Nqz; qz++ {
+		lo, _, err := cmat.SpectralBounds(d.Dynamical(qz).ToDense(), 0)
+		if err != nil {
+			t.Fatalf("qz=%d: %v", qz, err)
+		}
+		if lo < -1e-9 {
+			t.Fatalf("qz=%d: Φ has negative eigenvalue %g", qz, lo)
+		}
+	}
+}
+
+func TestHamiltonianSpectrumInsideWindow(t *testing.T) {
+	// The electronic spectrum must sit inside the paper's [−1, 1] eV energy
+	// window so the NE grid actually resolves it.
+	d, err := New(Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kz := 0; kz < d.P.Nkz; kz++ {
+		lo, hi, err := cmat.SpectralBounds(d.Hamiltonian(kz).ToDense(), 0)
+		if err != nil {
+			t.Fatalf("kz=%d: %v", kz, err)
+		}
+		if lo < d.P.Emin || hi > d.P.Emax {
+			t.Fatalf("kz=%d: spectrum [%g, %g] escapes the window [%g, %g]",
+				kz, lo, hi, d.P.Emin, d.P.Emax)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package perfmodel
+
+import "negfsim/internal/device"
+
+// CommCrossoverNodes returns the smallest node count (probed by doubling
+// from 2 up to the machine size) at which communication time exceeds
+// compute time for the given scheme — "where crossovers fall" in the
+// paper's evaluation narrative: the original algorithm becomes
+// communication-bound at a tiny fraction of the machine, the
+// communication-avoiding one stays compute-bound through full scale.
+// Returns 0 if the scheme never becomes communication-bound.
+func CommCrossoverNodes(m Machine, p device.Params, s Scheme) int {
+	for n := 2; n <= m.Nodes; n *= 2 {
+		t := m.Project(p, n, s)
+		if t.Comm > t.Compute() {
+			return n
+		}
+	}
+	t := m.Project(p, m.Nodes, s)
+	if t.Comm > t.Compute() {
+		return m.Nodes
+	}
+	return 0
+}

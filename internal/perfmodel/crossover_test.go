@@ -1,0 +1,26 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"negfsim/internal/device"
+)
+
+func TestCrossoverOMENBeforeDaCe(t *testing.T) {
+	p := device.Paper4864(7)
+	for _, m := range []Machine{PizDaint, Summit} {
+		omen := CommCrossoverNodes(m, p, OMEN)
+		dace := CommCrossoverNodes(m, p, DaCe)
+		if omen == 0 {
+			t.Fatalf("%s: OMEN must become communication-bound somewhere", m.Name)
+		}
+		if dace != 0 && dace <= omen {
+			t.Fatalf("%s: DaCe crossover (%d nodes) must lie beyond OMEN's (%d)", m.Name, dace, omen)
+		}
+		// The CA algorithm stays compute-bound across the whole machine for
+		// this structure on Piz Daint (the paper's strong-scaling story).
+		if m.Name == "Piz Daint" && dace != 0 {
+			t.Fatalf("DaCe should remain compute-bound on all of %s, crossed at %d", m.Name, dace)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package perfmodel
+
+import (
+	"negfsim/internal/comm"
+	"negfsim/internal/device"
+)
+
+// Memory feasibility (§5.2.1): the paper's extreme-scale run "is not
+// possible on the original OMEN, due to infeasible memory requirements of
+// the algorithm" — OMEN's SSE phase replicates the full 5-D electron
+// tensors on every process, while the tensor-free CA variant holds only an
+// energy-window × atom-tile slice.
+
+// OMENPerProcessMemory returns the bytes one OMEN process needs during the
+// SSE phase: its own G^≷/Σ^≷ energy slices plus equally-sized receive
+// buffers for the two shifted replicas of each round, and — the actual
+// blow-up — the full phonon-momentum-resolved D^≷ pair that the per-round
+// broadcasts accumulate on every process (the 6-D tensors the paper's
+// "tensor-free" variant eliminates).
+func OMENPerProcessMemory(p device.Params, procs int) float64 {
+	slice := float64(p.Nkz) * float64(p.NE) / float64(procs) *
+		float64(p.NA) * float64(p.Norb*p.Norb)
+	electron := 8 * 16 * slice // G^≷ + Σ^≷ + two shifted receive pairs
+	phonon := 2 * 16 * float64(p.Nqz) * float64(p.Nw) * float64(p.NA) *
+		float64(p.NB) * float64(p.N3D*p.N3D) // replicated D^≷ pair
+	return electron + phonon
+}
+
+// MemoryFeasible reports whether a scheme fits in the machine's per-node
+// memory at the given node count (RanksPerNode processes share a node).
+func MemoryFeasible(m Machine, p device.Params, s Scheme, nodes int, nodeMemBytes float64) bool {
+	procs := nodes * m.RanksPerNode
+	var perProc float64
+	switch s {
+	case DaCe:
+		best, feasible := comm.SearchTiles(p, procs, 0)
+		if len(feasible) == 0 {
+			perProc = comm.PerProcessMemory(p, 1, procs)
+		} else {
+			perProc = comm.PerProcessMemory(p, best.TE, best.TA)
+		}
+	default:
+		perProc = OMENPerProcessMemory(p, procs)
+	}
+	return perProc*float64(m.RanksPerNode) <= nodeMemBytes
+}

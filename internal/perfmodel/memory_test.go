@@ -1,0 +1,40 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"negfsim/internal/device"
+)
+
+func TestExtremeScaleInfeasibleForOMEN(t *testing.T) {
+	// §5.2.1: "a setup that is not possible on the original OMEN, due to
+	// infeasible memory requirements of the algorithm". Summit nodes have
+	// 512 GiB; OMEN's replicated tensors need terabytes per process at the
+	// 10,240-atom, 21-kz-point configuration, while the CA variant fits.
+	p := device.Paper10240(21)
+	const summitNodeMem = 512 * float64(1<<30)
+	if MemoryFeasible(Summit, p, OMEN, 3525, summitNodeMem) {
+		t.Fatal("OMEN should NOT fit the extreme-scale configuration")
+	}
+	if !MemoryFeasible(Summit, p, DaCe, 3525, summitNodeMem) {
+		t.Fatal("the CA variant must fit the extreme-scale configuration")
+	}
+	// Quantify: the replicated phonon tensors alone exceed 100 GiB per
+	// process at this configuration.
+	if got := OMENPerProcessMemory(p, 3525*6); got < 100*float64(1<<30) {
+		t.Fatalf("OMEN per-process memory %g bytes, expected > 100 GiB", got)
+	}
+}
+
+func TestSmallRunsFeasibleForBoth(t *testing.T) {
+	// The 4,864-atom strong-scaling runs fit both schemes (the paper could
+	// only compare against OMEN where OMEN runs).
+	p := device.Paper4864(7)
+	const daintNodeMem = 64 * float64(1<<30)
+	if !MemoryFeasible(PizDaint, p, OMEN, 1800, daintNodeMem) {
+		t.Fatal("OMEN fits the 4,864-atom configuration in the paper's runs")
+	}
+	if !MemoryFeasible(PizDaint, p, DaCe, 1800, daintNodeMem) {
+		t.Fatal("DaCe fits the 4,864-atom configuration")
+	}
+}

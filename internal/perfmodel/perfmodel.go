@@ -1,0 +1,259 @@
+// Package perfmodel projects iteration times of the quantum transport
+// simulation onto the paper's two evaluation machines, Piz Daint and
+// Summit, from first-principles flop counts (§4.3) and the communication
+// volumes of internal/comm. It regenerates the shapes of Fig. 13 (strong
+// and weak scaling) and Table 8 (extreme scale).
+//
+// Calibration: the flop-count constants are fitted to the paper's own
+// empirical Table 3 (they are consistent with Table 8 to within 2%); the
+// efficiency constants are fitted to Table 7 (single-node runtimes) and the
+// quoted 44.5%/6.2% of peak on Summit. All fitted values are documented at
+// their declarations and recorded in EXPERIMENTS.md.
+package perfmodel
+
+import (
+	"math"
+
+	"negfsim/internal/comm"
+	"negfsim/internal/device"
+	"negfsim/internal/sse"
+)
+
+// Flop-count constants per (kz, E) grid point, in units of (NA·Norb)³.
+// Fitted to Table 3 (NA = 4,864, Norb = 12, NE = 706):
+//
+//	RGF:              52.95 Pflop / (3·706 points) → 0.1257·(NA·Norb)³
+//	Contour integral:  8.45 Pflop / (3·706 points) → 0.0201·(NA·Norb)³
+//
+// The same constants reproduce Table 8's GF column for the 10,240-atom
+// structure to 2% (265.7 Pflop per kz point), confirming the paper's own
+// observation that GF cost scales with NE·(NA·Norb)³ at fixed bnum.
+const (
+	rgfFlopConst = 0.1257
+	ciFlopConst  = 0.0201
+)
+
+// RGFFlops returns the recursive Green's function flops of one iteration.
+func RGFFlops(p device.Params) float64 {
+	dim := float64(p.NA) * float64(p.Norb)
+	return rgfFlopConst * float64(p.Nkz) * float64(p.NE) * dim * dim * dim
+}
+
+// ContourFlops returns the open-boundary-condition (contour integral)
+// flops of one iteration.
+func ContourFlops(p device.Params) float64 {
+	dim := float64(p.NA) * float64(p.Norb)
+	return ciFlopConst * float64(p.Nkz) * float64(p.NE) * dim * dim * dim
+}
+
+// GFFlops returns the total Green's-function-phase flops (contour + RGF).
+func GFFlops(p device.Params) float64 { return RGFFlops(p) + ContourFlops(p) }
+
+// Scheme selects the algorithm variant being modeled.
+type Scheme int
+
+const (
+	// OMEN is the original C++ implementation.
+	OMEN Scheme = iota
+	// DaCe is the data-centric transformed implementation.
+	DaCe
+	// Python is the naive reference (Table 7 only).
+	Python
+)
+
+// Machine describes one evaluation platform. Peak numbers come from the
+// machine specifications; efficiency fractions are calibrated to Table 7
+// (Piz Daint) and to the Summit percentages quoted in §5.2.1.
+type Machine struct {
+	Name         string
+	Nodes        int     // total nodes in the system
+	GPUsPerNode  int     // accelerators per node
+	RanksPerNode int     // MPI processes per node (§5: 2 on Daint, 6 on Summit)
+	GPUPeak      float64 // FP64 flop/s per accelerator
+	NodeBW       float64 // injection bandwidth per node, bytes/s
+
+	// Achieved fraction of peak per phase and scheme.
+	EffGF, EffSSE             float64 // DaCe
+	EffGFOMEN, EffSSEOMEN     float64 // original C++
+	EffGFPython, EffSSEPython float64 // interpreted reference
+
+	// Effective fraction of injection bandwidth the exchange patterns
+	// achieve at scale (software + topology overheads).
+	CommEffDaCe, CommEffOMEN float64
+
+	// SerialPerIter is the fixed per-iteration cost (boundary
+	// factorization, bookkeeping) that survives any amount of parallelism.
+	SerialPerIter float64
+
+	// Imbalance is the load-imbalance/granularity coefficient: compute
+	// time is multiplied by (1 + Imbalance·ranks/(Nkz·NE)). As the rank
+	// count approaches the number of independent (kz, E) work items, slices
+	// thin out and per-rank efficiency drops — the mechanism behind the
+	// efficiency decay annotated in Fig. 13. Fitted so the strong-scaling
+	// curves decay while the Table 8 extreme-scale anchors stay within a
+	// few percent.
+	Imbalance float64
+}
+
+// PizDaint models the Cray XC50 partition: one P100 per node, Aries
+// interconnect. Efficiencies fitted to Table 7: DaCe ran 1/1112 of the
+// Nkz=3 load in 111 s (GF) and 97 s (SSE) on one node.
+var PizDaint = Machine{
+	Name: "Piz Daint", Nodes: 5704, GPUsPerNode: 1, RanksPerNode: 2,
+	GPUPeak: 4.7e12, NodeBW: 10.5e9,
+	EffGF: 0.105, EffSSE: 0.0245,
+	EffGFOMEN: 0.082, EffSSEOMEN: 0.0048,
+	EffGFPython: 0.0087, EffSSEPython: 0.000153,
+	CommEffDaCe: 0.010, CommEffOMEN: 0.003,
+	SerialPerIter: 1, Imbalance: 0.165,
+}
+
+// Summit models the IBM AC922 system: six V100s per node, dual-rail EDR.
+// DaCe efficiencies are the paper's quoted 44.5% (GF) and 6.2% (SSE) of
+// effective peak; the OMEN efficiencies encode the paper's observation that
+// its external libraries are not tuned for POWER9 (total speedup 24.5×).
+var Summit = Machine{
+	Name: "Summit", Nodes: 4608, GPUsPerNode: 6, RanksPerNode: 6,
+	GPUPeak: 7.8e12, NodeBW: 25e9,
+	EffGF: 0.445, EffSSE: 0.062,
+	EffGFOMEN: 0.30, EffSSEOMEN: 0.030,
+	EffGFPython: 0.02, EffSSEPython: 0.0004,
+	CommEffDaCe: 0.0055, CommEffOMEN: 0.007,
+	SerialPerIter: 1, Imbalance: 0.05,
+}
+
+// IterationTime is the modeled cost of one GF+SSE iteration.
+type IterationTime struct {
+	GF, SSE, Comm float64 // seconds
+}
+
+// Total returns the full iteration wall time.
+func (t IterationTime) Total() float64 { return t.GF + t.SSE + t.Comm }
+
+// Compute returns the computation-only time (the "comp." curves of Fig. 13).
+func (t IterationTime) Compute() float64 { return t.GF + t.SSE }
+
+// Project models one iteration of the simulation on `nodes` nodes of m.
+func (m Machine) Project(p device.Params, nodes int, s Scheme) IterationTime {
+	gpus := float64(nodes * m.GPUsPerNode)
+	procs := nodes * m.RanksPerNode
+	imbalance := 1 + m.Imbalance*float64(procs)/float64(p.Nkz*p.NE)
+	var t IterationTime
+	switch s {
+	case DaCe:
+		t.GF = GFFlops(p)/(gpus*m.GPUPeak*m.EffGF)*imbalance + m.SerialPerIter
+		t.SSE = sse.SigmaFlopsDaCe(p) / (gpus * m.GPUPeak * m.EffSSE) * imbalance
+		best, _ := comm.SearchTiles(p, procs, 0)
+		vol := best.Bytes
+		if math.IsInf(vol, 1) { // no exact factorization fits; fall back
+			vol = comm.DaCeVolume(p, 1, procs)
+		}
+		t.Comm = vol / (float64(nodes) * m.NodeBW * m.CommEffDaCe)
+	case OMEN:
+		t.GF = GFFlops(p)/(gpus*m.GPUPeak*m.EffGFOMEN)*imbalance + m.SerialPerIter
+		t.SSE = sse.SigmaFlopsOMEN(p) / (gpus * m.GPUPeak * m.EffSSEOMEN) * imbalance
+		t.Comm = comm.OMENVolume(p, procs) / (float64(nodes) * m.NodeBW * m.CommEffOMEN)
+	case Python:
+		t.GF = GFFlops(p) / (gpus * m.GPUPeak * m.EffGFPython)
+		t.SSE = sse.SigmaFlopsOMEN(p) / (gpus * m.GPUPeak * m.EffSSEPython)
+		t.Comm = 0
+	}
+	return t
+}
+
+// ScalingPoint is one x-axis point of a Fig. 13 curve.
+type ScalingPoint struct {
+	Nodes, GPUs       int
+	DaCe, OMEN        IterationTime
+	ScalingEfficiency float64 // DaCe compute efficiency vs the first point
+	TotalSpeedup      float64 // OMEN total / DaCe total
+	CommSpeedup       float64 // OMEN comm / DaCe comm
+}
+
+// StrongScaling evaluates the fixed-size scaling curve of Fig. 13
+// (NA = 4,864, Nkz = 7 in the paper) over the given node counts. Scaling
+// efficiency is ideal time (first point scaled by the node ratio) over
+// modeled time, the convention of the figure's annotations.
+func StrongScaling(m Machine, p device.Params, nodeCounts []int) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(nodeCounts))
+	var baseCompute float64
+	var baseNodes int
+	for i, n := range nodeCounts {
+		pt := ScalingPoint{Nodes: n, GPUs: n * m.GPUsPerNode,
+			DaCe: m.Project(p, n, DaCe), OMEN: m.Project(p, n, OMEN)}
+		if i == 0 {
+			baseCompute, baseNodes = pt.DaCe.Compute(), n
+		}
+		ideal := baseCompute * float64(baseNodes) / float64(n)
+		pt.ScalingEfficiency = ideal / pt.DaCe.Compute()
+		pt.TotalSpeedup = pt.OMEN.Total() / pt.DaCe.Total()
+		pt.CommSpeedup = pt.OMEN.Comm / pt.DaCe.Comm
+		out = append(out, pt)
+	}
+	return out
+}
+
+// WeakScaling evaluates the Fig. 13 weak-scaling curve: the kz count and
+// the node count grow together (nodesPerKz nodes per momentum point). The
+// paper annotates ideal weak scaling with "proportional increases in the
+// number of kz points and nodes, since the GF and SSE phases scale
+// differently (by Nkz and Nkz²)": with nodes ∝ Nkz, the ideal per-node GF
+// time is constant and the ideal SSE time grows ∝ Nkz. Efficiency is that
+// ideal over the modeled time.
+func WeakScaling(m Machine, nkzList []int, nodesPerKz int) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(nkzList))
+	var baseGF, baseSSE, baseComm float64
+	baseNkz := 0
+	for i, nkz := range nkzList {
+		p := device.Paper4864(nkz)
+		n := nodesPerKz * nkz
+		pt := ScalingPoint{Nodes: n, GPUs: n * m.GPUsPerNode,
+			DaCe: m.Project(p, n, DaCe), OMEN: m.Project(p, n, OMEN)}
+		if i == 0 {
+			baseGF, baseSSE, baseComm, baseNkz = pt.DaCe.GF, pt.DaCe.SSE, pt.DaCe.Comm, nkz
+		}
+		ideal := baseGF + baseSSE*float64(nkz)/float64(baseNkz) + baseComm
+		pt.ScalingEfficiency = ideal / pt.DaCe.Total()
+		pt.TotalSpeedup = pt.OMEN.Total() / pt.DaCe.Total()
+		pt.CommSpeedup = pt.OMEN.Comm / pt.DaCe.Comm
+		out = append(out, pt)
+	}
+	return out
+}
+
+// Table8Row models one row of Table 8: the 10,240-atom extreme-scale run
+// on Summit.
+type Table8Row struct {
+	Nkz, Nodes        int
+	GFPflop, SSEPflop float64
+	GFTime, SSETime   float64
+	CommTime          float64
+}
+
+// Table8 evaluates the paper's four extreme-scale configurations.
+func Table8(rows []struct{ Nkz, Nodes int }) []Table8Row {
+	out := make([]Table8Row, 0, len(rows))
+	for _, r := range rows {
+		p := device.Paper10240(r.Nkz)
+		t := Summit.Project(p, r.Nodes, DaCe)
+		out = append(out, Table8Row{
+			Nkz: r.Nkz, Nodes: r.Nodes,
+			GFPflop:  GFFlops(p) / 1e15,
+			SSEPflop: sse.SigmaFlopsDaCe(p) / 1e15,
+			GFTime:   t.GF, SSETime: t.SSE, CommTime: t.Comm,
+		})
+	}
+	return out
+}
+
+// PaperTable8Configs are the (Nkz, nodes) pairs of Table 8.
+var PaperTable8Configs = []struct{ Nkz, Nodes int }{
+	{11, 1852}, {15, 2580}, {21, 1763}, {21, 3525},
+}
+
+// SustainedPflops returns the modeled sustained performance of a projected
+// iteration (flops executed / total time), the metric behind the paper's
+// 19.71 Pflop/s headline.
+func SustainedPflops(p device.Params, t IterationTime) float64 {
+	return (GFFlops(p) + sse.SigmaFlopsDaCe(p)) / t.Total() / 1e15
+}

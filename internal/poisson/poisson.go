@@ -1,0 +1,235 @@
+// Package poisson provides the electrostatic substrate of a TCAD
+// simulation: a 2-D finite-difference Poisson solver on the device
+// cross-section. The paper's FinFET (Fig. 1) is driven by gate and
+// drain biases; production quantum transport solvers (OMEN included)
+// obtain the resulting potential by coupling NEGF charge densities to
+// Poisson's equation in an outer Gummel loop — the coupling internal/core
+// implements on top of this package.
+//
+// The discretization is the standard 5-point stencil with per-node
+// permittivity, Dirichlet nodes for contacts/gates and homogeneous Neumann
+// elsewhere; the linear system is solved by Jacobi-preconditioned
+// conjugate gradients (it is symmetric positive definite).
+package poisson
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is one Poisson solve on a Cols×Rows grid. Node (c, r) has index
+// c·Rows + r, matching the device package's atom ordering.
+type Problem struct {
+	Cols, Rows int
+	// H is the grid spacing (nm).
+	H float64
+	// Eps is the per-node relative permittivity; nil means 1 everywhere.
+	Eps []float64
+	// Dirichlet pins node potentials (contacts, gates): node index → volts.
+	Dirichlet map[int]float64
+	// Charge is the per-node charge density (arbitrary consistent units);
+	// nil means zero (a Laplace problem).
+	Charge []float64
+}
+
+// Validate checks the problem's shape.
+func (p Problem) Validate() error {
+	n := p.Cols * p.Rows
+	switch {
+	case p.Cols < 2 || p.Rows < 1:
+		return fmt.Errorf("poisson: grid %d×%d too small", p.Cols, p.Rows)
+	case p.H <= 0:
+		return errors.New("poisson: non-positive grid spacing")
+	case p.Eps != nil && len(p.Eps) != n:
+		return fmt.Errorf("poisson: Eps has %d entries for %d nodes", len(p.Eps), n)
+	case p.Charge != nil && len(p.Charge) != n:
+		return fmt.Errorf("poisson: Charge has %d entries for %d nodes", len(p.Charge), n)
+	}
+	for node := range p.Dirichlet {
+		if node < 0 || node >= n {
+			return fmt.Errorf("poisson: Dirichlet node %d out of range", node)
+		}
+	}
+	return nil
+}
+
+func (p Problem) eps(node int) float64 {
+	if p.Eps == nil {
+		return 1
+	}
+	return p.Eps[node]
+}
+
+// neighbors yields the grid neighbors of node (c, r); edges without a
+// neighbor are simply skipped, which realizes the homogeneous Neumann
+// condition.
+func (p Problem) neighbors(c, r int, yield func(node int)) {
+	if c > 0 {
+		yield((c-1)*p.Rows + r)
+	}
+	if c < p.Cols-1 {
+		yield((c+1)*p.Rows + r)
+	}
+	if r > 0 {
+		yield(c*p.Rows + r - 1)
+	}
+	if r < p.Rows-1 {
+		yield(c*p.Rows + r + 1)
+	}
+}
+
+// apply computes y = A·x for the stencil operator restricted to free
+// (non-Dirichlet) nodes; Dirichlet values enter the right-hand side.
+func (p Problem) apply(x, y []float64) {
+	n := p.Cols * p.Rows
+	for node := 0; node < n; node++ {
+		if _, pinned := p.Dirichlet[node]; pinned {
+			y[node] = 0
+			continue
+		}
+		c, r := node/p.Rows, node%p.Rows
+		var acc, diag float64
+		p.neighbors(c, r, func(nb int) {
+			// Harmonic mean of permittivities across the face.
+			e := 2 * p.eps(node) * p.eps(nb) / (p.eps(node) + p.eps(nb))
+			diag += e
+			if _, pinned := p.Dirichlet[nb]; !pinned {
+				acc -= e * x[nb]
+			}
+		})
+		y[node] = diag*x[node] + acc
+	}
+}
+
+// rhs builds the right-hand side: charge density plus Dirichlet coupling.
+func (p Problem) rhs() []float64 {
+	n := p.Cols * p.Rows
+	b := make([]float64, n)
+	h2 := p.H * p.H
+	for node := 0; node < n; node++ {
+		if _, pinned := p.Dirichlet[node]; pinned {
+			continue
+		}
+		if p.Charge != nil {
+			b[node] = p.Charge[node] * h2
+		}
+		c, r := node/p.Rows, node%p.Rows
+		p.neighbors(c, r, func(nb int) {
+			if v, pinned := p.Dirichlet[nb]; pinned {
+				e := 2 * p.eps(node) * p.eps(nb) / (p.eps(node) + p.eps(nb))
+				b[node] += e * v
+			}
+		})
+	}
+	return b
+}
+
+// Solve returns the node potentials. tol is the relative residual target;
+// maxIter bounds the CG iterations (0 means 10·n).
+func Solve(p Problem, tol float64, maxIter int) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Dirichlet) == 0 {
+		return nil, errors.New("poisson: pure Neumann problem is singular; pin at least one node")
+	}
+	n := p.Cols * p.Rows
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	b := p.rhs()
+	x := make([]float64, n)
+	res := make([]float64, n)
+	dir := make([]float64, n)
+	ax := make([]float64, n)
+	// Jacobi preconditioner: the stencil diagonal.
+	diag := make([]float64, n)
+	for node := 0; node < n; node++ {
+		if _, pinned := p.Dirichlet[node]; pinned {
+			diag[node] = 1
+			continue
+		}
+		c, r := node/p.Rows, node%p.Rows
+		p.neighbors(c, r, func(nb int) {
+			diag[node] += 2 * p.eps(node) * p.eps(nb) / (p.eps(node) + p.eps(nb))
+		})
+	}
+	z := make([]float64, n)
+	p.apply(x, ax)
+	var bnorm float64
+	for i := range res {
+		res[i] = b[i] - ax[i]
+		bnorm += b[i] * b[i]
+		z[i] = res[i] / diag[i]
+		dir[i] = z[i]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	rz := dotF(res, z)
+	for iter := 0; iter < maxIter; iter++ {
+		var rnorm float64
+		for _, v := range res {
+			rnorm += v * v
+		}
+		if math.Sqrt(rnorm) <= tol*bnorm {
+			break
+		}
+		p.apply(dir, ax)
+		da := dotF(dir, ax)
+		if da == 0 {
+			return nil, errors.New("poisson: CG breakdown (singular operator?)")
+		}
+		alpha := rz / da
+		for i := range x {
+			x[i] += alpha * dir[i]
+			res[i] -= alpha * ax[i]
+			z[i] = res[i] / diag[i]
+		}
+		rzNew := dotF(res, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range dir {
+			dir[i] = z[i] + beta*dir[i]
+		}
+	}
+	// Final residual check.
+	p.apply(x, ax)
+	var rnorm float64
+	for i := range res {
+		d := b[i] - ax[i]
+		rnorm += d * d
+	}
+	if math.Sqrt(rnorm) > 100*tol*bnorm {
+		return nil, fmt.Errorf("poisson: CG did not converge (residual %.2e)", math.Sqrt(rnorm)/bnorm)
+	}
+	for node, v := range p.Dirichlet {
+		x[node] = v
+	}
+	return x, nil
+}
+
+func dotF(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// GateStack pins the standard FinFET boundary set on a Cols×Rows grid:
+// source column (c = 0) at vs, drain column (c = Cols−1) at vd, and the
+// gate along the top row between the contacts at vg.
+func GateStack(cols, rows int, vs, vd, vg float64) map[int]float64 {
+	d := map[int]float64{}
+	for r := 0; r < rows; r++ {
+		d[0*rows+r] = vs
+		d[(cols-1)*rows+r] = vd
+	}
+	for c := 1; c < cols-1; c++ {
+		d[c*rows+(rows-1)] = vg
+	}
+	return d
+}

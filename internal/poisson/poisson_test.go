@@ -1,0 +1,145 @@
+package poisson
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParallelPlateLinearProfile(t *testing.T) {
+	// Dirichlet left column 0 V, right column 1 V, Neumann top/bottom:
+	// Laplace's equation gives a potential linear in x.
+	const cols, rows = 9, 5
+	d := map[int]float64{}
+	for r := 0; r < rows; r++ {
+		d[r] = 0
+		d[(cols-1)*rows+r] = 1
+	}
+	phi, err := Solve(Problem{Cols: cols, Rows: rows, H: 1, Dirichlet: d}, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < cols; c++ {
+		want := float64(c) / float64(cols-1)
+		for r := 0; r < rows; r++ {
+			if got := phi[c*rows+r]; math.Abs(got-want) > 1e-8 {
+				t.Fatalf("node (%d,%d): φ = %g, want %g", c, r, got, want)
+			}
+		}
+	}
+}
+
+func TestLaplaceMaximumPrinciple(t *testing.T) {
+	// With zero charge, no interior node may exceed the boundary values.
+	const cols, rows = 8, 6
+	d := GateStack(cols, rows, 0, 0.5, 1.0)
+	phi, err := Solve(Problem{Cols: cols, Rows: rows, H: 1, Dirichlet: d}, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, v := range phi {
+		if v < -1e-9 || v > 1+1e-9 {
+			t.Fatalf("node %d: φ = %g outside the boundary range [0, 1]", node, v)
+		}
+	}
+}
+
+func TestPointChargeSignAndSymmetry(t *testing.T) {
+	// A positive point charge in a grounded box raises the potential
+	// everywhere, symmetrically about the charge.
+	const cols, rows = 9, 9
+	d := map[int]float64{}
+	for r := 0; r < rows; r++ {
+		d[r] = 0
+		d[(cols-1)*rows+r] = 0
+	}
+	for c := 0; c < cols; c++ {
+		d[c*rows] = 0
+		d[c*rows+rows-1] = 0
+	}
+	charge := make([]float64, cols*rows)
+	center := (cols / 2 * rows) + rows/2
+	charge[center] = 1
+	phi, err := Solve(Problem{Cols: cols, Rows: rows, H: 1, Dirichlet: d, Charge: charge}, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi[center] <= 0 {
+		t.Fatalf("potential at the charge should be positive, got %g", phi[center])
+	}
+	for node, v := range phi {
+		if v < -1e-10 {
+			t.Fatalf("node %d: negative potential %g from positive charge", node, v)
+		}
+	}
+	// Mirror symmetry about the center column.
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			m := (cols-1-c)*rows + r
+			if math.Abs(phi[c*rows+r]-phi[m]) > 1e-8 {
+				t.Fatalf("asymmetric solution at (%d,%d)", c, r)
+			}
+		}
+	}
+}
+
+func TestPermittivityContrast(t *testing.T) {
+	// A high-permittivity region flattens the potential drop across itself:
+	// the drop over the high-ε half must be smaller than over the low-ε half.
+	const cols, rows = 11, 3
+	d := map[int]float64{}
+	for r := 0; r < rows; r++ {
+		d[r] = 0
+		d[(cols-1)*rows+r] = 1
+	}
+	eps := make([]float64, cols*rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			if c < cols/2 {
+				eps[c*rows+r] = 10 // high-ε left half
+			} else {
+				eps[c*rows+r] = 1
+			}
+		}
+	}
+	phi, err := Solve(Problem{Cols: cols, Rows: rows, H: 1, Dirichlet: d, Eps: eps}, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := phi[(cols/2)*rows+1]
+	if mid > 0.3 {
+		t.Fatalf("high-ε region should carry little of the drop; midpoint φ = %g", mid)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(Problem{Cols: 1, Rows: 1, H: 1}, 1e-8, 0); err == nil {
+		t.Fatal("tiny grid must be rejected")
+	}
+	if _, err := Solve(Problem{Cols: 4, Rows: 4, H: 0, Dirichlet: map[int]float64{0: 1}}, 1e-8, 0); err == nil {
+		t.Fatal("zero spacing must be rejected")
+	}
+	if _, err := Solve(Problem{Cols: 4, Rows: 4, H: 1}, 1e-8, 0); err == nil {
+		t.Fatal("pure Neumann problem must be rejected as singular")
+	}
+	if _, err := Solve(Problem{Cols: 4, Rows: 4, H: 1,
+		Dirichlet: map[int]float64{99: 1}}, 1e-8, 0); err == nil {
+		t.Fatal("out-of-range Dirichlet node must be rejected")
+	}
+	if _, err := Solve(Problem{Cols: 4, Rows: 4, H: 1, Eps: []float64{1},
+		Dirichlet: map[int]float64{0: 1}}, 1e-8, 0); err == nil {
+		t.Fatal("wrong Eps length must be rejected")
+	}
+}
+
+func TestGateStackShape(t *testing.T) {
+	d := GateStack(6, 4, 0, 0.6, 1.2)
+	if d[0] != 0 || d[5*4+2] != 0.6 {
+		t.Fatal("source/drain pins wrong")
+	}
+	if d[2*4+3] != 1.2 {
+		t.Fatal("gate pin wrong")
+	}
+	if _, ok := d[1*4+1]; ok {
+		t.Fatal("interior node should be free")
+	}
+}

@@ -1,0 +1,50 @@
+package poisson
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuperpositionProperty(t *testing.T) {
+	// Poisson is linear: with fixed boundaries, the potential of a charge
+	// sum equals the sum of the zero-boundary responses plus one boundary
+	// solution: φ(q1+q2, bc) = φ(q1, bc) + φ(q2, 0).
+	const cols, rows = 7, 5
+	bc := GateStack(cols, rows, 0, 0.4, 0.8)
+	zero := map[int]float64{}
+	for k := range bc {
+		zero[k] = 0
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q1 := make([]float64, cols*rows)
+		q2 := make([]float64, cols*rows)
+		sum := make([]float64, cols*rows)
+		for i := range q1 {
+			q1[i] = rng.Float64() - 0.5
+			q2[i] = rng.Float64() - 0.5
+			sum[i] = q1[i] + q2[i]
+		}
+		solve := func(charge []float64, d map[int]float64) []float64 {
+			phi, err := Solve(Problem{Cols: cols, Rows: rows, H: 1, Dirichlet: d, Charge: charge}, 1e-12, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return phi
+		}
+		a := solve(q1, bc)
+		b := solve(q2, zero)
+		c := solve(sum, bc)
+		for i := range c {
+			if math.Abs(c[i]-(a[i]+b[i])) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

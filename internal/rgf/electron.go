@@ -1,0 +1,133 @@
+package rgf
+
+import (
+	"fmt"
+
+	"negfsim/internal/cmat"
+)
+
+// Scattering carries the per-RGF-block scattering self-energy matrices for
+// one (E, kz) point. Entries may be nil (treated as zero): the first GF pass
+// of the Born iteration runs with Σ = 0. Only the diagonal blocks of Σ^S are
+// retained, as in the paper (§2).
+type Scattering struct {
+	R, Less, Gtr []*cmat.Dense
+}
+
+// Contacts sets the occupation of the two leads.
+type Contacts struct {
+	MuL, MuR float64 // chemical potentials [eV]
+	KT       float64 // thermal energy [eV]
+}
+
+// ElectronResult is the solution of Eq. (1) at one (E, kz) point.
+type ElectronResult struct {
+	GR, GLess, GGtr []*cmat.Dense // diagonal blocks
+
+	// CurrentL/CurrentR are the Meir-Wingreen contact currents
+	// Tr[Σ^<_c·G^> − Σ^>_c·G^<] evaluated at the left/right contact
+	// (per-energy spectral current in natural units q/ℏ = 1; positive means
+	// net electron flow into the device through that contact).
+	CurrentL, CurrentR float64
+
+	// DissipationPerBlock is Tr[Σ^<_S·G^> − Σ^>_S·G^<] per RGF block: the
+	// energy exchanged with the phonon bath, driving the self-heating map.
+	DissipationPerBlock []float64
+}
+
+// SolveElectron solves one (E, kz) point of Eq. (1): boundary self-energies
+// by Sancho-Rubio on the pristine operator, then the retarded and Keldysh
+// RGF passes with the supplied scattering self-energies.
+func SolveElectron(h, s *cmat.BlockTri, energy float64, scat Scattering, c Contacts, eta float64) (*ElectronResult, error) {
+	if h.N != s.N || h.Bs != s.Bs {
+		return nil, fmt.Errorf("rgf: H and S shapes differ: (%d,%d) vs (%d,%d)", h.N, h.Bs, s.N, s.Bs)
+	}
+	n := h.N
+	// A = (E + iη)·S − H, before scattering: the leads are ballistic.
+	a0 := h.ShiftDiag(complex(energy, eta), s)
+	sigL, sigR, err := BoundarySelfEnergies(a0, 1e-10)
+	if err != nil {
+		return nil, err
+	}
+	gamL, gamR := Broadening(sigL), Broadening(sigR)
+
+	// Device operator: subtract boundary and scattering retarded parts.
+	a := a0.Clone()
+	a.Diag[0] = a.Diag[0].Sub(sigL)
+	a.Diag[n-1] = a.Diag[n-1].Sub(sigR)
+	if scat.R != nil {
+		for i := 0; i < n; i++ {
+			if scat.R[i] != nil {
+				a.Diag[i] = a.Diag[i].Sub(scat.R[i])
+			}
+		}
+	}
+
+	ret, err := SolveRetarded(a)
+	if err != nil {
+		return nil, err
+	}
+
+	fL := FermiDirac(energy, c.MuL, c.KT)
+	fR := FermiDirac(energy, c.MuR, c.KT)
+	// Σ^< = i·f·Γ and Σ^> = i·(f−1)·Γ at the contacts.
+	sigLessBlocks := make([]*cmat.Dense, n)
+	sigGtrBlocks := make([]*cmat.Dense, n)
+	for i := 0; i < n; i++ {
+		less := cmat.NewDense(h.Bs, h.Bs)
+		gtr := cmat.NewDense(h.Bs, h.Bs)
+		if scat.Less != nil && scat.Less[i] != nil {
+			less.AddInPlace(scat.Less[i])
+		}
+		if scat.Gtr != nil && scat.Gtr[i] != nil {
+			gtr.AddInPlace(scat.Gtr[i])
+		}
+		sigLessBlocks[i] = less
+		sigGtrBlocks[i] = gtr
+	}
+	sigLessBlocks[0].AddScaledInPlace(complex(0, fL), gamL)
+	sigGtrBlocks[0].AddScaledInPlace(complex(0, fL-1), gamL)
+	sigLessBlocks[n-1].AddScaledInPlace(complex(0, fR), gamR)
+	sigGtrBlocks[n-1].AddScaledInPlace(complex(0, fR-1), gamR)
+
+	res := &ElectronResult{GR: ret.Diag}
+	res.GLess = ret.SolveKeldysh(sigLessBlocks)
+	res.GGtr = ret.SolveKeldysh(sigGtrBlocks)
+
+	// Meir-Wingreen contact currents.
+	sigLessL := gamL.Scale(complex(0, fL))
+	sigGtrL := gamL.Scale(complex(0, fL-1))
+	sigLessR := gamR.Scale(complex(0, fR))
+	sigGtrR := gamR.Scale(complex(0, fR-1))
+	res.CurrentL = real(sigLessL.Mul(res.GGtr[0]).Trace() - sigGtrL.Mul(res.GLess[0]).Trace())
+	res.CurrentR = real(sigLessR.Mul(res.GGtr[n-1]).Trace() - sigGtrR.Mul(res.GLess[n-1]).Trace())
+
+	res.DissipationPerBlock = make([]float64, n)
+	if scat.Less != nil && scat.Gtr != nil {
+		for i := 0; i < n; i++ {
+			if scat.Less[i] == nil || scat.Gtr[i] == nil {
+				continue
+			}
+			res.DissipationPerBlock[i] = real(scat.Less[i].Mul(res.GGtr[i]).Trace() -
+				scat.Gtr[i].Mul(res.GLess[i]).Trace())
+		}
+	}
+	return res, nil
+}
+
+// SpectralPerAtom returns −Im diag(G^R)/π aggregated per atom (local density
+// of states), given the per-block diagonal G^R and orbitals per atom.
+func SpectralPerAtom(gr []*cmat.Dense, norb int) []float64 {
+	var out []float64
+	for _, g := range gr {
+		atoms := g.Rows / norb
+		for a := 0; a < atoms; a++ {
+			var s float64
+			for o := 0; o < norb; o++ {
+				s -= imag(g.At(a*norb+o, a*norb+o))
+			}
+			out = append(out, s/3.141592653589793)
+		}
+	}
+	return out
+}

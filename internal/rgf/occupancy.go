@@ -1,0 +1,43 @@
+package rgf
+
+import "math"
+
+// FermiDirac returns the electron occupation f(E) at chemical potential mu
+// and thermal energy kT (all in eV). kT = 0 gives the step function.
+func FermiDirac(e, mu, kT float64) float64 {
+	if kT <= 0 {
+		switch {
+		case e < mu:
+			return 1
+		case e > mu:
+			return 0
+		default:
+			return 0.5
+		}
+	}
+	x := (e - mu) / kT
+	// Guard the exponential to avoid overflow far from the step.
+	if x > 40 {
+		return math.Exp(-x)
+	}
+	if x < -40 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(x))
+}
+
+// BoseEinstein returns the phonon occupation N(ω) for phonon energy hw at
+// thermal energy kT (both in eV).
+func BoseEinstein(hw, kT float64) float64 {
+	if kT <= 0 || hw <= 0 {
+		return 0
+	}
+	x := hw / kT
+	if x > 40 {
+		return math.Exp(-x)
+	}
+	if x < 1e-9 {
+		return 1/x - 0.5 // series expansion near zero keeps it finite
+	}
+	return 1 / (math.Exp(x) - 1)
+}

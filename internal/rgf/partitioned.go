@@ -1,0 +1,310 @@
+package rgf
+
+import (
+	"fmt"
+	"sync"
+
+	"negfsim/internal/cmat"
+)
+
+// Spatial domain decomposition of the retarded solve — the third level of
+// OMEN's momentum/energy/space MPI hierarchy (§2.1). The block-tridiagonal
+// chain is split at separator blocks into independent segments:
+//
+//  1. every segment eliminates its interior in parallel (local two-sided
+//     RGF), producing its Schur-complement contribution to the separators;
+//  2. the reduced block-tridiagonal system over the separators is solved
+//     with the ordinary RGF;
+//  3. every segment recovers its interior diagonal Green's function blocks
+//     in parallel from the separator solution via the block-inversion
+//     identity G_II = M + M·A_IS·G_SS·A_SI·M, with the border strips of
+//     M = A_II⁻¹ obtained from running product recursions.
+//
+// The result is exactly SolveRetarded's diagonal (tested against it and
+// against dense inversion); the parallelism is over segments.
+
+// segment holds one interior run of blocks [lo, hi] (inclusive) between
+// separators; sepL/sepR are the adjacent separator block indices or −1.
+type segment struct {
+	lo, hi     int
+	sepL, sepR int
+
+	diag               []*cmat.Dense // M[i,i]
+	colFirst, colLast  []*cmat.Dense // M[i,0], M[i,m−1]
+	rowFirst, rowLast  []*cmat.Dense // M[0,i], M[m−1,i]
+}
+
+// localInverse runs the two-sided recursion on the segment's blocks and
+// fills the diagonal and border strips of M = B⁻¹.
+func (sg *segment) localInverse(a *cmat.BlockTri) error {
+	m := sg.hi - sg.lo + 1
+	up := func(i int) *cmat.Dense { return a.Upper[sg.lo+i] }   // A[i, i+1]
+	lo := func(i int) *cmat.Dense { return a.Lower[sg.lo+i] }   // A[i+1, i]
+	dg := func(i int) *cmat.Dense { return a.Diag[sg.lo+i] }
+
+	gL := make([]*cmat.Dense, m)
+	gR := make([]*cmat.Dense, m)
+	var err error
+	if gL[0], err = cmat.Inverse(dg(0)); err != nil {
+		return fmt.Errorf("rgf: segment [%d,%d] forward block 0: %w", sg.lo, sg.hi, err)
+	}
+	for i := 1; i < m; i++ {
+		t := dg(i).Sub(lo(i - 1).Mul(gL[i-1]).Mul(up(i - 1)))
+		if gL[i], err = cmat.Inverse(t); err != nil {
+			return fmt.Errorf("rgf: segment [%d,%d] forward block %d: %w", sg.lo, sg.hi, i, err)
+		}
+	}
+	if gR[m-1], err = cmat.Inverse(dg(m - 1)); err != nil {
+		return err
+	}
+	for i := m - 2; i >= 0; i-- {
+		t := dg(i).Sub(up(i).Mul(gR[i+1]).Mul(lo(i)))
+		if gR[i], err = cmat.Inverse(t); err != nil {
+			return err
+		}
+	}
+	sg.diag = make([]*cmat.Dense, m)
+	for i := 0; i < m; i++ {
+		t := dg(i).Clone()
+		if i > 0 {
+			t = t.Sub(lo(i - 1).Mul(gL[i-1]).Mul(up(i - 1)))
+		}
+		if i < m-1 {
+			t = t.Sub(up(i).Mul(gR[i+1]).Mul(lo(i)))
+		}
+		if sg.diag[i], err = cmat.Inverse(t); err != nil {
+			return err
+		}
+	}
+	// Border strips by running products:
+	//   M[i,0]   = M[i,i]·R_i,  R_i = (−A[i,i−1]·gL[i−1])·R_{i−1}
+	//   M[0,i]   = L_i·M[i,i],  L_i = L_{i−1}·(−gL[i−1]·A[i−1,i])
+	//   M[i,m−1] = M[i,i]·Q_i,  Q_i = (−A[i,i+1]·gR[i+1])·Q_{i+1}
+	//   M[m−1,i] = K_i·M[i,i],  K_i = K_{i+1}·(−gR[i+1]·A[i+1,i])
+	bs := a.Bs
+	sg.colFirst = make([]*cmat.Dense, m)
+	sg.rowFirst = make([]*cmat.Dense, m)
+	sg.colLast = make([]*cmat.Dense, m)
+	sg.rowLast = make([]*cmat.Dense, m)
+	r := cmat.Identity(bs)
+	l := cmat.Identity(bs)
+	for i := 0; i < m; i++ {
+		if i > 0 {
+			r = lo(i - 1).Mul(gL[i-1]).Scale(-1).Mul(r)
+			l = l.Mul(gL[i-1].Mul(up(i - 1)).Scale(-1))
+		}
+		sg.colFirst[i] = sg.diag[i].Mul(r)
+		sg.rowFirst[i] = l.Mul(sg.diag[i])
+	}
+	q := cmat.Identity(bs)
+	k := cmat.Identity(bs)
+	for i := m - 1; i >= 0; i-- {
+		if i < m-1 {
+			q = up(i).Mul(gR[i+1]).Scale(-1).Mul(q)
+			k = k.Mul(gR[i+1].Mul(lo(i)).Scale(-1))
+		}
+		sg.colLast[i] = sg.diag[i].Mul(q)
+		sg.rowLast[i] = k.Mul(sg.diag[i])
+	}
+	return nil
+}
+
+// OffDiagUpper returns G^R[n, n+1] = −gL[n]·A[n,n+1]·G^R[n+1,n+1].
+func (r *Retarded) OffDiagUpper(n int) *cmat.Dense {
+	return r.gL[n].Mul(r.a.Upper[n]).Mul(r.Diag[n+1]).Scale(-1)
+}
+
+// PartitionedRetarded computes the diagonal blocks of A⁻¹ by the
+// Schur-complement domain decomposition described above, with `segments`
+// independent segments processed by up to `workers` goroutines. With
+// segments ≤ 1 it falls back to the sequential recursion.
+func PartitionedRetarded(a *cmat.BlockTri, segments, workers int) ([]*cmat.Dense, error) {
+	n := a.N
+	if segments <= 1 {
+		ret, err := SolveRetarded(a)
+		if err != nil {
+			return nil, err
+		}
+		return ret.Diag, nil
+	}
+	// segments segments need segments−1 separators and at least one block
+	// per segment: N ≥ 2·segments − 1.
+	if n < 2*segments-1 {
+		return nil, fmt.Errorf("rgf: %d blocks cannot form %d segments", n, segments)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Separator placement: even spread.
+	seps := make([]int, segments-1)
+	isSep := make([]bool, n)
+	for j := range seps {
+		seps[j] = (j + 1) * n / segments
+		isSep[seps[j]] = true
+	}
+	segs := make([]*segment, 0, segments)
+	lo := 0
+	for b := 0; b <= n; b++ {
+		if b == n || isSep[b] {
+			if lo <= b-1 {
+				sg := &segment{lo: lo, hi: b - 1, sepL: lo - 1, sepR: b}
+				if sg.sepR >= n {
+					sg.sepR = -1
+				}
+				segs = append(segs, sg)
+			}
+			lo = b + 1
+		}
+	}
+
+	// Phase 1: parallel interior elimination.
+	var wg sync.WaitGroup
+	errs := make([]error, len(segs))
+	sem := make(chan struct{}, workers)
+	for i, sg := range segs {
+		wg.Add(1)
+		go func(i int, sg *segment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = sg.localInverse(a)
+		}(i, sg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: reduced block-tridiagonal system over the separators.
+	red := cmat.NewBlockTri(len(seps), a.Bs)
+	segOf := map[int]*segment{} // keyed by left separator of the segment
+	for _, sg := range segs {
+		segOf[sg.sepL] = sg
+	}
+	for j, s := range seps {
+		red.Diag[j] = a.Diag[s].Clone()
+		// Contribution of the segment left of s (its sepR == s).
+		if sg := segmentWithRightSep(segs, s); sg != nil {
+			m := sg.hi - sg.lo + 1
+			red.Diag[j] = red.Diag[j].Sub(
+				a.Lower[s-1].Mul(sg.diag[m-1]).Mul(a.Upper[s-1]))
+		}
+		// Contribution of the segment right of s.
+		if sg := segOf[s]; sg != nil {
+			red.Diag[j] = red.Diag[j].Sub(
+				a.Upper[s].Mul(sg.diag[0]).Mul(a.Lower[s]))
+		}
+		if j+1 < len(seps) {
+			s2 := seps[j+1]
+			if sg := segOf[s]; sg != nil && sg.sepR == s2 {
+				m := sg.hi - sg.lo + 1
+				// S[s,s2] = −A[s,first]·M[first,last]·A[last,s2] and the
+				// mirrored S[s2,s] through the same segment.
+				red.Upper[j] = a.Upper[s].Mul(sg.colLast[0]).Mul(a.Upper[s2-1]).Scale(-1)
+				red.Lower[j] = a.Lower[s2-1].Mul(sg.colFirst[m-1]).Mul(a.Lower[s]).Scale(-1)
+			} else if s2 == s+1 {
+				// Adjacent separators couple directly.
+				red.Upper[j] = a.Upper[s].Clone()
+				red.Lower[j] = a.Lower[s].Clone()
+			}
+		}
+	}
+	ret, err := SolveRetarded(red)
+	if err != nil {
+		return nil, fmt.Errorf("rgf: reduced separator system: %w", err)
+	}
+	out := make([]*cmat.Dense, n)
+	for j, s := range seps {
+		out[s] = ret.Diag[j]
+	}
+
+	// Phase 3: parallel interior recovery.
+	sepIdx := map[int]int{}
+	for j, s := range seps {
+		sepIdx[s] = j
+	}
+	for i, sg := range segs {
+		wg.Add(1)
+		go func(i int, sg *segment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = sg.recover(a, ret, sepIdx, out)
+		}(i, sg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func segmentWithRightSep(segs []*segment, s int) *segment {
+	for _, sg := range segs {
+		if sg.sepR == s {
+			return sg
+		}
+	}
+	return nil
+}
+
+// recover applies G_II = M + M·A_IS·G_SS·A_SI·M for one segment.
+func (sg *segment) recover(a *cmat.BlockTri, red *Retarded, sepIdx map[int]int, out []*cmat.Dense) error {
+	m := sg.hi - sg.lo + 1
+	hasL := sg.sepL >= 0
+	hasR := sg.sepR >= 0
+	// Couplings: A[first, L] = Lower[L], A[L, first] = Upper[L];
+	//            A[last, R] = Upper[R−1], A[R, last] = Lower[R−1].
+	var yl, xl, xr, yr *cmat.Dense
+	if hasL {
+		yl = a.Lower[sg.sepL] // A[first, L]
+		xl = a.Upper[sg.sepL] // A[L, first]
+	}
+	if hasR {
+		xr = a.Upper[sg.sepR-1] // A[last, R]
+		yr = a.Lower[sg.sepR-1] // A[R, last]
+	}
+	// Separator Green's function blocks.
+	var gLL, gRR, gLR, gRL *cmat.Dense
+	if hasL {
+		gLL = red.Diag[sepIdx[sg.sepL]]
+	}
+	if hasR {
+		gRR = red.Diag[sepIdx[sg.sepR]]
+	}
+	if hasL && hasR {
+		j := sepIdx[sg.sepL]
+		gLR = red.OffDiagUpper(j) // G[L, R]
+		gRL = red.OffDiagLower(j) // G[R, L]
+	}
+	for i := 0; i < m; i++ {
+		g := sg.diag[i].Clone()
+		// Left factor pieces: u_L = M[i,0]·A[first,L], u_R = M[i,m−1]·A[last,R];
+		// right pieces: v_L = A[L,first]·M[0,i], v_R = A[R,last]·M[m−1,i].
+		var uL, uR, vL, vR *cmat.Dense
+		if hasL {
+			uL = sg.colFirst[i].Mul(yl)
+			vL = xl.Mul(sg.rowFirst[i])
+		}
+		if hasR {
+			uR = sg.colLast[i].Mul(xr)
+			vR = yr.Mul(sg.rowLast[i])
+		}
+		if hasL {
+			g.AddInPlace(uL.Mul(gLL).Mul(vL))
+		}
+		if hasR {
+			g.AddInPlace(uR.Mul(gRR).Mul(vR))
+		}
+		if hasL && hasR {
+			g.AddInPlace(uL.Mul(gLR).Mul(vR))
+			g.AddInPlace(uR.Mul(gRL).Mul(vL))
+		}
+		out[sg.lo+i] = g
+	}
+	return nil
+}

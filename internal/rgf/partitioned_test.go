@@ -1,0 +1,91 @@
+package rgf
+
+import (
+	"math/rand"
+	"testing"
+
+	"negfsim/internal/cmat"
+)
+
+func TestPartitionedRetardedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, cfg := range []struct{ n, bs, segments int }{
+		{5, 3, 2}, {7, 2, 3}, {9, 4, 2}, {12, 3, 4}, {11, 2, 5}, {3, 2, 2},
+	} {
+		a := randomSystem(rng, cfg.n, cfg.bs, 2.5, 0.6)
+		want, err := SolveRetarded(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PartitionedRetarded(a, cfg.segments, 4)
+		if err != nil {
+			t.Fatalf("n=%d segments=%d: %v", cfg.n, cfg.segments, err)
+		}
+		for i := 0; i < cfg.n; i++ {
+			if d := got[i].MaxAbsDiff(want.Diag[i]); d > 1e-8 {
+				t.Fatalf("n=%d bs=%d segments=%d block %d: diff %g",
+					cfg.n, cfg.bs, cfg.segments, i, d)
+			}
+		}
+	}
+}
+
+func TestPartitionedRetardedFallbackAndErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	a := randomSystem(rng, 4, 2, 2.0, 0.5)
+	// segments ≤ 1 falls back to the sequential solver.
+	got, err := PartitionedRetarded(a, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := SolveRetarded(a)
+	for i := range got {
+		if d := got[i].MaxAbsDiff(want.Diag[i]); d > 1e-12 {
+			t.Fatalf("fallback differs at block %d by %g", i, d)
+		}
+	}
+	// Too many segments for the chain length.
+	if _, err := PartitionedRetarded(a, 4, 2); err == nil {
+		t.Fatal("4 segments over 4 blocks must be rejected")
+	}
+}
+
+func TestPartitionedWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	a := randomSystem(rng, 13, 3, 2.2, 0.5)
+	ref, err := PartitionedRetarded(a, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := PartitionedRetarded(a, 4, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if d := got[i].MaxAbsDiff(ref[i]); d != 0 {
+				t.Fatalf("workers=%d: result depends on worker count (block %d, %g)", workers, i, d)
+			}
+		}
+	}
+}
+
+func TestOffDiagUpperMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	a := randomSystem(rng, 4, 3, 2.0, 0.5)
+	ret, err := SolveRetarded(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cmat.Inverse(a.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := a.Bs
+	for n := 0; n < a.N-1; n++ {
+		want := full.Submatrix(n*bs, (n+1)*bs, (n+1)*bs, (n+2)*bs)
+		if d := ret.OffDiagUpper(n).MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("off-diagonal block (%d,%d+1): diff %g", n, n, d)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package rgf
+
+import (
+	"fmt"
+
+	"negfsim/internal/cmat"
+)
+
+// PhononScattering carries the per-RGF-block phonon self-energy matrices
+// Π^R, Π^≷ for one (ω, qz) point; entries may be nil.
+type PhononScattering struct {
+	R, Less, Gtr []*cmat.Dense
+}
+
+// PhononContacts sets the lattice temperature of the two contacts via their
+// Bose occupations.
+type PhononContacts struct {
+	KTL, KTR float64 // thermal energies of the left/right heat bath [eV]
+}
+
+// PhononResult is the solution of Eq. (2) at one (ω, qz) point.
+type PhononResult struct {
+	DR, DLess, DGtr []*cmat.Dense // diagonal blocks
+
+	// HeatL/HeatR are the phonon (energy) currents at the contacts,
+	// Tr[Π^<_c·D^> − Π^>_c·D^<] in natural units.
+	HeatL, HeatR float64
+}
+
+// SolvePhonon solves one (ω, qz) point of Eq. (2):
+// (ω²·I − Φ(qz) − Π^R)·D^R = I and D^≷ = D^R·Π^≷·D^A.
+// hw is the phonon energy ℏω in eV; the squared frequency enters the
+// operator directly.
+func SolvePhonon(phi *cmat.BlockTri, hw float64, scat PhononScattering, c PhononContacts, eta float64) (*PhononResult, error) {
+	if hw <= 0 {
+		return nil, fmt.Errorf("rgf: phonon energy must be positive, got %g", hw)
+	}
+	n := phi.N
+	// A = (ω² + iη)·I − Φ. ShiftDiag needs an S operand: block identity.
+	eye := cmat.NewBlockTri(phi.N, phi.Bs)
+	for i := 0; i < phi.N; i++ {
+		eye.Diag[i] = cmat.Identity(phi.Bs)
+	}
+	w2 := complex(hw*hw, eta)
+	a0 := phi.ShiftDiag(w2, eye)
+	sigL, sigR, err := BoundarySelfEnergies(a0, 1e-10)
+	if err != nil {
+		return nil, err
+	}
+	gamL, gamR := Broadening(sigL), Broadening(sigR)
+
+	a := a0.Clone()
+	a.Diag[0] = a.Diag[0].Sub(sigL)
+	a.Diag[n-1] = a.Diag[n-1].Sub(sigR)
+	if scat.R != nil {
+		for i := 0; i < n; i++ {
+			if scat.R[i] != nil {
+				a.Diag[i] = a.Diag[i].Sub(scat.R[i])
+			}
+		}
+	}
+
+	ret, err := SolveRetarded(a)
+	if err != nil {
+		return nil, err
+	}
+
+	nL := BoseEinstein(hw, c.KTL)
+	nR := BoseEinstein(hw, c.KTR)
+	// Π^< = −i·N·Γ and Π^> = −i·(N+1)·Γ at the contacts, so that
+	// Π^> − Π^< = −i·Γ = Π^R − Π^A holds.
+	piLess := make([]*cmat.Dense, n)
+	piGtr := make([]*cmat.Dense, n)
+	for i := 0; i < n; i++ {
+		less := cmat.NewDense(phi.Bs, phi.Bs)
+		gtr := cmat.NewDense(phi.Bs, phi.Bs)
+		if scat.Less != nil && scat.Less[i] != nil {
+			less.AddInPlace(scat.Less[i])
+		}
+		if scat.Gtr != nil && scat.Gtr[i] != nil {
+			gtr.AddInPlace(scat.Gtr[i])
+		}
+		piLess[i] = less
+		piGtr[i] = gtr
+	}
+	piLess[0].AddScaledInPlace(complex(0, -nL), gamL)
+	piGtr[0].AddScaledInPlace(complex(0, -(nL+1)), gamL)
+	piLess[n-1].AddScaledInPlace(complex(0, -nR), gamR)
+	piGtr[n-1].AddScaledInPlace(complex(0, -(nR+1)), gamR)
+
+	res := &PhononResult{DR: ret.Diag}
+	res.DLess = ret.SolveKeldysh(piLess)
+	res.DGtr = ret.SolveKeldysh(piGtr)
+
+	cLessL := gamL.Scale(complex(0, -nL))
+	cGtrL := gamL.Scale(complex(0, -(nL + 1)))
+	cLessR := gamR.Scale(complex(0, -nR))
+	cGtrR := gamR.Scale(complex(0, -(nR + 1)))
+	res.HeatL = real(cLessL.Mul(res.DGtr[0]).Trace() - cGtrL.Mul(res.DLess[0]).Trace())
+	res.HeatR = real(cLessR.Mul(res.DGtr[n-1]).Trace() - cGtrR.Mul(res.DLess[n-1]).Trace())
+	return res, nil
+}

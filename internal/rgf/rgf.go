@@ -1,0 +1,112 @@
+package rgf
+
+import (
+	"fmt"
+
+	"negfsim/internal/cmat"
+)
+
+// Retarded holds the output of the retarded RGF pass: the diagonal blocks of
+// G^R = A⁻¹ and the left-connected Green's functions gL needed by the lesser
+// pass.
+type Retarded struct {
+	Diag []*cmat.Dense // G^R[n,n]
+	gL   []*cmat.Dense // left-connected g^L[n]
+	a    *cmat.BlockTri
+}
+
+// SolveRetarded runs the forward/backward recursion on the block-tridiagonal
+// inverse-GF operator A (boundary self-energies must already be folded into
+// A's corner blocks):
+//
+//	forward:  gL[0] = A[0,0]⁻¹,  gL[n] = (A[n,n] − A[n,n−1]·gL[n−1]·A[n−1,n])⁻¹
+//	backward: G[N−1] = gL[N−1], G[n] = gL[n] + gL[n]·A[n,n+1]·G[n+1]·A[n+1,n]·gL[n]
+func SolveRetarded(a *cmat.BlockTri) (*Retarded, error) {
+	n := a.N
+	r := &Retarded{Diag: make([]*cmat.Dense, n), gL: make([]*cmat.Dense, n), a: a}
+	g, err := cmat.Inverse(a.Diag[0])
+	if err != nil {
+		return nil, fmt.Errorf("rgf: forward block 0: %w", err)
+	}
+	r.gL[0] = g
+	for i := 1; i < n; i++ {
+		m := a.Diag[i].Sub(a.Lower[i-1].Mul(r.gL[i-1]).Mul(a.Upper[i-1]))
+		g, err = cmat.Inverse(m)
+		if err != nil {
+			return nil, fmt.Errorf("rgf: forward block %d: %w", i, err)
+		}
+		r.gL[i] = g
+	}
+	r.Diag[n-1] = r.gL[n-1]
+	for i := n - 2; i >= 0; i-- {
+		corr := r.gL[i].Mul(a.Upper[i]).Mul(r.Diag[i+1]).Mul(a.Lower[i]).Mul(r.gL[i])
+		r.Diag[i] = r.gL[i].Add(corr)
+	}
+	return r, nil
+}
+
+// OffDiagLower returns G^R[n+1, n] = −G^R[n+1,n+1]·A[n+1,n]·gL[n], the
+// sub-diagonal block of the retarded Green's function.
+func (r *Retarded) OffDiagLower(n int) *cmat.Dense {
+	return r.Diag[n+1].Mul(r.a.Lower[n]).Mul(r.gL[n]).Scale(-1)
+}
+
+// SolveKeldysh computes the diagonal blocks of G^≷ = G^R·Σ^≷·G^A for a
+// block-diagonal Σ^≷ (per-RGF-block matrices; contact Σ^≷ is folded into the
+// corner blocks by the caller). The recursion is
+//
+//	g<L[0] = gL[0]·Σ[0]·gL[0]^H
+//	g<L[n] = gL[n]·(Σ[n] + A[n,n−1]·g<L[n−1]·A[n,n−1]^H)·gL[n]^H
+//	G<[N−1] = g<L[N−1]
+//	G<[n] = g<L[n] + gL[n]·A[n,n+1]·G<[n+1]·A[n,n+1]^H·gL[n]^H
+//	        + M·g<L[n] + g<L[n]·M^H,   M = gL[n]·A[n,n+1]·G^R[n+1]·A[n+1,n]
+func (r *Retarded) SolveKeldysh(sigma []*cmat.Dense) []*cmat.Dense {
+	n := r.a.N
+	if len(sigma) != n {
+		panic(fmt.Sprintf("rgf: SolveKeldysh got %d self-energy blocks for %d RGF blocks", len(sigma), n))
+	}
+	a := r.a
+	gLess := make([]*cmat.Dense, n)
+	lLess := make([]*cmat.Dense, n)
+	lLess[0] = r.gL[0].Mul(sigma[0]).Mul(r.gL[0].ConjTranspose())
+	for i := 1; i < n; i++ {
+		inner := sigma[i].Add(a.Lower[i-1].Mul(lLess[i-1]).Mul(a.Lower[i-1].ConjTranspose()))
+		lLess[i] = r.gL[i].Mul(inner).Mul(r.gL[i].ConjTranspose())
+	}
+	gLess[n-1] = lLess[n-1]
+	for i := n - 2; i >= 0; i-- {
+		gli := r.gL[i]
+		gliH := gli.ConjTranspose()
+		t1 := gli.Mul(a.Upper[i]).Mul(gLess[i+1]).Mul(a.Upper[i].ConjTranspose()).Mul(gliH)
+		m := gli.Mul(a.Upper[i]).Mul(r.Diag[i+1]).Mul(a.Lower[i])
+		t2 := m.Mul(lLess[i])
+		t3 := lLess[i].Mul(m.ConjTranspose())
+		gLess[i] = lLess[i].Add(t1).Add(t2).Add(t3)
+	}
+	return gLess
+}
+
+// DenseReference solves the same system by full dense inversion; used by
+// validation tests and the naive ("Python") benchmark variant of Table 7.
+func DenseReference(a *cmat.BlockTri, sigma []*cmat.Dense) (grDiag, gLessDiag []*cmat.Dense, err error) {
+	ad := a.ToDense()
+	gr, err := cmat.Inverse(ad)
+	if err != nil {
+		return nil, nil, err
+	}
+	bs := a.Bs
+	sig := cmat.NewDense(ad.Rows, ad.Cols)
+	for i, s := range sigma {
+		if s != nil {
+			sig.SetSubmatrix(i*bs, i*bs, s)
+		}
+	}
+	gLess := gr.Mul(sig).Mul(gr.ConjTranspose())
+	grDiag = make([]*cmat.Dense, a.N)
+	gLessDiag = make([]*cmat.Dense, a.N)
+	for i := 0; i < a.N; i++ {
+		grDiag[i] = gr.Submatrix(i*bs, (i+1)*bs, i*bs, (i+1)*bs)
+		gLessDiag[i] = gLess.Submatrix(i*bs, (i+1)*bs, i*bs, (i+1)*bs)
+	}
+	return grDiag, gLessDiag, nil
+}

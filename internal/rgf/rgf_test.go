@@ -1,0 +1,199 @@
+package rgf
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"negfsim/internal/cmat"
+)
+
+// randomSystem builds a Hermitian block-tridiagonal operator shifted into
+// the complex plane so that it is safely invertible:
+// A = (E + iη)·I − H with H random Hermitian.
+func randomSystem(rng *rand.Rand, n, bs int, energy, eta float64) *cmat.BlockTri {
+	a := cmat.NewBlockTri(n, bs)
+	for i := 0; i < n; i++ {
+		h := cmat.RandomHermitian(rng, bs, 0)
+		a.Diag[i] = h.Scale(-1)
+		for j := 0; j < bs; j++ {
+			a.Diag[i].Set(j, j, a.Diag[i].At(j, j)+complex(energy, eta))
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		a.Upper[i] = cmat.RandomDense(rng, bs, bs).Scale(0.3)
+		a.Lower[i] = a.Upper[i].ConjTranspose().Scale(1)
+	}
+	return a
+}
+
+func randomScattering(rng *rand.Rand, n, bs int) []*cmat.Dense {
+	out := make([]*cmat.Dense, n)
+	for i := range out {
+		// Anti-Hermitian blocks, like physical Σ^≷.
+		h := cmat.RandomHermitian(rng, bs, 0)
+		out[i] = h.Scale(1i)
+	}
+	return out
+}
+
+func TestSolveRetardedMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []struct{ n, bs int }{{1, 4}, {2, 3}, {4, 5}, {7, 2}} {
+		a := randomSystem(rng, cfg.n, cfg.bs, 3.0, 0.5)
+		ret, err := SolveRetarded(a)
+		if err != nil {
+			t.Fatalf("n=%d bs=%d: %v", cfg.n, cfg.bs, err)
+		}
+		want, _, err := DenseReference(a, make([]*cmat.Dense, cfg.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cfg.n; i++ {
+			if d := ret.Diag[i].MaxAbsDiff(want[i]); d > 1e-9 {
+				t.Fatalf("n=%d bs=%d block %d: RGF vs dense diff %g", cfg.n, cfg.bs, i, d)
+			}
+		}
+	}
+}
+
+func TestSolveKeldyshMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, cfg := range []struct{ n, bs int }{{1, 3}, {2, 4}, {5, 3}} {
+		a := randomSystem(rng, cfg.n, cfg.bs, 2.5, 0.4)
+		sig := randomScattering(rng, cfg.n, cfg.bs)
+		ret, err := SolveRetarded(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ret.SolveKeldysh(sig)
+		_, want, err := DenseReference(a, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cfg.n; i++ {
+			if d := got[i].MaxAbsDiff(want[i]); d > 1e-9 {
+				t.Fatalf("n=%d bs=%d block %d: Keldysh RGF vs dense diff %g", cfg.n, cfg.bs, i, d)
+			}
+		}
+	}
+}
+
+func TestOffDiagLowerMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSystem(rng, 4, 3, 2.0, 0.5)
+	ret, err := SolveRetarded(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cmat.Inverse(a.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := a.Bs
+	for n := 0; n < a.N-1; n++ {
+		want := full.Submatrix((n+1)*bs, (n+2)*bs, n*bs, (n+1)*bs)
+		if d := ret.OffDiagLower(n).MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("off-diagonal block (%d+1,%d): diff %g", n, n, d)
+		}
+	}
+}
+
+func TestSurfaceGFScalarChain(t *testing.T) {
+	// 1-D chain, onsite 0, hopping t: the retarded surface GF obeys
+	// t²·g² − (E+iη)·g + 1 = 0 with Im g < 0 inside the band.
+	// η = 1e-6 matches the broadening the solvers use; much smaller values
+	// hit the decimation's ε_mach/η² cancellation limit at the band center.
+	hop := 0.5
+	for _, e := range []float64{-0.7, 0.0, 0.4, 0.9} {
+		z := complex(e, 1e-6)
+		a00 := cmat.DenseFromSlice(1, 1, []complex128{z})
+		a01 := cmat.DenseFromSlice(1, 1, []complex128{complex(-hop, 0)})
+		a10 := cmat.DenseFromSlice(1, 1, []complex128{complex(-hop, 0)})
+		g, err := SurfaceGF(a00, a01, a10, 1e-14)
+		if err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+		gv := g.At(0, 0)
+		resid := complex(hop*hop, 0)*gv*gv - z*gv + 1
+		if cmplx.Abs(resid) > 1e-4 {
+			t.Fatalf("E=%g: surface GF residual %g", e, cmplx.Abs(resid))
+		}
+		if math.Abs(e) < 2*hop && imag(gv) >= 0 {
+			t.Fatalf("E=%g: retarded branch must have Im g < 0 in band, got %g", e, imag(gv))
+		}
+	}
+}
+
+func TestSurfaceGFOutsideBandIsReal(t *testing.T) {
+	hop := 0.25
+	z := complex(3.0, 1e-9) // far outside the band [−0.5, 0.5]
+	a00 := cmat.DenseFromSlice(1, 1, []complex128{z})
+	tt := cmat.DenseFromSlice(1, 1, []complex128{complex(-hop, 0)})
+	g, err := SurfaceGF(a00, tt, tt, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imag(g.At(0, 0))) > 1e-6 {
+		t.Fatalf("outside the band Im g should vanish, got %g", imag(g.At(0, 0)))
+	}
+}
+
+func TestBoundarySelfEnergiesNeedTwoBlocks(t *testing.T) {
+	a := cmat.NewBlockTri(1, 2)
+	if _, _, err := BoundarySelfEnergies(a, 1e-10); err == nil {
+		t.Fatal("expected error for single-block operator")
+	}
+}
+
+func TestBroadeningHermitianPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sig := cmat.RandomDense(rng, 4, 4)
+	gam := Broadening(sig)
+	if !gam.IsHermitian(1e-12) {
+		t.Fatal("Γ must be Hermitian")
+	}
+}
+
+func TestFermiDirac(t *testing.T) {
+	if FermiDirac(-1, 0, 0.025) < 0.999 {
+		t.Fatal("deep below mu, f ≈ 1")
+	}
+	if FermiDirac(1, 0, 0.025) > 1e-10 {
+		t.Fatal("far above mu, f ≈ 0")
+	}
+	if got := FermiDirac(0, 0, 0.025); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("f(mu) = %g, want 0.5", got)
+	}
+	// Zero-temperature step.
+	if FermiDirac(-0.01, 0, 0) != 1 || FermiDirac(0.01, 0, 0) != 0 || FermiDirac(0, 0, 0) != 0.5 {
+		t.Fatal("zero-temperature step wrong")
+	}
+	// Monotone decreasing.
+	prev := 2.0
+	for e := -1.0; e <= 1.0; e += 0.05 {
+		f := FermiDirac(e, 0, 0.05)
+		if f > prev {
+			t.Fatal("Fermi function must be non-increasing")
+		}
+		prev = f
+	}
+}
+
+func TestBoseEinstein(t *testing.T) {
+	if BoseEinstein(0.5, 0.025) > 1e-8 {
+		t.Fatal("high-energy phonons barely occupied")
+	}
+	if BoseEinstein(0.001, 0.025) < 20 {
+		t.Fatal("low-energy phonons heavily occupied")
+	}
+	if BoseEinstein(0.01, 0) != 0 {
+		t.Fatal("zero temperature, zero occupation")
+	}
+	// Detailed balance: N(ω)·e^{ω/kT} = N(ω) + 1.
+	n := BoseEinstein(0.02, 0.025)
+	if math.Abs(n*math.Exp(0.02/0.025)-(n+1)) > 1e-9 {
+		t.Fatal("detailed balance violated")
+	}
+}

@@ -1,0 +1,89 @@
+// Package rgf implements the recursive Green's function algorithm of
+// Svizhenko et al. used by the GF phase of the paper (§2): a forward and a
+// backward pass over the bnum blocks of the block-tridiagonal system
+//
+//	(E·S(kz) − H(kz) − Σ^R(E,kz)) · G^R = I,
+//	G^≷ = G^R · Σ^≷ · G^A,
+//
+// together with open-boundary self-energies computed by Sancho-Rubio
+// decimation (the numerical stand-in for OMEN's contour-integral boundary
+// solver — both produce the contact self-energy Σ^RB; see DESIGN.md), and
+// the analogous phonon system (ω²·I − Φ(qz) − Π^R)·D^R = I.
+package rgf
+
+import (
+	"errors"
+	"fmt"
+
+	"negfsim/internal/cmat"
+)
+
+// surfaceGFMaxIter bounds the Sancho-Rubio decimation. Convergence is
+// quadratic away from band edges but degrades to roughly one bit per
+// doubling at the band center when the broadening η is tiny, so the cap is
+// generous; each iteration is cheap (a handful of block operations).
+const surfaceGFMaxIter = 400
+
+// ErrNoConvergence is returned when the boundary decimation stalls.
+var ErrNoConvergence = errors.New("rgf: surface Green's function did not converge")
+
+// SurfaceGF computes the surface (edge-cell) retarded Green's function of a
+// semi-infinite periodic chain with onsite inverse-GF block a00 and
+// inter-cell couplings a01 (towards the bulk) and a10 (back), using
+// Sancho-Rubio decimation: g = (a00 − a01·g·a10)⁻¹.
+func SurfaceGF(a00, a01, a10 *cmat.Dense, tol float64) (*cmat.Dense, error) {
+	epsS := a00.Clone()
+	eps := a00.Clone()
+	alpha := a01.Clone()
+	beta := a10.Clone()
+	for iter := 0; iter < surfaceGFMaxIter; iter++ {
+		g, err := cmat.Inverse(eps)
+		if err != nil {
+			return nil, fmt.Errorf("rgf: decimation step %d: %w", iter, err)
+		}
+		agb := alpha.Mul(g).Mul(beta)
+		bga := beta.Mul(g).Mul(alpha)
+		epsS = epsS.Sub(agb)
+		eps = eps.Sub(agb).Sub(bga)
+		alpha = alpha.Mul(g).Mul(alpha)
+		beta = beta.Mul(g).Mul(beta)
+		// Converged when the remaining couplings can no longer move ε_s:
+		// the next correction is bounded by ‖α‖·‖g‖·‖β‖.
+		if alpha.FrobNorm()*g.FrobNorm()*beta.FrobNorm() < tol*(1+epsS.FrobNorm()) {
+			return cmat.Inverse(epsS)
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// BoundarySelfEnergies returns the retarded contact self-energies (Σ_L, Σ_R)
+// for the open system described by the inverse-GF operator A = E·S − H (or
+// ω²·I − Φ): the left lead repeats A's first block, the right lead its last.
+// Σ_L is added to block 0 and Σ_R to block N−1 of the device.
+func BoundarySelfEnergies(a *cmat.BlockTri, tol float64) (sigL, sigR *cmat.Dense, err error) {
+	if a.N < 2 {
+		return nil, nil, errors.New("rgf: boundary self-energies need at least 2 blocks")
+	}
+	// Left lead grows to the left: from the surface cell, the coupling
+	// deeper into the lead is A10-like (towards smaller indices).
+	gL, err := SurfaceGF(a.Diag[0], a.Lower[0], a.Upper[0], tol)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rgf: left contact: %w", err)
+	}
+	// Σ_L = A(0,-1)·g_L·A(-1,0) with A(0,-1) ≡ A10 pattern, A(-1,0) ≡ A01.
+	sigL = a.Lower[0].Mul(gL).Mul(a.Upper[0])
+
+	n := a.N
+	gR, err := SurfaceGF(a.Diag[n-1], a.Upper[n-2], a.Lower[n-2], tol)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rgf: right contact: %w", err)
+	}
+	sigR = a.Upper[n-2].Mul(gR).Mul(a.Lower[n-2])
+	return sigL, sigR, nil
+}
+
+// Broadening returns Γ = i(Σ − Σ^H), the contact broadening matrix of a
+// retarded boundary self-energy.
+func Broadening(sigma *cmat.Dense) *cmat.Dense {
+	return sigma.Sub(sigma.ConjTranspose()).Scale(1i)
+}

@@ -1,0 +1,82 @@
+package rgf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"negfsim/internal/cmat"
+	"negfsim/internal/device"
+)
+
+func TestCornerBlockMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := randomSystem(rng, 5, 3, 2.0, 0.5)
+	ret, err := SolveRetarded(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cmat.Inverse(a.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := a.Bs
+	want := full.Submatrix((a.N-1)*bs, a.N*bs, 0, bs)
+	if d := ret.CornerBlock().MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("corner block vs dense diff %g", d)
+	}
+}
+
+func TestLandauerEqualsMeirWingreen(t *testing.T) {
+	// For coherent (ballistic) transport the Meir-Wingreen contact current
+	// must equal the Landauer form T(E)·(f_L − f_R) at every energy — a
+	// strong end-to-end identity linking the Keldysh and scattering
+	// pictures of the same solver.
+	d, err := device.New(device.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := d.Hamiltonian(0)
+	s := d.Overlap(0)
+	c := Contacts{MuL: 0.25, MuR: -0.15, KT: 0.03}
+	var sawTransmission bool
+	for _, e := range []float64{-0.2, -0.05, 0.0, 0.1, 0.2} {
+		res, trans, err := SolveElectronBallistic(h, s, e, c, 1e-6)
+		if err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+		if trans < -1e-9 {
+			t.Fatalf("E=%g: negative transmission %g", e, trans)
+		}
+		if trans > 1e-6 {
+			sawTransmission = true
+		}
+		landauer := trans * (FermiDirac(e, c.MuL, c.KT) - FermiDirac(e, c.MuR, c.KT))
+		// Exact at η = 0; the iη broadening absorbs O(η/Γ) of the current.
+		if diff := math.Abs(res.CurrentL - landauer); diff > 1e-3*(1+math.Abs(landauer)) {
+			t.Fatalf("E=%g: Meir-Wingreen %g vs Landauer %g", e, res.CurrentL, landauer)
+		}
+	}
+	if !sawTransmission {
+		t.Fatal("no energy in the sweep transmitted — test vacuous")
+	}
+}
+
+func TestTransmissionBoundedByChannels(t *testing.T) {
+	// T(E) cannot exceed the number of conduction channels (the block size).
+	d, err := device.New(device.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := d.Hamiltonian(1)
+	s := d.Overlap(1)
+	for e := -0.5; e <= 0.5; e += 0.1 {
+		_, trans, err := SolveElectronBallistic(h, s, e, Contacts{MuL: 0.1, MuR: -0.1, KT: 0.025}, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trans > float64(h.Bs)+1e-6 {
+			t.Fatalf("E=%g: transmission %g exceeds channel count %d", e, trans, h.Bs)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package sdfg
+
+import (
+	"fmt"
+	"slices"
+)
+
+// BuildMatMul constructs the naive matrix-multiplication SDFG of Fig. 4:
+// a single map over [0,M)×[0,N)×[0,K) whose tasklet accumulates
+// C[i,j] += A[i,k]·B[k,j] with sum conflict resolution.
+func BuildMatMul() *Program {
+	p := NewProgram("matmul")
+	p.AddArray("A", Complex, false, Sym("M"), Sym("K"))
+	p.AddArray("B", Complex, false, Sym("K"), Sym("N"))
+	p.AddArray("C", Complex, false, Sym("M"), Sym("N"))
+	s := p.AddState("main")
+	s.Ops = []Op{&MapOp{
+		Name:   "gemm",
+		Params: []string{"i", "j", "k"},
+		Ranges: []Range{Span(Sym("M")), Span(Sym("N")), Span(Sym("K"))},
+		Body: []Op{&Tasklet{
+			Name:   "mult",
+			Inputs: []Access{At("A", Sym("i"), Sym("k")), At("B", Sym("k"), Sym("j"))},
+			Output: At("C", Sym("i"), Sym("j")),
+			WCR:    true,
+			Fn:     func(in []complex128) complex128 { return in[0] * in[1] },
+		}},
+	}}
+	return p
+}
+
+// BuildSSESigma constructs the Σ^≷ SSE computation as the three-map state
+// of Fig. 9 (the monolithic Fig. 8 map after Map Fission), scalarized to
+// element tasklets. The arrays carry the paper's shapes:
+//
+//	G     [Nkz, NE, NA, no, no]          electron Green's function
+//	dH    [NA, NB, N3D, no, no]          Hamiltonian derivative
+//	Dpre  [Nqz, Nw, NA, NB, N3D, N3D]    preprocessed phonon GF
+//	neigh [NA, NB]                       the f(a, b) indirection table
+//	Sigma [Nkz, NE, NA, no, no]          output self-energy
+//
+// and the transients dHG and dHD still carry the redundant (q, w) and (j)
+// dimensions that the Fig. 10 transformations remove. To keep the index
+// arithmetic on-grid without modular wrap, the output ranges iterate the
+// interior k ∈ [Nqz, Nkz), E ∈ [Nw, NE) — the demonstration domain.
+func BuildSSESigma() *Program {
+	p := NewProgram("sse_sigma")
+	no := Sym("no")
+	p.AddArray("G", Complex, false, Sym("Nkz"), Sym("NE"), Sym("NA"), no, no)
+	p.AddArray("dH", Complex, false, Sym("NA"), Sym("NB"), Sym("N3D"), no, no)
+	p.AddArray("Dpre", Complex, false, Sym("Nqz"), Sym("Nw"), Sym("NA"), Sym("NB"), Sym("N3D"), Sym("N3D"))
+	p.AddArray("neigh", Int, false, Sym("NA"), Sym("NB"))
+	p.AddArray("Sigma", Complex, false, Sym("Nkz"), Sym("NE"), Sym("NA"), no, no)
+	p.AddArray("dHG", Complex, true, Sym("Nkz"), Sym("NE"), Sym("Nqz"), Sym("Nw"), Sym("N3D"), Sym("NA"), Sym("NB"), no, no)
+	p.AddArray("dHD", Complex, true, Sym("Nqz"), Sym("Nw"), Sym("N3D"), Sym("N3D"), Sym("NA"), Sym("NB"), no, no)
+
+	f := IndirectIndex{Table: "neigh", At: []IndexExpr{ExprIndex{Sym("a")}, ExprIndex{Sym("b")}}}
+	kq := Sub(Sym("k"), Sym("q"))
+	ew := Sub(Sym("E"), Sym("w"))
+	interiorK := NewRange(Sym("Nqz"), Sym("Nkz"))
+	interiorE := NewRange(Sym("Nw"), Sym("NE"))
+
+	s := p.AddState("sse")
+	s.Ops = []Op{
+		// ∇H·G^≷ (top-left map of Fig. 9, still over the full 10-D space).
+		&MapOp{
+			Name:   "dHG",
+			Params: []string{"k", "E", "q", "w", "i", "a", "b", "m", "p", "l"},
+			Ranges: []Range{interiorK, interiorE, Span(Sym("Nqz")), Span(Sym("Nw")),
+				Span(Sym("N3D")), Span(Sym("NA")), Span(Sym("NB")), Span(no), Span(no), Span(no)},
+			Body: []Op{&Tasklet{
+				Name: "mult_dHG",
+				Inputs: []Access{
+					{Array: "G", Index: []IndexExpr{ExprIndex{kq}, ExprIndex{ew}, f, ExprIndex{Sym("m")}, ExprIndex{Sym("l")}}},
+					At("dH", Sym("a"), Sym("b"), Sym("i"), Sym("l"), Sym("p")),
+				},
+				Output: At("dHG", Sym("k"), Sym("E"), Sym("q"), Sym("w"), Sym("i"), Sym("a"), Sym("b"), Sym("m"), Sym("p")),
+				WCR:    true,
+				Fn:     func(in []complex128) complex128 { return in[0] * in[1] },
+			}},
+		},
+		// ∇H·D^≷ (top-right map of Fig. 9).
+		&MapOp{
+			Name:   "dHD",
+			Params: []string{"q", "w", "i", "j", "a", "b", "p", "n"},
+			Ranges: []Range{Span(Sym("Nqz")), Span(Sym("Nw")), Span(Sym("N3D")), Span(Sym("N3D")),
+				Span(Sym("NA")), Span(Sym("NB")), Span(no), Span(no)},
+			Body: []Op{&Tasklet{
+				Name: "scale_dHD",
+				Inputs: []Access{
+					At("dH", Sym("a"), Sym("b"), Sym("j"), Sym("p"), Sym("n")),
+					At("Dpre", Sym("q"), Sym("w"), Sym("a"), Sym("b"), Sym("i"), Sym("j")),
+				},
+				Output: At("dHD", Sym("q"), Sym("w"), Sym("i"), Sym("j"), Sym("a"), Sym("b"), Sym("p"), Sym("n")),
+				Fn:     func(in []complex128) complex128 { return in[0] * in[1] },
+			}},
+		},
+		// Σ accumulation (bottom map of Fig. 9).
+		&MapOp{
+			Name:   "sigma",
+			Params: []string{"k", "E", "q", "w", "i", "j", "a", "b", "m", "n", "p"},
+			Ranges: []Range{interiorK, interiorE, Span(Sym("Nqz")), Span(Sym("Nw")),
+				Span(Sym("N3D")), Span(Sym("N3D")), Span(Sym("NA")), Span(Sym("NB")),
+				Span(no), Span(no), Span(no)},
+			Body: []Op{&Tasklet{
+				Name: "acc_sigma",
+				Inputs: []Access{
+					At("dHG", Sym("k"), Sym("E"), Sym("q"), Sym("w"), Sym("i"), Sym("a"), Sym("b"), Sym("m"), Sym("p")),
+					At("dHD", Sym("q"), Sym("w"), Sym("i"), Sym("j"), Sym("a"), Sym("b"), Sym("p"), Sym("n")),
+				},
+				Output: At("Sigma", Sym("k"), Sym("E"), Sym("a"), Sym("m"), Sym("n")),
+				WCR:    true,
+				Fn:     func(in []complex128) complex128 { return in[0] * in[1] },
+			}},
+		},
+	}
+	return p
+}
+
+// AbsorbOffset applies the redundancy-removal transformation of Fig. 10(b)
+// to the producer map m of transient `array`: map parameter `param` appears
+// in m's inputs only inside the offset expression param−offsetParam, so the
+// (param, offsetParam) sweep recomputes every shifted value; the map is
+// rewritten to iterate the shifted value directly. Concretely:
+//
+//   - input subscripts param−offsetParam become param;
+//   - param's range becomes the propagated range of param−offsetParam;
+//   - offsetParam is removed from the map, and the output array loses the
+//     dimension subscripted by it;
+//   - consumers of `array` replace their subscript s_param at param's
+//     dimension with s_param − s_offset and drop the offset dimension.
+func AbsorbOffset(prog *Program, m *MapOp, param, offsetParam, array string) error {
+	pi := slices.Index(m.Params, param)
+	oi := slices.Index(m.Params, offsetParam)
+	if pi < 0 || oi < 0 {
+		return errf("map %q lacks parameter %q or %q", m.Name, param, offsetParam)
+	}
+	offExpr := Sub(Sym(param), Sym(offsetParam))
+	scope := map[string]Range{param: m.Ranges[pi], offsetParam: m.Ranges[oi]}
+	prop, err := PropagateExpr(offExpr, scope)
+	if err != nil {
+		return err
+	}
+
+	// Locate the output dimensions subscripted by param and offsetParam.
+	outParamDim, outOffDim := -1, -1
+	for _, op := range m.Body {
+		t, ok := op.(*Tasklet)
+		if !ok {
+			return errf("AbsorbOffset needs a flat tasklet body")
+		}
+		if t.Output.Array != array {
+			return errf("tasklet %q writes %q, not %q", t.Name, t.Output.Array, array)
+		}
+		for d, ix := range t.Output.Index {
+			e, ok := ix.(ExprIndex)
+			if !ok {
+				continue
+			}
+			if se, isSym := e.E.(symExpr); isSym {
+				switch string(se) {
+				case param:
+					outParamDim = d
+				case offsetParam:
+					outOffDim = d
+				}
+			}
+		}
+		// Rewrite inputs: the offset combination becomes the bare parameter.
+		for i := range t.Inputs {
+			for d := range t.Inputs[i].Index {
+				if e, ok := t.Inputs[i].Index[d].(ExprIndex); ok {
+					if e.E.String() == offExpr.String() {
+						t.Inputs[i].Index[d] = ExprIndex{Sym(param)}
+					} else if ContainsSym(e.E, offsetParam) {
+						return errf("input of %q still depends on %q after rewrite", t.Name, offsetParam)
+					}
+				}
+			}
+		}
+		// Drop the offset dimension from the output subscript.
+		if outOffDim < 0 || outParamDim < 0 {
+			return errf("output of %q does not index both %q and %q", t.Name, param, offsetParam)
+		}
+		t.Output.Index = slices.Delete(t.Output.Index, outOffDim, outOffDim+1)
+	}
+
+	// New range for param: the propagated span of the offset expression.
+	m.Ranges[pi] = prop.Bounds
+	m.Params = slices.Delete(m.Params, oi, oi+1)
+	m.Ranges = slices.Delete(m.Ranges, oi, oi+1)
+
+	// Shrink the array.
+	arr := prog.Arrays[array]
+	if arr == nil {
+		return errf("unknown array %q", array)
+	}
+	// The param dimension is now indexed over [Lo, Hi); storage stays
+	// zero-based and sized Hi so the subscripts remain valid (cells below
+	// Lo are simply never touched).
+	arr.Shape[outParamDim] = prop.Bounds.Hi
+	arr.Shape = slices.Delete(arr.Shape, outOffDim, outOffDim+1)
+
+	// Rewrite the consumers.
+	var walk func(ops []Op, inside *MapOp)
+	rewrite := func(a *Access) {
+		if a.Array != array {
+			return
+		}
+		pe, okP := a.Index[outParamDim].(ExprIndex)
+		oe, okO := a.Index[outOffDim].(ExprIndex)
+		if okP && okO {
+			a.Index[outParamDim] = ExprIndex{Sub(pe.E, oe.E)}
+		}
+		a.Index = slices.Delete(a.Index, outOffDim, outOffDim+1)
+	}
+	walk = func(ops []Op, inside *MapOp) {
+		for _, op := range ops {
+			switch v := op.(type) {
+			case *MapOp:
+				walk(v.Body, v)
+			case *Tasklet:
+				if inside == m {
+					continue // producer already rewritten
+				}
+				for i := range v.Inputs {
+					rewrite(&v.Inputs[i])
+				}
+				if v.Output.Array == array {
+					rewrite(&v.Output)
+				}
+			}
+		}
+	}
+	for _, s := range prog.States {
+		walk(s.Ops, nil)
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("sdfg: "+format, args...)
+}

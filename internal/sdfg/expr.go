@@ -1,0 +1,233 @@
+// Package sdfg implements a Stateful DataFlow multiGraph intermediate
+// representation in the spirit of DaCe (§3 of the paper): programs are
+// states containing parametric map scopes and tasklets connected by memlets
+// with symbolic index expressions. The package provides
+//
+//   - symbolic integer expressions (this file) used for array shapes, map
+//     ranges and memlet indices;
+//   - an executable graph (graph.go, interp.go) so that transformed
+//     programs can be checked to compute exactly what the original did;
+//   - memlet propagation (propagate.go), the §4.1 machinery that turns
+//     per-iteration accesses into per-scope data-movement requirements;
+//   - graph transformations (transform.go): map tiling, expansion, fission,
+//     fusion, redundancy removal and data-layout changes — the toolkit used
+//     in §4.2 to derive the optimized SSE kernel.
+package sdfg
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Env binds symbol names to integer values for expression evaluation.
+type Env map[string]int64
+
+// Expr is a symbolic integer expression.
+type Expr interface {
+	// Eval computes the expression under the given bindings; it panics on
+	// unbound symbols (programming error at call sites).
+	Eval(env Env) int64
+	String() string
+}
+
+type litExpr int64
+
+// Lit returns a literal integer expression.
+func Lit(v int64) Expr { return litExpr(v) }
+
+func (l litExpr) Eval(Env) int64 { return int64(l) }
+func (l litExpr) String() string { return strconv.FormatInt(int64(l), 10) }
+
+type symExpr string
+
+// Sym returns a symbol reference expression.
+func Sym(name string) Expr { return symExpr(name) }
+
+func (s symExpr) Eval(env Env) int64 {
+	v, ok := env[string(s)]
+	if !ok {
+		panic(fmt.Sprintf("sdfg: unbound symbol %q", string(s)))
+	}
+	return v
+}
+func (s symExpr) String() string { return string(s) }
+
+type binExpr struct {
+	op   byte // '+', '-', '*', '/'
+	a, b Expr
+}
+
+func (e binExpr) Eval(env Env) int64 {
+	a, b := e.a.Eval(env), e.b.Eval(env)
+	switch e.op {
+	case '+':
+		return a + b
+	case '-':
+		return a - b
+	case '*':
+		return a * b
+	case '/':
+		if b == 0 {
+			panic("sdfg: division by zero")
+		}
+		// Floor division, matching symbolic tiling arithmetic.
+		q := a / b
+		if (a%b != 0) && ((a < 0) != (b < 0)) {
+			q--
+		}
+		return q
+	}
+	panic("sdfg: unknown operator")
+}
+
+func (e binExpr) String() string {
+	return fmt.Sprintf("(%s %c %s)", e.a, e.op, e.b)
+}
+
+func fold(op byte, a, b Expr) (Expr, bool) {
+	la, oka := a.(litExpr)
+	lb, okb := b.(litExpr)
+	if oka && okb {
+		return Lit(binExpr{op, a, b}.Eval(nil)), true
+	}
+	switch op {
+	case '+':
+		if oka && la == 0 {
+			return b, true
+		}
+		if okb && lb == 0 {
+			return a, true
+		}
+	case '-':
+		if okb && lb == 0 {
+			return a, true
+		}
+	case '*':
+		if oka && la == 1 {
+			return b, true
+		}
+		if okb && lb == 1 {
+			return a, true
+		}
+		if (oka && la == 0) || (okb && lb == 0) {
+			return Lit(0), true
+		}
+	case '/':
+		if okb && lb == 1 {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+func makeBin(op byte, a, b Expr) Expr {
+	if e, ok := fold(op, a, b); ok {
+		return e
+	}
+	return binExpr{op, a, b}
+}
+
+// Add returns a+b with constant folding.
+func Add(a, b Expr) Expr { return makeBin('+', a, b) }
+
+// Sub returns a−b with constant folding.
+func Sub(a, b Expr) Expr { return makeBin('-', a, b) }
+
+// Mul returns a·b with constant folding.
+func Mul(a, b Expr) Expr { return makeBin('*', a, b) }
+
+// Div returns floor(a/b) with constant folding.
+func Div(a, b Expr) Expr { return makeBin('/', a, b) }
+
+type minMaxExpr struct {
+	isMin bool
+	a, b  Expr
+}
+
+func (e minMaxExpr) Eval(env Env) int64 {
+	a, b := e.a.Eval(env), e.b.Eval(env)
+	if (a < b) == e.isMin {
+		return a
+	}
+	return b
+}
+
+func (e minMaxExpr) String() string {
+	name := "max"
+	if e.isMin {
+		name = "min"
+	}
+	return fmt.Sprintf("%s(%s, %s)", name, e.a, e.b)
+}
+
+// MinE returns min(a, b); folded when both are literals.
+func MinE(a, b Expr) Expr {
+	if la, ok := a.(litExpr); ok {
+		if lb, ok := b.(litExpr); ok {
+			if la < lb {
+				return a
+			}
+			return b
+		}
+	}
+	return minMaxExpr{true, a, b}
+}
+
+// MaxE returns max(a, b); folded when both are literals.
+func MaxE(a, b Expr) Expr {
+	if la, ok := a.(litExpr); ok {
+		if lb, ok := b.(litExpr); ok {
+			if la > lb {
+				return a
+			}
+			return b
+		}
+	}
+	return minMaxExpr{false, a, b}
+}
+
+// Range is a half-open symbolic interval [Lo, Hi).
+type Range struct{ Lo, Hi Expr }
+
+// NewRange builds a range from two expressions.
+func NewRange(lo, hi Expr) Range { return Range{lo, hi} }
+
+// Span builds the range [0, n).
+func Span(n Expr) Range { return Range{Lit(0), n} }
+
+// Length returns Hi − Lo.
+func (r Range) Length() Expr { return Sub(r.Hi, r.Lo) }
+
+func (r Range) String() string { return fmt.Sprintf("[%s, %s)", r.Lo, r.Hi) }
+
+// ContainsSym reports whether the expression tree references symbol name.
+func ContainsSym(e Expr, name string) bool {
+	switch v := e.(type) {
+	case symExpr:
+		return string(v) == name
+	case binExpr:
+		return ContainsSym(v.a, name) || ContainsSym(v.b, name)
+	case minMaxExpr:
+		return ContainsSym(v.a, name) || ContainsSym(v.b, name)
+	}
+	return false
+}
+
+// SubstSym replaces every occurrence of symbol name with repl.
+func SubstSym(e Expr, name string, repl Expr) Expr {
+	switch v := e.(type) {
+	case symExpr:
+		if string(v) == name {
+			return repl
+		}
+		return e
+	case binExpr:
+		return makeBin(v.op, SubstSym(v.a, name, repl), SubstSym(v.b, name, repl))
+	case minMaxExpr:
+		if v.isMin {
+			return MinE(SubstSym(v.a, name, repl), SubstSym(v.b, name, repl))
+		}
+		return MaxE(SubstSym(v.a, name, repl), SubstSym(v.b, name, repl))
+	}
+	return e
+}

@@ -1,0 +1,158 @@
+package sdfg
+
+import "testing"
+
+func TestExprEval(t *testing.T) {
+	env := Env{"x": 7, "y": 3}
+	cases := []struct {
+		e    Expr
+		want int64
+	}{
+		{Lit(5), 5},
+		{Sym("x"), 7},
+		{Add(Sym("x"), Sym("y")), 10},
+		{Sub(Sym("x"), Sym("y")), 4},
+		{Mul(Sym("x"), Sym("y")), 21},
+		{Div(Sym("x"), Sym("y")), 2},
+		{Div(Lit(-7), Lit(2)), -4}, // floor division
+		{MinE(Sym("x"), Sym("y")), 3},
+		{MaxE(Sym("x"), Sym("y")), 7},
+	}
+	for _, c := range cases {
+		if got := c.e.Eval(env); got != c.want {
+			t.Fatalf("%s = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestExprFolding(t *testing.T) {
+	if Add(Lit(2), Lit(3)).String() != "5" {
+		t.Fatal("constant folding of +")
+	}
+	if Add(Sym("x"), Lit(0)).String() != "x" {
+		t.Fatal("x+0 should fold to x")
+	}
+	if Mul(Sym("x"), Lit(1)).String() != "x" {
+		t.Fatal("x·1 should fold to x")
+	}
+	if Mul(Sym("x"), Lit(0)).String() != "0" {
+		t.Fatal("x·0 should fold to 0")
+	}
+	if Sub(Sym("x"), Lit(0)).String() != "x" {
+		t.Fatal("x−0 should fold to x")
+	}
+	if Div(Sym("x"), Lit(1)).String() != "x" {
+		t.Fatal("x/1 should fold to x")
+	}
+	if MinE(Lit(2), Lit(5)).String() != "2" || MaxE(Lit(2), Lit(5)).String() != "5" {
+		t.Fatal("min/max literal folding")
+	}
+}
+
+func TestUnboundSymbolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unbound symbol")
+		}
+	}()
+	Sym("nope").Eval(Env{})
+}
+
+func TestContainsAndSubst(t *testing.T) {
+	e := Add(Sub(Sym("k"), Sym("q")), Mul(Lit(2), Sym("E")))
+	if !ContainsSym(e, "k") || !ContainsSym(e, "E") || ContainsSym(e, "z") {
+		t.Fatal("ContainsSym wrong")
+	}
+	s := SubstSym(e, "q", Lit(0))
+	if ContainsSym(s, "q") {
+		t.Fatal("substitution left the symbol behind")
+	}
+	if got := s.Eval(Env{"k": 5, "E": 2}); got != 9 {
+		t.Fatalf("substituted eval = %d, want 9", got)
+	}
+	m := SubstSym(MinE(Sym("q"), Lit(7)), "q", Lit(3))
+	if got := m.Eval(Env{}); got != 3 {
+		t.Fatalf("min substitution = %d", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := Span(Sym("N"))
+	if got := r.Length().Eval(Env{"N": 12}); got != 12 {
+		t.Fatalf("span length = %d", got)
+	}
+	r2 := NewRange(Lit(3), Lit(10))
+	if got := r2.Length().Eval(nil); got != 7 {
+		t.Fatalf("range length = %d", got)
+	}
+	if r2.String() != "[3, 10)" {
+		t.Fatalf("range string %q", r2.String())
+	}
+}
+
+func TestPropagateExprPaperFormula(t *testing.T) {
+	// §4.1: propagating kz−qz over the tile ranges
+	// kz ∈ [tk·sk, (tk+1)·sk), qz ∈ [tq·sq, (tq+1)·sq) yields
+	// [tk·sk − (tq+1)·sq + 1, (tk+1)·sk − tq·sq), with sk+sq−1 accesses.
+	sk, sq := Sym("sk"), Sym("sq")
+	tk, tq := Sym("tk"), Sym("tq")
+	scope := map[string]Range{
+		"kz": {Mul(tk, sk), Mul(Add(tk, Lit(1)), sk)},
+		"qz": {Mul(tq, sq), Mul(Add(tq, Lit(1)), sq)},
+	}
+	p, err := PropagateExpr(Sub(Sym("kz"), Sym("qz")), scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{"sk": 4, "sq": 3, "tk": 2, "tq": 1}
+	if got, want := p.Bounds.Lo.Eval(env), int64(2*4-(1+1)*3+1); got != want {
+		t.Fatalf("lower bound %d, want %d", got, want)
+	}
+	if got, want := p.Bounds.Hi.Eval(env), int64((2+1)*4-1*3); got != want {
+		t.Fatalf("upper bound %d, want %d", got, want)
+	}
+	if got, want := p.Bounds.Length().Eval(env), int64(4+3-1); got != want {
+		t.Fatalf("length %d, want sk+sq−1 = %d", got, want)
+	}
+	if got, want := p.Accesses.Eval(env), int64(4*3); got != want {
+		t.Fatalf("accesses %d, want sk·sq = %d", got, want)
+	}
+	// Unique accesses clamp to the array size: min(Nkz, sk+sq−1).
+	if got := p.UniqueLength(Sym("Nkz")).Eval(Env{"sk": 4, "sq": 3, "tk": 0, "tq": 0, "Nkz": 5}); got != 5 {
+		t.Fatalf("unique length clamped = %d, want 5", got)
+	}
+}
+
+func TestPropagateNonAffineRejected(t *testing.T) {
+	scope := map[string]Range{"i": {Lit(0), Lit(4)}, "j": {Lit(0), Lit(4)}}
+	if _, err := PropagateExpr(Mul(Sym("i"), Sym("j")), scope); err == nil {
+		t.Fatal("expected error for i·j")
+	}
+}
+
+func TestNeighborIndirectionModel(t *testing.T) {
+	// §4.1: f(a, b) over an atom tile of size sa with NB neighbors touches
+	// [ta·sa − NB/2, (ta+1)·sa + NB/2) ∩ [0, NA), sa·NB accesses,
+	// min(NA, sa + NB) unique.
+	model := NeighborIndirectionModel("a", Sym("NA"), Sym("NB"))
+	scope := map[string]Range{"a": {Mul(Sym("ta"), Sym("sa")), Mul(Add(Sym("ta"), Lit(1)), Sym("sa"))}}
+	p, err := model(IndirectIndex{Table: "neigh"}, scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{"ta": 2, "sa": 100, "NA": 1000, "NB": 34}
+	if got := p.Bounds.Lo.Eval(env); got != 200-17 {
+		t.Fatalf("lo = %d", got)
+	}
+	if got := p.Bounds.Hi.Eval(env); got != 300+17 {
+		t.Fatalf("hi = %d", got)
+	}
+	if got := p.Accesses.Eval(env); got != 100*34 {
+		t.Fatalf("accesses = %d", got)
+	}
+	// Clamping at the structure edge.
+	env["ta"] = 0
+	if got := p.Bounds.Lo.Eval(env); got != 0 {
+		t.Fatalf("unclamped lower edge: %d", got)
+	}
+}

@@ -1,0 +1,237 @@
+package sdfg
+
+import "fmt"
+
+// ElemType is the element type of an array container.
+type ElemType int
+
+const (
+	// Complex arrays hold complex128 data (Green's functions, operators).
+	Complex ElemType = iota
+	// Int arrays hold int64 data (index tables such as the neighbor map,
+	// used by indirection memlets like f(a, b)).
+	Int
+)
+
+// Array describes a data container (the round Data nodes of Fig. 3).
+type Array struct {
+	Name      string
+	Shape     []Expr
+	Type      ElemType
+	Transient bool // local/intermediate storage introduced by transformations
+}
+
+// Program is a full SDFG: symbol declarations, array descriptors and an
+// ordered list of states (control flow is sequential here; the paper's
+// convergence loop is driven by the caller).
+type Program struct {
+	Name   string
+	Arrays map[string]*Array
+	States []*State
+}
+
+// NewProgram creates an empty program.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, Arrays: map[string]*Array{}}
+}
+
+// AddArray declares an array container.
+func (p *Program) AddArray(name string, typ ElemType, transient bool, shape ...Expr) *Array {
+	if _, dup := p.Arrays[name]; dup {
+		panic(fmt.Sprintf("sdfg: duplicate array %q", name))
+	}
+	a := &Array{Name: name, Shape: shape, Type: typ, Transient: transient}
+	p.Arrays[name] = a
+	return a
+}
+
+// AddState appends an empty state and returns it.
+func (p *Program) AddState(name string) *State {
+	s := &State{Name: name}
+	p.States = append(p.States, s)
+	return s
+}
+
+// State is one control-flow node containing a dataflow graph, represented
+// hierarchically: top-level operations execute in order, map scopes nest.
+type State struct {
+	Name string
+	Ops  []Op
+}
+
+// Op is a dataflow operation: a MapOp scope or a Tasklet.
+type Op interface{ opName() string }
+
+// MapOp is a parametric parallelism scope (the trapezoid nodes of Fig. 3):
+// the body executes for every point of the iteration domain given by
+// Params/Ranges. Execution order within the domain is unspecified; the
+// interpreter runs it sequentially.
+type MapOp struct {
+	Name   string
+	Params []string
+	Ranges []Range
+	Body   []Op
+}
+
+func (m *MapOp) opName() string { return m.Name }
+
+// Tasklet is a fine-grained computation consuming scalar inputs and
+// producing one scalar output (possibly with sum conflict resolution).
+type Tasklet struct {
+	Name   string
+	Inputs []Access
+	Output Access
+	// WCR marks the output memlet as conflict-resolved by summation
+	// ("CR: Sum" in the figures): the computed value accumulates.
+	WCR bool
+	// Fn computes the output from the inputs, in declaration order.
+	Fn func(in []complex128) complex128
+}
+
+func (t *Tasklet) opName() string { return t.Name }
+
+// Access is a memlet endpoint: an array plus one index expression per
+// dimension.
+type Access struct {
+	Array string
+	Index []IndexExpr
+}
+
+// At builds an Access from plain symbolic expressions.
+func At(array string, idx ...Expr) Access {
+	ix := make([]IndexExpr, len(idx))
+	for i, e := range idx {
+		ix[i] = ExprIndex{e}
+	}
+	return Access{Array: array, Index: ix}
+}
+
+// IndexExpr is one dimension of a memlet subscript. Most are plain symbolic
+// expressions; indirections (the f(a, b) neighbor lookup of Eq. 3) read an
+// integer table at runtime and are opaque to symbolic propagation.
+type IndexExpr interface {
+	indexExpr()
+}
+
+// ExprIndex is a symbolic subscript dimension.
+type ExprIndex struct{ E Expr }
+
+func (ExprIndex) indexExpr() {}
+
+// IndirectIndex subscripts through an integer table: Table[At...], the
+// data-dependent access DaCe "cannot propagate" (§4.1) without a model.
+type IndirectIndex struct {
+	Table string
+	At    []IndexExpr
+}
+
+func (IndirectIndex) indexExpr() {}
+
+// Validate checks structural consistency: arrays exist, subscript arity
+// matches array rank, map params match range counts.
+func (p *Program) Validate() error {
+	var checkAccess func(a Access) error
+	checkAccess = func(a Access) error {
+		arr, ok := p.Arrays[a.Array]
+		if !ok {
+			return fmt.Errorf("sdfg: access to undeclared array %q", a.Array)
+		}
+		if len(a.Index) != len(arr.Shape) {
+			return fmt.Errorf("sdfg: array %q rank %d accessed with %d subscripts", a.Array, len(arr.Shape), len(a.Index))
+		}
+		for _, ix := range a.Index {
+			if ind, ok := ix.(IndirectIndex); ok {
+				tab, ok := p.Arrays[ind.Table]
+				if !ok {
+					return fmt.Errorf("sdfg: indirection through undeclared table %q", ind.Table)
+				}
+				if tab.Type != Int {
+					return fmt.Errorf("sdfg: indirection table %q must be Int", ind.Table)
+				}
+				if len(ind.At) != len(tab.Shape) {
+					return fmt.Errorf("sdfg: indirection table %q rank mismatch", ind.Table)
+				}
+			}
+		}
+		return nil
+	}
+	var checkOps func(ops []Op) error
+	checkOps = func(ops []Op) error {
+		for _, op := range ops {
+			switch v := op.(type) {
+			case *MapOp:
+				if len(v.Params) != len(v.Ranges) {
+					return fmt.Errorf("sdfg: map %q has %d params but %d ranges", v.Name, len(v.Params), len(v.Ranges))
+				}
+				if err := checkOps(v.Body); err != nil {
+					return err
+				}
+			case *Tasklet:
+				for _, in := range v.Inputs {
+					if err := checkAccess(in); err != nil {
+						return err
+					}
+				}
+				if err := checkAccess(v.Output); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("sdfg: unknown op type %T", op)
+			}
+		}
+		return nil
+	}
+	for _, s := range p.States {
+		if err := checkOps(s.Ops); err != nil {
+			return fmt.Errorf("state %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// CountNodes returns the total number of operations (maps and tasklets) in
+// the program — the "SDFG with 2,015 nodes" metric quoted in the paper's
+// conclusion.
+func (p *Program) CountNodes() int {
+	var walk func(ops []Op) int
+	walk = func(ops []Op) int {
+		n := 0
+		for _, op := range ops {
+			n++
+			if m, ok := op.(*MapOp); ok {
+				n += walk(m.Body)
+			}
+		}
+		return n
+	}
+	total := 0
+	for _, s := range p.States {
+		total += walk(s.Ops)
+	}
+	return total
+}
+
+// FindMap returns the first map with the given name, searching nested
+// scopes, or nil.
+func (p *Program) FindMap(name string) *MapOp {
+	var walk func(ops []Op) *MapOp
+	walk = func(ops []Op) *MapOp {
+		for _, op := range ops {
+			if m, ok := op.(*MapOp); ok {
+				if m.Name == name {
+					return m
+				}
+				if found := walk(m.Body); found != nil {
+					return found
+				}
+			}
+		}
+		return nil
+	}
+	for _, s := range p.States {
+		if m := walk(s.Ops); m != nil {
+			return m
+		}
+	}
+	return nil
+}

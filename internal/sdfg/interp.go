@@ -1,0 +1,231 @@
+package sdfg
+
+import (
+	"fmt"
+)
+
+// Runtime executes a Program and records per-array element access counts
+// (the empirical counterpart of memlet propagation: tests compare the
+// interpreter's measured movement against the symbolic prediction).
+type Runtime struct {
+	prog    *Program
+	env     Env
+	cplx    map[string][]complex128
+	ints    map[string][]int64
+	shapes  map[string][]int64
+	strides map[string][]int64
+
+	// Reads and Writes count element accesses per array.
+	Reads, Writes map[string]int64
+}
+
+// Bind prepares a runtime with the given symbol values. Array storage is
+// allocated lazily: inputs are supplied with SetComplex/SetInt, transients
+// and untouched arrays are zero-initialized.
+func (p *Program) Bind(symbols Env) (*Runtime, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{prog: p, env: Env{}, cplx: map[string][]complex128{},
+		ints: map[string][]int64{}, shapes: map[string][]int64{}, strides: map[string][]int64{},
+		Reads: map[string]int64{}, Writes: map[string]int64{}}
+	for k, v := range symbols {
+		rt.env[k] = v
+	}
+	for name, arr := range p.Arrays {
+		shape := make([]int64, len(arr.Shape))
+		n := int64(1)
+		for i, e := range arr.Shape {
+			shape[i] = e.Eval(rt.env)
+			if shape[i] < 0 {
+				return nil, fmt.Errorf("sdfg: array %q has negative dimension %d", name, shape[i])
+			}
+			n *= shape[i]
+		}
+		st := make([]int64, len(shape))
+		acc := int64(1)
+		for i := len(shape) - 1; i >= 0; i-- {
+			st[i] = acc
+			acc *= shape[i]
+		}
+		rt.shapes[name] = shape
+		rt.strides[name] = st
+		if arr.Type == Complex {
+			rt.cplx[name] = make([]complex128, n)
+		} else {
+			rt.ints[name] = make([]int64, n)
+		}
+	}
+	return rt, nil
+}
+
+// SetComplex copies data into a complex array (lengths must match).
+func (rt *Runtime) SetComplex(name string, data []complex128) error {
+	dst, ok := rt.cplx[name]
+	if !ok {
+		return fmt.Errorf("sdfg: no complex array %q", name)
+	}
+	if len(dst) != len(data) {
+		return fmt.Errorf("sdfg: array %q holds %d elements, got %d", name, len(dst), len(data))
+	}
+	copy(dst, data)
+	return nil
+}
+
+// SetInt copies data into an integer array.
+func (rt *Runtime) SetInt(name string, data []int64) error {
+	dst, ok := rt.ints[name]
+	if !ok {
+		return fmt.Errorf("sdfg: no int array %q", name)
+	}
+	if len(dst) != len(data) {
+		return fmt.Errorf("sdfg: array %q holds %d elements, got %d", name, len(dst), len(data))
+	}
+	copy(dst, data)
+	return nil
+}
+
+// Complex returns the current contents of a complex array.
+func (rt *Runtime) Complex(name string) []complex128 { return rt.cplx[name] }
+
+// Run executes all states in order.
+func (rt *Runtime) Run() error {
+	for _, s := range rt.prog.States {
+		if err := rt.runOps(s.Ops); err != nil {
+			return fmt.Errorf("state %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+func (rt *Runtime) runOps(ops []Op) error {
+	for _, op := range ops {
+		switch v := op.(type) {
+		case *MapOp:
+			if err := rt.runMap(v); err != nil {
+				return err
+			}
+		case *Tasklet:
+			if err := rt.runTasklet(v); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("sdfg: unknown op %T", op)
+		}
+	}
+	return nil
+}
+
+func (rt *Runtime) runMap(m *MapOp) error {
+	lows := make([]int64, len(m.Params))
+	highs := make([]int64, len(m.Params))
+	// Ranges may reference outer map params, so they are evaluated when the
+	// scope is entered.
+	for i, r := range m.Ranges {
+		lows[i] = r.Lo.Eval(rt.env)
+		highs[i] = r.Hi.Eval(rt.env)
+	}
+	idx := make([]int64, len(m.Params))
+	copy(idx, lows)
+	// Save and restore shadowed bindings so sibling scopes can reuse names.
+	saved := make([]int64, len(m.Params))
+	had := make([]bool, len(m.Params))
+	for i, p := range m.Params {
+		saved[i], had[i] = rt.env[p]
+	}
+	defer func() {
+		for i, p := range m.Params {
+			if had[i] {
+				rt.env[p] = saved[i]
+			} else {
+				delete(rt.env, p)
+			}
+		}
+	}()
+	for i := range idx {
+		if idx[i] >= highs[i] {
+			return nil // empty domain
+		}
+	}
+	for {
+		for i, p := range m.Params {
+			rt.env[p] = idx[i]
+		}
+		if err := rt.runOps(m.Body); err != nil {
+			return err
+		}
+		// Odometer increment over the domain.
+		d := len(idx) - 1
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < highs[d] {
+				break
+			}
+			idx[d] = lows[d]
+		}
+		if d < 0 {
+			return nil
+		}
+	}
+}
+
+func (rt *Runtime) offset(a Access) (int64, error) {
+	st := rt.strides[a.Array]
+	sh := rt.shapes[a.Array]
+	var off int64
+	for d, ix := range a.Index {
+		v, err := rt.evalIndex(ix)
+		if err != nil {
+			return 0, err
+		}
+		if v < 0 || v >= sh[d] {
+			return 0, fmt.Errorf("sdfg: array %q index %d out of range [0,%d) on axis %d", a.Array, v, sh[d], d)
+		}
+		off += v * st[d]
+	}
+	return off, nil
+}
+
+func (rt *Runtime) evalIndex(ix IndexExpr) (int64, error) {
+	switch v := ix.(type) {
+	case ExprIndex:
+		return v.E.Eval(rt.env), nil
+	case IndirectIndex:
+		off, err := rt.offset(Access{Array: v.Table, Index: v.At})
+		if err != nil {
+			return 0, err
+		}
+		rt.Reads[v.Table]++
+		return rt.ints[v.Table][off], nil
+	}
+	return 0, fmt.Errorf("sdfg: unknown index expression %T", ix)
+}
+
+func (rt *Runtime) runTasklet(t *Tasklet) error {
+	args := make([]complex128, len(t.Inputs))
+	for i, in := range t.Inputs {
+		off, err := rt.offset(in)
+		if err != nil {
+			return fmt.Errorf("tasklet %q input %d: %w", t.Name, i, err)
+		}
+		arr := rt.prog.Arrays[in.Array]
+		if arr.Type == Complex {
+			args[i] = rt.cplx[in.Array][off]
+		} else {
+			args[i] = complex(float64(rt.ints[in.Array][off]), 0)
+		}
+		rt.Reads[in.Array]++
+	}
+	out := t.Fn(args)
+	off, err := rt.offset(t.Output)
+	if err != nil {
+		return fmt.Errorf("tasklet %q output: %w", t.Name, err)
+	}
+	if t.WCR {
+		rt.cplx[t.Output.Array][off] += out
+	} else {
+		rt.cplx[t.Output.Array][off] = out
+	}
+	rt.Writes[t.Output.Array]++
+	return nil
+}

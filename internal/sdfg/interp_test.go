@@ -1,0 +1,168 @@
+package sdfg
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"negfsim/internal/cmat"
+)
+
+func runMatMul(t *testing.T, p *Program, m, n, k int64, a, b []complex128) []complex128 {
+	t.Helper()
+	rt, err := p.Bind(Env{"M": m, "N": n, "K": k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetComplex("A", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetComplex("B", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rt.Complex("C")
+}
+
+func TestMatMulSDFGMatchesCmat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const m, n, k = 4, 5, 3
+	a := cmat.RandomDense(rng, m, k)
+	b := cmat.RandomDense(rng, k, n)
+	got := runMatMul(t, BuildMatMul(), m, n, k, a.Data, b.Data)
+	want := a.Mul(b)
+	for i := range got {
+		if cmplx.Abs(got[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("element %d: %v vs %v", i, got[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulAccessCounts(t *testing.T) {
+	// Fig. 4 annotates the memlets A(MKN), B(MKN), C(MKN): every array is
+	// accessed M·N·K times by the naive map.
+	p := BuildMatMul()
+	rt, err := p.Bind(Env{"M": 3, "N": 4, "K": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(3 * 4 * 5)
+	if rt.Reads["A"] != want || rt.Reads["B"] != want || rt.Writes["C"] != want {
+		t.Fatalf("accesses A=%d B=%d C=%d, want all %d", rt.Reads["A"], rt.Reads["B"], rt.Writes["C"], want)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	p := NewProgram("bad")
+	p.AddArray("A", Complex, false, Lit(4))
+	s := p.AddState("s")
+	s.Ops = []Op{&Tasklet{Name: "t", Inputs: []Access{At("missing", Lit(0))}, Output: At("A", Lit(0)),
+		Fn: func(in []complex128) complex128 { return in[0] }}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("undeclared array must fail validation")
+	}
+	s.Ops = []Op{&Tasklet{Name: "t", Inputs: []Access{At("A", Lit(0), Lit(1))}, Output: At("A", Lit(0)),
+		Fn: func(in []complex128) complex128 { return in[0] }}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("rank mismatch must fail validation")
+	}
+	s.Ops = []Op{&MapOp{Name: "m", Params: []string{"i", "j"}, Ranges: []Range{Span(Lit(2))}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("param/range mismatch must fail validation")
+	}
+}
+
+func TestOutOfRangeIndexError(t *testing.T) {
+	p := NewProgram("oob")
+	p.AddArray("A", Complex, false, Lit(2))
+	p.AddArray("B", Complex, false, Lit(2))
+	s := p.AddState("s")
+	s.Ops = []Op{&Tasklet{Name: "t", Inputs: []Access{At("A", Lit(5))}, Output: At("B", Lit(0)),
+		Fn: func(in []complex128) complex128 { return in[0] }}}
+	rt, err := p.Bind(Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err == nil {
+		t.Fatal("out-of-range subscript must error at runtime")
+	}
+}
+
+func TestEmptyMapDomain(t *testing.T) {
+	p := NewProgram("empty")
+	p.AddArray("A", Complex, false, Lit(2))
+	s := p.AddState("s")
+	s.Ops = []Op{&MapOp{Name: "m", Params: []string{"i"}, Ranges: []Range{NewRange(Lit(3), Lit(3))},
+		Body: []Op{&Tasklet{Name: "t", Inputs: []Access{At("A", Lit(0))}, Output: At("A", Lit(1)),
+			Fn: func(in []complex128) complex128 { return in[0] }}}}}
+	rt, err := p.Bind(Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Reads["A"] != 0 {
+		t.Fatal("empty domain must not execute the body")
+	}
+}
+
+func TestIndirection(t *testing.T) {
+	// out[i] = src[tab[i]]: a gather through an integer table.
+	p := NewProgram("gather")
+	p.AddArray("src", Complex, false, Lit(4))
+	p.AddArray("tab", Int, false, Lit(4))
+	p.AddArray("out", Complex, false, Lit(4))
+	s := p.AddState("s")
+	s.Ops = []Op{&MapOp{Name: "m", Params: []string{"i"}, Ranges: []Range{Span(Lit(4))},
+		Body: []Op{&Tasklet{Name: "g",
+			Inputs: []Access{{Array: "src", Index: []IndexExpr{IndirectIndex{Table: "tab", At: []IndexExpr{ExprIndex{Sym("i")}}}}}},
+			Output: At("out", Sym("i")),
+			Fn:     func(in []complex128) complex128 { return in[0] }}}}}
+	rt, err := p.Bind(Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetComplex("src", []complex128{10, 20, 30, 40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetInt("tab", []int64{3, 2, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{40, 30, 20, 10}
+	for i, v := range rt.Complex("out") {
+		if v != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	if rt.Reads["tab"] != 4 {
+		t.Fatalf("table reads = %d, want 4", rt.Reads["tab"])
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	if got := BuildMatMul().CountNodes(); got != 2 { // one map + one tasklet
+		t.Fatalf("matmul nodes = %d, want 2", got)
+	}
+	if got := BuildSSESigma().CountNodes(); got != 6 { // three maps + three tasklets
+		t.Fatalf("sse nodes = %d, want 6", got)
+	}
+}
+
+func TestFindMap(t *testing.T) {
+	p := BuildSSESigma()
+	if p.FindMap("dHG") == nil || p.FindMap("sigma") == nil {
+		t.Fatal("FindMap failed on top-level maps")
+	}
+	if p.FindMap("nope") != nil {
+		t.Fatal("FindMap invented a map")
+	}
+}

@@ -1,0 +1,151 @@
+package sdfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rendering: a hierarchical text description and a Graphviz DOT export of a
+// program, for inspecting graphs before and after transformation (the
+// workflow Fig. 3 depicts: the performance engineer looks at the SDFG).
+
+// Describe returns an indented textual rendering of the program.
+func (p *Program) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SDFG %q: %d nodes\n", p.Name, p.CountNodes())
+	names := make([]string, 0, len(p.Arrays))
+	for n := range p.Arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := p.Arrays[n]
+		kind := "array"
+		if a.Transient {
+			kind = "transient"
+		}
+		typ := "complex128"
+		if a.Type == Int {
+			typ = "int64"
+		}
+		fmt.Fprintf(&b, "  %-9s %-8s %s%s\n", kind, typ, n, shapeString(a.Shape))
+	}
+	for _, st := range p.States {
+		fmt.Fprintf(&b, "state %q:\n", st.Name)
+		describeOps(&b, st.Ops, 1)
+	}
+	return b.String()
+}
+
+func shapeString(shape []Expr) string {
+	parts := make([]string, len(shape))
+	for i, e := range shape {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func describeOps(b *strings.Builder, ops []Op, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, op := range ops {
+		switch v := op.(type) {
+		case *MapOp:
+			var dims []string
+			for i, p := range v.Params {
+				dims = append(dims, fmt.Sprintf("%s ∈ %s", p, v.Ranges[i]))
+			}
+			fmt.Fprintf(b, "%smap %q [%s]\n", ind, v.Name, strings.Join(dims, ", "))
+			describeOps(b, v.Body, depth+1)
+		case *Tasklet:
+			var ins []string
+			for _, in := range v.Inputs {
+				ins = append(ins, accessString(in))
+			}
+			wcr := ""
+			if v.WCR {
+				wcr = " (CR: Sum)"
+			}
+			fmt.Fprintf(b, "%stasklet %q: %s → %s%s\n", ind, v.Name,
+				strings.Join(ins, ", "), accessString(v.Output), wcr)
+		}
+	}
+}
+
+func accessString(a Access) string {
+	parts := make([]string, len(a.Index))
+	for i, ix := range a.Index {
+		parts[i] = indexString(ix)
+	}
+	return a.Array + "[" + strings.Join(parts, ", ") + "]"
+}
+
+func indexString(ix IndexExpr) string {
+	switch v := ix.(type) {
+	case ExprIndex:
+		return v.E.String()
+	case IndirectIndex:
+		parts := make([]string, len(v.At))
+		for i, sub := range v.At {
+			parts[i] = indexString(sub)
+		}
+		return v.Table + "[" + strings.Join(parts, ", ") + "]"
+	}
+	return "?"
+}
+
+// DOT renders the program as a Graphviz digraph: data nodes as ellipses,
+// maps as trapezium clusters, tasklets as octagons, memlets as labeled
+// edges (Fig. 3's syntax).
+func (p *Program) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph sdfg {\n  rankdir=TB;\n  node [fontsize=10];\n")
+	names := make([]string, 0, len(p.Arrays))
+	for n := range p.Arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		style := "solid"
+		if p.Arrays[n].Transient {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %q [shape=ellipse style=%s label=\"%s%s\"];\n",
+			"arr_"+n, style, n, shapeString(p.Arrays[n].Shape))
+	}
+	id := 0
+	for si, st := range p.States {
+		fmt.Fprintf(&b, "  subgraph cluster_state%d {\n    label=%q;\n", si, st.Name)
+		dotOps(&b, st.Ops, &id)
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotOps(b *strings.Builder, ops []Op, id *int) {
+	for _, op := range ops {
+		switch v := op.(type) {
+		case *MapOp:
+			*id++
+			fmt.Fprintf(b, "    subgraph cluster_map%d {\n      label=\"map %s [%s]\";\n      style=rounded;\n",
+				*id, v.Name, strings.Join(v.Params, ", "))
+			dotOps(b, v.Body, id)
+			b.WriteString("    }\n")
+		case *Tasklet:
+			*id++
+			tn := fmt.Sprintf("tasklet%d", *id)
+			fmt.Fprintf(b, "      %q [shape=octagon label=%q];\n", tn, v.Name)
+			for _, in := range v.Inputs {
+				fmt.Fprintf(b, "      %q -> %q [label=%q fontsize=8];\n",
+					"arr_"+in.Array, tn, accessString(in))
+			}
+			lbl := accessString(v.Output)
+			if v.WCR {
+				lbl += " (CR: Sum)"
+			}
+			fmt.Fprintf(b, "      %q -> %q [label=%q fontsize=8 style=dashed];\n",
+				tn, "arr_"+v.Output.Array, lbl)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package sdfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeContainsStructure(t *testing.T) {
+	out := BuildSSESigma().Describe()
+	for _, want := range []string{
+		`SDFG "sse_sigma": 6 nodes`,
+		"transient", "dHG", "dHD",
+		`map "dHG"`, `map "sigma"`,
+		"(CR: Sum)",
+		"neigh[a, b]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Describe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTWellFormed(t *testing.T) {
+	dot := BuildMatMul().DOT()
+	for _, want := range []string{
+		"digraph sdfg {",
+		`"arr_A"`, `"arr_B"`, `"arr_C"`,
+		"shape=octagon",
+		"cluster_map",
+		"(CR: Sum)",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q", want)
+		}
+	}
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Fatal("unbalanced braces in DOT output")
+	}
+}
+
+func TestDescribeTransformedGraphShrinks(t *testing.T) {
+	p := BuildSSESigma()
+	m := p.FindMap("dHG")
+	if err := AbsorbOffset(p, m, "k", "q", "dHG"); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Describe()
+	// The dHG map's parameter list no longer contains q.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `map "dHG"`) && strings.Contains(line, "q ∈") {
+			t.Fatalf("q still in transformed map: %s", line)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package sse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSigmaDaCeNoLayoutMatches(t *testing.T) {
+	k := testKernel(t)
+	p := k.Dev.P
+	rng := rand.New(rand.NewSource(61))
+	g := randomAntiHermG(rng, p)
+	pre := k.PreprocessD(randomD(rng, p))
+	want := k.SigmaDaCe(g, pre)
+	got := k.SigmaDaCeNoLayout(g, pre)
+	if d := want.MaxAbsDiff(got); d > 1e-10*(1+gScale(want)) {
+		t.Fatalf("no-layout ablation differs by %g", d)
+	}
+}

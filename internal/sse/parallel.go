@@ -1,0 +1,64 @@
+package sse
+
+import (
+	"sync"
+
+	"negfsim/internal/tensor"
+)
+
+// ComputePhaseParallel evaluates the full SSE phase with the DaCe kernels
+// parallelized over atom tiles — the shared-memory counterpart of the
+// distributed decomposition: Σ tiles write disjoint atom ranges, Π tiles
+// produce partials that are summed. Only the DaCe formulation parallelizes
+// this way (its tiles are exact slices); other variants fall back to the
+// serial path.
+func (k *Kernel) ComputePhaseParallel(in PhaseInput, v Variant, workers int) PhaseOutput {
+	p := k.Dev.P
+	if v != DaCe || workers <= 1 || p.NA < 2*workers {
+		return k.ComputePhase(in, v)
+	}
+	preLess := k.PreprocessD(in.DLess)
+	preGtr := k.PreprocessD(in.DGtr)
+	out := PhaseOutput{
+		SigmaLess: tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb),
+		SigmaGtr:  tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb),
+		PiLess:    tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D),
+		PiGtr:     tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D),
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		aLo := w * p.NA / workers
+		aHi := (w + 1) * p.NA / workers
+		if aLo == aHi {
+			continue
+		}
+		wg.Add(1)
+		go func(aLo, aHi int) {
+			defer wg.Done()
+			sl := k.SigmaDaCeTile(in.GLess, preLess, 0, p.NE, aLo, aHi)
+			sg := k.SigmaDaCeTile(in.GGtr, preGtr, 0, p.NE, aLo, aHi)
+			pl, pg := k.PiDaCeTile(in.GLess, in.GGtr, 0, p.NE, aLo, aHi)
+			// Σ tiles occupy disjoint atom slices of the output; copying
+			// block-wise avoids write overlap entirely.
+			for kz := 0; kz < p.Nkz; kz++ {
+				for e := 0; e < p.NE; e++ {
+					for a := aLo; a < aHi; a++ {
+						out.SigmaLess.Block(kz, e, a).CopyFrom(sl.Block(kz, e, a))
+						out.SigmaGtr.Block(kz, e, a).CopyFrom(sg.Block(kz, e, a))
+					}
+				}
+			}
+			// Π partials: atoms are also disjoint across tiles here
+			// (energy range is full), but keep the reduction general.
+			mu.Lock()
+			for i := range out.PiLess.Data {
+				out.PiLess.Data[i] += pl.Data[i]
+				out.PiGtr.Data[i] += pg.Data[i]
+			}
+			mu.Unlock()
+		}(aLo, aHi)
+	}
+	wg.Wait()
+	return out
+}

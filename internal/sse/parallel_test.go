@@ -1,0 +1,50 @@
+package sse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComputePhaseParallelMatchesSerial(t *testing.T) {
+	k := testKernel(t)
+	p := k.Dev.P
+	rng := rand.New(rand.NewSource(71))
+	in := PhaseInput{
+		GLess: randomAntiHermG(rng, p), GGtr: randomAntiHermG(rng, p),
+		DLess: randomD(rng, p), DGtr: randomD(rng, p),
+	}
+	want := k.ComputePhase(in, DaCe)
+	for _, workers := range []int{2, 3, 4} {
+		got := k.ComputePhaseParallel(in, DaCe, workers)
+		tol := 1e-9 * (1 + gScale(want.SigmaLess))
+		if d := want.SigmaLess.MaxAbsDiff(got.SigmaLess); d > tol {
+			t.Fatalf("workers=%d: Σ^< diff %g", workers, d)
+		}
+		if d := want.SigmaGtr.MaxAbsDiff(got.SigmaGtr); d > tol {
+			t.Fatalf("workers=%d: Σ^> diff %g", workers, d)
+		}
+		if d := want.PiLess.MaxAbsDiff(got.PiLess); d > 1e-9 {
+			t.Fatalf("workers=%d: Π^< diff %g", workers, d)
+		}
+		if d := want.PiGtr.MaxAbsDiff(got.PiGtr); d > 1e-9 {
+			t.Fatalf("workers=%d: Π^> diff %g", workers, d)
+		}
+	}
+}
+
+func TestComputePhaseParallelFallsBack(t *testing.T) {
+	// Non-DaCe variants and single workers take the serial path and must
+	// still produce correct values.
+	k := testKernel(t)
+	p := k.Dev.P
+	rng := rand.New(rand.NewSource(72))
+	in := PhaseInput{
+		GLess: randomAntiHermG(rng, p), GGtr: randomAntiHermG(rng, p),
+		DLess: randomD(rng, p), DGtr: randomD(rng, p),
+	}
+	want := k.ComputePhase(in, OMEN)
+	got := k.ComputePhaseParallel(in, OMEN, 4)
+	if d := want.SigmaLess.MaxAbsDiff(got.SigmaLess); d != 0 {
+		t.Fatalf("fallback path altered results by %g", d)
+	}
+}

@@ -1,0 +1,182 @@
+package sse
+
+import (
+	"negfsim/internal/cmat"
+	"negfsim/internal/tensor"
+)
+
+// piAccumulate adds one bond's trace contribution to the phonon self-energy
+// tensors: Eq. (5) fills the off-diagonal (a, b) slot with +i·pref·tr{…},
+// Eq. (4) accumulates −i·pref·tr{…} into the diagonal (a, a) slot.
+func piAccumulate(pi *tensor.DTensor, qz, w, a, slot, i, j, nb int, val complex128) {
+	pi.Block(qz, w, a, slot).Set(i, j, pi.Block(qz, w, a, slot).At(i, j)+val)
+	diag := pi.Block(qz, w, a, nb)
+	diag.Set(i, j, diag.At(i, j)-val)
+}
+
+// PiReference evaluates Eqs. (4)–(5) with the naive dataflow: the trace
+// tr{∇iH_ba · G^≷_aa(E+ℏω, kz+qz) · ∇jH_ab · G^≶_bb(E, kz)} recomputed from
+// scratch — two fresh Norb³ products per (qz, ω, kz, E, i, j, a, b) point.
+func (k *Kernel) PiReference(gLess, gGtr *tensor.GTensor) (piLess, piGtr *tensor.DTensor) {
+	p := k.Dev.P
+	pref := complex(0, k.piPref())
+	piLess = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
+	piGtr = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
+	for qz := 0; qz < p.Nqz; qz++ {
+		for w := 0; w < p.Nw; w++ {
+			for a := 0; a < p.NA; a++ {
+				for b := 0; b < p.NB; b++ {
+					f := k.Dev.Neigh[a][b]
+					if f < 0 {
+						continue
+					}
+					r := k.Dev.NeighborSlot(f, a)
+					if r < 0 {
+						continue
+					}
+					for kz := 0; kz < p.Nkz; kz++ {
+						k2 := wrapK(kz, -qz, p.Nkz) // kz + qz, wrapped
+						for e := 0; e < p.NE; e++ {
+							e2 := e + p.PhononShift(w)
+							if e2 >= p.NE {
+								continue
+							}
+							for i := 0; i < p.N3D; i++ {
+								for j := 0; j < p.N3D; j++ {
+									uLess := k.dH[f][r][i].Mul(gLess.Block(k2, e2, a))
+									uGtr := k.dH[f][r][i].Mul(gGtr.Block(k2, e2, a))
+									wLess := k.dH[a][b][j].Mul(gLess.Block(kz, e, f))
+									wGtr := k.dH[a][b][j].Mul(gGtr.Block(kz, e, f))
+									piAccumulate(piLess, qz, w, a, b, i, j, p.NB, pref*uLess.TraceMul(wGtr))
+									piAccumulate(piGtr, qz, w, a, b, i, j, p.NB, pref*uGtr.TraceMul(wLess))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return piLess, piGtr
+}
+
+// PiOMEN evaluates Eqs. (4)–(5) with the original code's structure: the two
+// matrix products are hoisted out of the opposite direction loop (U_i out of
+// j, W_j out of i), but both are still recomputed for every (qz, ω) round of
+// the communication scheme.
+func (k *Kernel) PiOMEN(gLess, gGtr *tensor.GTensor) (piLess, piGtr *tensor.DTensor) {
+	p := k.Dev.P
+	pref := complex(0, k.piPref())
+	piLess = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
+	piGtr = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
+	uLess := make([]*cmat.Dense, p.N3D)
+	uGtr := make([]*cmat.Dense, p.N3D)
+	wLess := make([]*cmat.Dense, p.N3D)
+	wGtr := make([]*cmat.Dense, p.N3D)
+	for qz := 0; qz < p.Nqz; qz++ {
+		for w := 0; w < p.Nw; w++ {
+			for a := 0; a < p.NA; a++ {
+				for b := 0; b < p.NB; b++ {
+					f := k.Dev.Neigh[a][b]
+					if f < 0 {
+						continue
+					}
+					r := k.Dev.NeighborSlot(f, a)
+					if r < 0 {
+						continue
+					}
+					for kz := 0; kz < p.Nkz; kz++ {
+						k2 := wrapK(kz, -qz, p.Nkz)
+						for e := 0; e < p.NE; e++ {
+							e2 := e + p.PhononShift(w)
+							if e2 >= p.NE {
+								continue
+							}
+							for i := 0; i < p.N3D; i++ {
+								uLess[i] = k.dH[f][r][i].Mul(gLess.Block(k2, e2, a))
+								uGtr[i] = k.dH[f][r][i].Mul(gGtr.Block(k2, e2, a))
+							}
+							for j := 0; j < p.N3D; j++ {
+								wLess[j] = k.dH[a][b][j].Mul(gLess.Block(kz, e, f))
+								wGtr[j] = k.dH[a][b][j].Mul(gGtr.Block(kz, e, f))
+							}
+							for i := 0; i < p.N3D; i++ {
+								for j := 0; j < p.N3D; j++ {
+									piAccumulate(piLess, qz, w, a, b, i, j, p.NB, pref*uLess[i].TraceMul(wGtr[j]))
+									piAccumulate(piGtr, qz, w, a, b, i, j, p.NB, pref*uGtr[i].TraceMul(wLess[j]))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return piLess, piGtr
+}
+
+// PiDaCe evaluates Eqs. (4)–(5) with the data-centric transformation: the
+// products U_i = ∇iH_ba·G^≷_aa and W_j = ∇jH_ab·G^≶_bb depend only on the
+// unshifted (kz, E) grid, so they are computed ONCE per bond — outside the
+// (qz, ω) loops — and the (qz, ω) sweep reduces to Norb² trace contractions.
+// This is the same redundancy-removal step as Fig. 10(b) applied to Π.
+func (k *Kernel) PiDaCe(gLess, gGtr *tensor.GTensor) (piLess, piGtr *tensor.DTensor) {
+	p := k.Dev.P
+	pref := complex(0, k.piPref())
+	piLess = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
+	piGtr = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
+	nke := p.Nkz * p.NE
+	// Per-bond transients, reused across bonds: U^≷[i], W^≷[j] on the whole
+	// (kz, E) grid.
+	alloc := func() [][]*cmat.Dense {
+		m := make([][]*cmat.Dense, p.N3D)
+		for i := range m {
+			m[i] = make([]*cmat.Dense, nke)
+		}
+		return m
+	}
+	uLess, uGtr, wLess, wGtr := alloc(), alloc(), alloc(), alloc()
+
+	for a := 0; a < p.NA; a++ {
+		for b := 0; b < p.NB; b++ {
+			f := k.Dev.Neigh[a][b]
+			if f < 0 {
+				continue
+			}
+			r := k.Dev.NeighborSlot(f, a)
+			if r < 0 {
+				continue
+			}
+			for kz := 0; kz < p.Nkz; kz++ {
+				for e := 0; e < p.NE; e++ {
+					idx := kz*p.NE + e
+					for i := 0; i < p.N3D; i++ {
+						uLess[i][idx] = k.dH[f][r][i].Mul(gLess.Block(kz, e, a))
+						uGtr[i][idx] = k.dH[f][r][i].Mul(gGtr.Block(kz, e, a))
+						wLess[i][idx] = k.dH[a][b][i].Mul(gLess.Block(kz, e, f))
+						wGtr[i][idx] = k.dH[a][b][i].Mul(gGtr.Block(kz, e, f))
+					}
+				}
+			}
+			for qz := 0; qz < p.Nqz; qz++ {
+				for w := 0; w < p.Nw; w++ {
+					shift := p.PhononShift(w)
+					for kz := 0; kz < p.Nkz; kz++ {
+						k2 := wrapK(kz, -qz, p.Nkz)
+						for e := 0; e+shift < p.NE; e++ {
+							su := k2*p.NE + e + shift
+							sw := kz*p.NE + e
+							for i := 0; i < p.N3D; i++ {
+								for j := 0; j < p.N3D; j++ {
+									piAccumulate(piLess, qz, w, a, b, i, j, p.NB, pref*uLess[i][su].TraceMul(wGtr[j][sw]))
+									piAccumulate(piGtr, qz, w, a, b, i, j, p.NB, pref*uGtr[i][su].TraceMul(wLess[j][sw]))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return piLess, piGtr
+}

@@ -1,0 +1,105 @@
+package sse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Eq. (3) is bilinear: Σ is linear in G^≷ at fixed D^≷ and linear in D^≷
+// at fixed G^≷. These properties pin the kernels against sign/prefactor
+// regressions independent of any reference implementation.
+
+func TestSigmaLinearInD(t *testing.T) {
+	k := testKernel(t)
+	p := k.Dev.P
+	f := func(seed int64, scaleBits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAntiHermG(rng, p)
+		d := randomD(rng, p)
+		alpha := complex(float64(scaleBits%7)+1, float64(scaleBits%3))
+		pre := k.PreprocessD(d)
+		scaled := d.Clone()
+		for i := range scaled.Data {
+			scaled.Data[i] *= alpha
+		}
+		preScaled := k.PreprocessD(scaled)
+		want := k.SigmaDaCe(g, pre)
+		for i := range want.Data {
+			want.Data[i] *= alpha
+		}
+		got := k.SigmaDaCe(g, preScaled)
+		return got.MaxAbsDiff(want) <= 1e-9*(1+gScale(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmaAdditiveInG(t *testing.T) {
+	k := testKernel(t)
+	p := k.Dev.P
+	rng := rand.New(rand.NewSource(81))
+	g1 := randomAntiHermG(rng, p)
+	g2 := randomAntiHermG(rng, p)
+	pre := k.PreprocessD(randomD(rng, p))
+	sum := g1.Clone()
+	for i := range sum.Data {
+		sum.Data[i] += g2.Data[i]
+	}
+	want := k.SigmaDaCe(g1, pre)
+	s2 := k.SigmaDaCe(g2, pre)
+	for i := range want.Data {
+		want.Data[i] += s2.Data[i]
+	}
+	got := k.SigmaDaCe(sum, pre)
+	if d := got.MaxAbsDiff(want); d > 1e-9*(1+gScale(want)) {
+		t.Fatalf("Σ(g1+g2) != Σ(g1)+Σ(g2): diff %g", d)
+	}
+}
+
+func TestPiBilinearScaling(t *testing.T) {
+	// Π(αG^<, βG^>) scales each component by α·β (one factor from each
+	// Green's function in the trace).
+	k := testKernel(t)
+	p := k.Dev.P
+	rng := rand.New(rand.NewSource(82))
+	gl := randomAntiHermG(rng, p)
+	gg := randomAntiHermG(rng, p)
+	const alpha, beta = 2.0, 3.0
+	glS := gl.Clone()
+	ggS := gg.Clone()
+	for i := range glS.Data {
+		glS.Data[i] *= alpha
+		ggS.Data[i] *= beta
+	}
+	wantL, wantG := k.PiDaCe(gl, gg)
+	for i := range wantL.Data {
+		wantL.Data[i] *= alpha * beta
+		wantG.Data[i] *= alpha * beta
+	}
+	gotL, gotG := k.PiDaCe(glS, ggS)
+	if d := gotL.MaxAbsDiff(wantL); d > 1e-9 {
+		t.Fatalf("Π^< bilinearity violated: %g", d)
+	}
+	if d := gotG.MaxAbsDiff(wantG); d > 1e-9 {
+		t.Fatalf("Π^> bilinearity violated: %g", d)
+	}
+}
+
+func TestSigmaZeroInputs(t *testing.T) {
+	k := testKernel(t)
+	p := k.Dev.P
+	rng := rand.New(rand.NewSource(83))
+	g := randomAntiHermG(rng, p)
+	zero := k.PreprocessD(randomD(rng, p))
+	for i := range zero.Data {
+		zero.Data[i] = 0
+	}
+	sig := k.SigmaDaCe(g, zero)
+	for _, v := range sig.Data {
+		if v != 0 {
+			t.Fatal("zero phonons must give zero Σ")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package sse
+
+import (
+	"negfsim/internal/cmat"
+	"negfsim/internal/tensor"
+)
+
+// SigmaReference evaluates Eq. (3) with the naive dataflow of Fig. 8: a map
+// over the full 8-D space [kz, E, qz, ω, i, j, a, b] in which both
+// temporaries ∇H·G^≷ and ∇H·D^≷ are recomputed at every point. This is the
+// SDFG produced directly from the Python source, before any transformation.
+func (k *Kernel) SigmaReference(g *tensor.GTensor, d *PreD) *tensor.GTensor {
+	p := k.Dev.P
+	pref := k.sigmaPref()
+	sigma := tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb)
+	for kz := 0; kz < p.Nkz; kz++ {
+		for e := 0; e < p.NE; e++ {
+			for qz := 0; qz < p.Nqz; qz++ {
+				for w := 0; w < p.Nw; w++ {
+					e2 := e - p.PhononShift(w)
+					if e2 < 0 {
+						continue
+					}
+					k2 := wrapK(kz, qz, p.Nkz)
+					for i := 0; i < p.N3D; i++ {
+						for j := 0; j < p.N3D; j++ {
+							for a := 0; a < p.NA; a++ {
+								for b := 0; b < p.NB; b++ {
+									f := k.Dev.Neigh[a][b]
+									if f < 0 {
+										continue
+									}
+									dHG := g.Block(k2, e2, f).Mul(k.dH[a][b][i])
+									dHD := k.dH[a][b][j].Scale(d.At(qz, w, a, b, i, j))
+									sigma.Block(kz, e, a).AddScaledInPlace(pref, dHG.Mul(dHD))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return sigma
+}
+
+// SigmaOMEN evaluates Eq. (3) with the structure of the original C++ OMEN
+// code: the bond loop outermost (as imposed by the three-level MPI
+// decomposition), ∇H·G^≷ hoisted out of the innermost j loop, but still
+// recomputed for every (qz, ω) pair — the redundancy the data-centric view
+// exposes and removes.
+func (k *Kernel) SigmaOMEN(g *tensor.GTensor, d *PreD) *tensor.GTensor {
+	p := k.Dev.P
+	pref := k.sigmaPref()
+	sigma := tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb)
+	for a := 0; a < p.NA; a++ {
+		for b := 0; b < p.NB; b++ {
+			f := k.Dev.Neigh[a][b]
+			if f < 0 {
+				continue
+			}
+			for kz := 0; kz < p.Nkz; kz++ {
+				for e := 0; e < p.NE; e++ {
+					out := sigma.Block(kz, e, a)
+					for qz := 0; qz < p.Nqz; qz++ {
+						k2 := wrapK(kz, qz, p.Nkz)
+						for w := 0; w < p.Nw; w++ {
+							e2 := e - p.PhononShift(w)
+							if e2 < 0 {
+								continue
+							}
+							gblk := g.Block(k2, e2, f)
+							for i := 0; i < p.N3D; i++ {
+								dHG := gblk.Mul(k.dH[a][b][i])
+								for j := 0; j < p.N3D; j++ {
+									dHD := k.dH[a][b][j].Scale(d.At(qz, w, a, b, i, j))
+									out.AddScaledInPlace(pref, dHG.Mul(dHD))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return sigma
+}
+
+// SigmaDaCe evaluates Eq. (3) with the data-centric transformed kernel of
+// Figs. 9–12:
+//
+//  1. Map fission splits the computation into the ∇H·G^≷ stage, the ∇H·D^≷
+//     stage and the accumulation stage (Fig. 9).
+//  2. Redundancy removal: ∇H·G^≷ is independent of (qz, ω) and computed
+//     once per (a, b, i) over the whole (kz, E) grid (Fig. 10b).
+//  3. Data-layout transformation: G^≷ is re-laid-out atom-major so that
+//     stage is ONE (Nkz·NE·Norb) × Norb × Norb GEMM (Fig. 10c–d).
+//  4. The j reduction is folded into the ∇H·D^≷ stage, and the accumulation
+//     over ω becomes a windowed fused multiply over an Nω·Norb slab
+//     (Fig. 11), re-fused per (a, b) to bound transient memory (Fig. 12).
+func (k *Kernel) SigmaDaCe(g *tensor.GTensor, d *PreD) *tensor.GTensor {
+	p := k.Dev.P
+	pref := k.sigmaPref()
+	sigma := tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb)
+	am := g.ToAtomMajor() // Fig. 10(c): the data-layout transformation.
+	no := p.Norb
+
+	// Reusable per-bond transients (Fig. 12: three-dimensional, per (a,b)).
+	dHG := make([]*cmat.Dense, p.N3D)
+	dHD := make([][]*cmat.Dense, p.N3D) // [i][qz]: (Nω·Norb) × Norb stacks
+	for i := range dHD {
+		dHD[i] = make([]*cmat.Dense, p.Nqz)
+		for qz := range dHD[i] {
+			dHD[i][qz] = cmat.NewDense(p.Nw*no, no)
+		}
+	}
+
+	for a := 0; a < p.NA; a++ {
+		for b := 0; b < p.NB; b++ {
+			f := k.Dev.Neigh[a][b]
+			if f < 0 {
+				continue
+			}
+			// Stage 1 (Fig. 10d): one fused GEMM per direction.
+			for i := 0; i < p.N3D; i++ {
+				dHG[i] = am.Atom[f].Mul(k.dH[a][b][i])
+			}
+			// Stage 2: ∇H·D^≷ with the j reduction folded in; the ω blocks
+			// are stacked ascending-energy (descending ω) so stage 3 can
+			// consume a contiguous window. The prefactor is folded in here.
+			for i := 0; i < p.N3D; i++ {
+				for qz := 0; qz < p.Nqz; qz++ {
+					stack := dHD[i][qz]
+					stack.Zero()
+					for w := 0; w < p.Nw; w++ {
+						rowBlock := cmat.DenseFromSlice(no, no,
+							stack.Data[(p.Nw-1-w)*no*no:(p.Nw-w)*no*no])
+						for j := 0; j < p.N3D; j++ {
+							rowBlock.AddScaledInPlace(pref*d.At(qz, w, a, b, i, j), k.dH[a][b][j])
+						}
+					}
+				}
+			}
+			// Stage 3 (Fig. 11c): windowed fused accumulation over ω.
+			for i := 0; i < p.N3D; i++ {
+				for qz := 0; qz < p.Nqz; qz++ {
+					stack := dHD[i][qz]
+					for kz := 0; kz < p.Nkz; kz++ {
+						k2 := wrapK(kz, qz, p.Nkz)
+						base := k2 * p.NE
+						for e := 1; e < p.NE; e++ {
+							smax := p.Nw
+							if e < smax {
+								smax = e
+							}
+							out := sigma.Block(kz, e, a)
+							// Slab of ∇H·G^≷ at energies e−smax … e−1 and
+							// the matching ∇H·D^≷ window (shift s = e−e').
+							vlo := (base + e - smax) * no
+							slab := cmat.DenseFromSlice(smax*no, no,
+								dHG[i].Data[vlo*no:(base+e)*no*no])
+							win := cmat.DenseFromSlice(smax*no, no,
+								stack.Data[(p.Nw-smax)*no*no:])
+							for t := 0; t < smax; t++ {
+								vb := cmat.DenseFromSlice(no, no, slab.Data[t*no*no:(t+1)*no*no])
+								cb := cmat.DenseFromSlice(no, no, win.Data[t*no*no:(t+1)*no*no])
+								vb.MulAddInto(out, cb)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return sigma
+}

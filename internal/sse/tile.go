@@ -1,0 +1,159 @@
+package sse
+
+import (
+	"negfsim/internal/cmat"
+	"negfsim/internal/tensor"
+)
+
+// Tile kernels: the communication-avoiding decomposition (§4.1) assigns
+// each process an energy window × atom tile of the SSE output. These
+// kernels compute exactly that tile, touching only the halo region of the
+// inputs — energies [eLo−Nω, eHi) for Σ (the E−ℏω window), [eLo, eHi+Nω)
+// for Π (the E+ℏω window), and the f(a, b) neighbor halo of the atom tile.
+// The union of all tiles reproduces the full kernels exactly (tested), and
+// the input footprint is the (NE/TE + 2Nω)·(NA/TA + NB) factor of the
+// communication model.
+
+// SigmaDaCeTile computes Σ^≷[kz, E, a] for E ∈ [eLo, eHi) and a ∈ [aLo,
+// aHi) with the DaCe-transformed kernel. The output tensor is full-size
+// with zeros outside the tile. g must hold valid data for energies
+// [max(0, eLo−Nω), eHi) and for the tile's atoms plus their neighbors.
+func (k *Kernel) SigmaDaCeTile(g *tensor.GTensor, d *PreD, eLo, eHi, aLo, aHi int) *tensor.GTensor {
+	p := k.Dev.P
+	pref := k.sigmaPref()
+	sigma := tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb)
+	no := p.Norb
+	dHD := make([][]*cmat.Dense, p.N3D)
+	for i := range dHD {
+		dHD[i] = make([]*cmat.Dense, p.Nqz)
+		for qz := range dHD[i] {
+			dHD[i][qz] = cmat.NewDense(p.Nw*no, no)
+		}
+	}
+	am := g.ToAtomMajor()
+	for a := aLo; a < aHi; a++ {
+		for b := 0; b < p.NB; b++ {
+			f := k.Dev.Neigh[a][b]
+			if f < 0 {
+				continue
+			}
+			dHG := make([]*cmat.Dense, p.N3D)
+			for i := 0; i < p.N3D; i++ {
+				dHG[i] = am.Atom[f].Mul(k.dH[a][b][i])
+			}
+			for i := 0; i < p.N3D; i++ {
+				for qz := 0; qz < p.Nqz; qz++ {
+					stack := dHD[i][qz]
+					stack.Zero()
+					for w := 0; w < p.Nw; w++ {
+						rowBlock := cmat.DenseFromSlice(no, no,
+							stack.Data[(p.Nw-1-w)*no*no:(p.Nw-w)*no*no])
+						for j := 0; j < p.N3D; j++ {
+							rowBlock.AddScaledInPlace(pref*d.At(qz, w, a, b, i, j), k.dH[a][b][j])
+						}
+					}
+				}
+			}
+			for i := 0; i < p.N3D; i++ {
+				for qz := 0; qz < p.Nqz; qz++ {
+					stack := dHD[i][qz]
+					for kz := 0; kz < p.Nkz; kz++ {
+						k2 := wrapK(kz, qz, p.Nkz)
+						base := k2 * p.NE
+						for e := max(eLo, 1); e < eHi; e++ {
+							smax := p.Nw
+							if e < smax {
+								smax = e
+							}
+							out := sigma.Block(kz, e, a)
+							vlo := (base + e - smax) * no
+							for t := 0; t < smax; t++ {
+								vb := cmat.DenseFromSlice(no, no, dHG[i].Data[(vlo+t*no)*no:(vlo+(t+1)*no)*no])
+								cb := cmat.DenseFromSlice(no, no, stack.Data[((p.Nw-smax)+t)*no*no:((p.Nw-smax)+t+1)*no*no])
+								vb.MulAddInto(out, cb)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return sigma
+}
+
+// PiDaCeTile computes the Π^≷ contributions of the trace terms whose
+// unshifted energy E lies in [eLo, eHi) and whose atom a lies in [aLo,
+// aHi). Because the (E, a) pairs partition across tiles, summing the
+// returned tensors over all tiles reproduces PiDaCe exactly. g≷ must hold
+// valid data for energies [eLo, eHi+Nω) and the tile's atoms plus halo.
+func (k *Kernel) PiDaCeTile(gLess, gGtr *tensor.GTensor, eLo, eHi, aLo, aHi int) (piLess, piGtr *tensor.DTensor) {
+	p := k.Dev.P
+	pref := complex(0, k.piPref())
+	piLess = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
+	piGtr = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
+	ne := eHi - eLo
+	nke := p.Nkz * ne
+	alloc := func() [][]*cmat.Dense {
+		m := make([][]*cmat.Dense, p.N3D)
+		for i := range m {
+			m[i] = make([]*cmat.Dense, nke)
+		}
+		return m
+	}
+	wLess, wGtr := alloc(), alloc()
+	for a := aLo; a < aHi; a++ {
+		for b := 0; b < p.NB; b++ {
+			f := k.Dev.Neigh[a][b]
+			if f < 0 {
+				continue
+			}
+			r := k.Dev.NeighborSlot(f, a)
+			if r < 0 {
+				continue
+			}
+			for kz := 0; kz < p.Nkz; kz++ {
+				for e := eLo; e < eHi; e++ {
+					idx := kz*ne + (e - eLo)
+					for i := 0; i < p.N3D; i++ {
+						wLess[i][idx] = k.dH[a][b][i].Mul(gLess.Block(kz, e, f))
+						wGtr[i][idx] = k.dH[a][b][i].Mul(gGtr.Block(kz, e, f))
+					}
+				}
+			}
+			// U products at shifted energies (they live in the halo above
+			// the tile), computed on demand and cached per bond.
+			uLessCache := make([]map[int]*cmat.Dense, p.N3D)
+			uGtrCache := make([]map[int]*cmat.Dense, p.N3D)
+			for i := range uLessCache {
+				uLessCache[i] = map[int]*cmat.Dense{}
+				uGtrCache[i] = map[int]*cmat.Dense{}
+			}
+			for qz := 0; qz < p.Nqz; qz++ {
+				for w := 0; w < p.Nw; w++ {
+					shift := p.PhononShift(w)
+					for kz := 0; kz < p.Nkz; kz++ {
+						k2 := wrapK(kz, -qz, p.Nkz)
+						for e := eLo; e < eHi && e+shift < p.NE; e++ {
+							su := k2*p.NE + e + shift
+							sw := kz*ne + (e - eLo)
+							for i := 0; i < p.N3D; i++ {
+								ul, ok := uLessCache[i][su]
+								if !ok {
+									ul = k.dH[f][r][i].Mul(gLess.Block(k2, e+shift, a))
+									uLessCache[i][su] = ul
+									uGtrCache[i][su] = k.dH[f][r][i].Mul(gGtr.Block(k2, e+shift, a))
+								}
+								ug := uGtrCache[i][su]
+								for j := 0; j < p.N3D; j++ {
+									piAccumulate(piLess, qz, w, a, b, i, j, p.NB, pref*ul.TraceMul(wGtr[j][sw]))
+									piAccumulate(piGtr, qz, w, a, b, i, j, p.NB, pref*ug.TraceMul(wLess[j][sw]))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return piLess, piGtr
+}

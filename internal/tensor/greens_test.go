@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomGTensor(rng *rand.Rand, nkz, ne, na, norb int) *GTensor {
+	g := NewGTensor(nkz, ne, na, norb)
+	for i := range g.Data {
+		g.Data[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	return g
+}
+
+func randomDTensor(rng *rand.Rand, nqz, nw, na, nb, n3d int) *DTensor {
+	d := NewDTensor(nqz, nw, na, nb, n3d)
+	for i := range d.Data {
+		d.Data[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	return d
+}
+
+func TestGTensorBlockIsView(t *testing.T) {
+	g := NewGTensor(2, 3, 4, 2)
+	b := g.Block(1, 2, 3)
+	b.Set(0, 1, 9i)
+	// Block (1,2,3), element (0,1) in row-major 5-D layout:
+	off := ((1*3+2)*4+3)*4 + 0*2 + 1
+	if g.Data[off] != 9i {
+		t.Fatal("Block must be a view into the 5-D layout")
+	}
+}
+
+func TestGTensorBlockOutOfRange(t *testing.T) {
+	g := NewGTensor(2, 2, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Block(0, 2, 0)
+}
+
+func TestAtomMajorRoundTripProperty(t *testing.T) {
+	// The Fig. 10(c) layout transformation must be invertible: a pure data
+	// movement, no values changed.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGTensor(r, 1+r.Intn(3), 1+r.Intn(4), 1+r.Intn(4), 1+r.Intn(3))
+		return g.ToAtomMajor().ToGTensor().MaxAbsDiff(g) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomMajorBlockMatchesSource(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := randomGTensor(r, 2, 3, 4, 3)
+	am := g.ToAtomMajor()
+	for kz := 0; kz < 2; kz++ {
+		for e := 0; e < 3; e++ {
+			for a := 0; a < 4; a++ {
+				if am.Block(kz, e, a).MaxAbsDiff(g.Block(kz, e, a)) != 0 {
+					t.Fatalf("atom-major block (%d,%d,%d) differs", kz, e, a)
+				}
+			}
+		}
+	}
+	// Stacked matrix must have the documented shape.
+	if am.Atom[0].Rows != 2*3*3 || am.Atom[0].Cols != 3 {
+		t.Fatalf("stacked shape %d×%d, want %d×3", am.Atom[0].Rows, am.Atom[0].Cols, 2*3*3)
+	}
+}
+
+func TestDTensorBlockLayout(t *testing.T) {
+	d := NewDTensor(2, 2, 3, 2, 3)
+	// Slot NB (==2) is the self block.
+	b := d.Block(1, 0, 2, 2)
+	b.Set(2, 1, 5)
+	off := (((1*2+0)*3+2)*3+2)*9 + 2*3 + 1
+	if d.Data[off] != 5 {
+		t.Fatal("DTensor.Block must view the 6-D layout")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for neighbor slot > NB")
+		}
+	}()
+	d.Block(0, 0, 0, 3)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := randomGTensor(r, 2, 2, 2, 2)
+	c := g.Clone()
+	c.Data[0] += 1
+	if g.MaxAbsDiff(c) == 0 {
+		t.Fatal("Clone must not share storage")
+	}
+	d := randomDTensor(r, 2, 2, 2, 2, 3)
+	cd := d.Clone()
+	cd.Data[0] += 1
+	if d.MaxAbsDiff(cd) == 0 {
+		t.Fatal("DTensor.Clone must not share storage")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	g := NewGTensor(2, 3, 4, 5)
+	if got, want := g.Bytes(), 16*2*3*4*5*5; got != want {
+		t.Fatalf("GTensor bytes = %d, want %d", got, want)
+	}
+	d := NewDTensor(2, 3, 4, 5, 3)
+	if got, want := d.Bytes(), 16*2*3*4*6*9; got != want {
+		t.Fatalf("DTensor bytes = %d, want %d", got, want)
+	}
+}
+
+func TestZeroAndMaxAbsDiff(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	g := randomGTensor(r, 2, 2, 2, 2)
+	h := g.Clone()
+	g.Zero()
+	for _, v := range g.Data {
+		if v != 0 {
+			t.Fatal("Zero left nonzero elements")
+		}
+	}
+	if g.MaxAbsDiff(h) == 0 {
+		t.Fatal("diff from a random tensor should be nonzero")
+	}
+}

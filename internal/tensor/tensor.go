@@ -1,0 +1,189 @@
+// Package tensor provides the multi-dimensional complex tensors that carry
+// the Green's functions and self-energies of the simulation:
+//
+//   - G≷, Σ≷ : 5-D [Nkz, NE, NA, Norb, Norb]   (electrons)
+//   - D≷, Π≷ : 6-D [Nqz, Nω, NA, NB+1, N3D, N3D] (phonons)
+//
+// plus a generic strided Tensor with axis permutation — the mechanism behind
+// the data-layout transformation of Fig. 10(c) in the paper, where G≷ is
+// re-laid-out from (kz, E)-major to atom-major so that the Nkz·NE small
+// matrix multiplications fuse into one large GEMM.
+package tensor
+
+import "fmt"
+
+// Tensor is a generic strided complex tensor. Freshly created tensors are
+// dense row-major; Permute produces a strided view sharing storage.
+type Tensor struct {
+	Shape   []int
+	Strides []int
+	Data    []complex128
+}
+
+// New allocates a zeroed row-major tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %v", shape))
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...),
+		Strides: rowMajorStrides(shape),
+		Data:    make([]complex128, n)}
+}
+
+func rowMajorStrides(shape []int) []int {
+	st := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= shape[i]
+	}
+	return st
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int {
+	n := 1
+	for _, s := range t.Shape {
+		n *= s
+	}
+	return n
+}
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Offset computes the flat index of the given multi-index.
+func (t *Tensor) Offset(idx ...int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d for tensor rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) on axis %d", x, t.Shape[i], i))
+		}
+		off += x * t.Strides[i]
+	}
+	return off
+}
+
+// At returns the element at the multi-index.
+func (t *Tensor) At(idx ...int) complex128 { return t.Data[t.Offset(idx...)] }
+
+// Set assigns the element at the multi-index.
+func (t *Tensor) Set(v complex128, idx ...int) { t.Data[t.Offset(idx...)] = v }
+
+// IsContiguous reports whether the tensor is dense row-major.
+func (t *Tensor) IsContiguous() bool {
+	acc := 1
+	for i := len(t.Shape) - 1; i >= 0; i-- {
+		if t.Strides[i] != acc {
+			return false
+		}
+		acc *= t.Shape[i]
+	}
+	return true
+}
+
+// Permute returns a view of t with axes reordered: axis i of the result is
+// axis perm[i] of t. Storage is shared; no elements move.
+func (t *Tensor) Permute(perm ...int) *Tensor {
+	if len(perm) != len(t.Shape) {
+		panic("tensor: Permute rank mismatch")
+	}
+	seen := make([]bool, len(perm))
+	out := &Tensor{Shape: make([]int, len(perm)), Strides: make([]int, len(perm)), Data: t.Data}
+	for i, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			panic(fmt.Sprintf("tensor: invalid permutation %v", perm))
+		}
+		seen[p] = true
+		out.Shape[i] = t.Shape[p]
+		out.Strides[i] = t.Strides[p]
+	}
+	return out
+}
+
+// Compact materializes t into a fresh dense row-major tensor with the same
+// logical contents. This is the data-movement step of a layout
+// transformation: Permute chooses the new order, Compact pays the copy.
+func (t *Tensor) Compact() *Tensor {
+	out := New(t.Shape...)
+	if t.IsContiguous() {
+		copy(out.Data, t.Data[:out.Len()])
+		return out
+	}
+	idx := make([]int, len(t.Shape))
+	for flat := 0; flat < out.Len(); flat++ {
+		off := 0
+		for i := range idx {
+			off += idx[i] * t.Strides[i]
+		}
+		out.Data[flat] = t.Data[off]
+		for i := len(idx) - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < t.Shape[i] {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return out
+}
+
+// Reshape returns a view with a new shape; t must be contiguous and the
+// element counts must match.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if !t.IsContiguous() {
+		panic("tensor: Reshape of non-contiguous tensor (Compact first)")
+	}
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != t.Len() {
+		panic(fmt.Sprintf("tensor: Reshape %v -> %v changes element count", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Strides: rowMajorStrides(shape), Data: t.Data}
+}
+
+// EqualWithin reports whether two tensors have identical shape and all
+// elements within tol.
+func (t *Tensor) EqualWithin(u *Tensor, tol float64) bool {
+	if len(t.Shape) != len(u.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != u.Shape[i] {
+			return false
+		}
+	}
+	a, b := t, u
+	if !a.IsContiguous() {
+		a = a.Compact()
+	}
+	if !b.IsContiguous() {
+		b = b.Compact()
+	}
+	for i := range a.Data[:a.Len()] {
+		d := a.Data[i] - b.Data[i]
+		if real(d)*real(d)+imag(d)*imag(d) > tol*tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element of a contiguous tensor to v.
+func (t *Tensor) Fill(v complex128) {
+	if !t.IsContiguous() {
+		panic("tensor: Fill of non-contiguous tensor")
+	}
+	for i := range t.Data[:t.Len()] {
+		t.Data[i] = v
+	}
+}

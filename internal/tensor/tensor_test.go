@@ -1,0 +1,166 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = complex(rng.Float64(), rng.Float64())
+	}
+	return t
+}
+
+func TestNewShapeAndLen(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 || x.Rank() != 3 {
+		t.Fatalf("Len=%d Rank=%d, want 24, 3", x.Len(), x.Rank())
+	}
+	if !x.IsContiguous() {
+		t.Fatal("fresh tensor must be contiguous")
+	}
+}
+
+func TestRowMajorOffsets(t *testing.T) {
+	x := New(2, 3, 4)
+	if got := x.Offset(1, 2, 3); got != 1*12+2*4+3 {
+		t.Fatalf("Offset = %d, want %d", got, 23)
+	}
+	x.Set(7, 1, 0, 2)
+	if x.Data[12+2] != 7 {
+		t.Fatal("Set wrote to wrong flat location")
+	}
+	if x.At(1, 0, 2) != 7 {
+		t.Fatal("At read wrong value")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, -1}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for index %v", idx)
+				}
+			}()
+			x.At(idx...)
+		}()
+	}
+}
+
+func TestPermuteView(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x := randomTensor(r, 3, 4, 5)
+	p := x.Permute(2, 0, 1)
+	if p.Shape[0] != 5 || p.Shape[1] != 3 || p.Shape[2] != 4 {
+		t.Fatalf("permuted shape %v", p.Shape)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 5; k++ {
+				if p.At(k, i, j) != x.At(i, j, k) {
+					t.Fatalf("permuted element mismatch at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+	// Views share storage.
+	x.Set(42, 0, 0, 0)
+	if p.At(0, 0, 0) != 42 {
+		t.Fatal("Permute must be a view")
+	}
+}
+
+func TestPermuteInvalid(t *testing.T) {
+	x := New(2, 2)
+	for _, perm := range [][]int{{0, 0}, {0, 2}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for perm %v", perm)
+				}
+			}()
+			x.Permute(perm...)
+		}()
+	}
+}
+
+func TestCompactEqualsPermutedView(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randomTensor(r, 1+r.Intn(4), 1+r.Intn(4), 1+r.Intn(4))
+		p := x.Permute(2, 1, 0)
+		c := p.Compact()
+		if !c.IsContiguous() {
+			return false
+		}
+		return c.EqualWithin(p, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuteRoundTripProperty(t *testing.T) {
+	// Permuting there and back (with Compact in between) is the identity.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randomTensor(r, 2+r.Intn(3), 2+r.Intn(3), 2+r.Intn(3), 2+r.Intn(2))
+		perm := []int{3, 1, 0, 2}
+		inv := []int{2, 1, 3, 0} // inverse of perm
+		back := x.Permute(perm...).Compact().Permute(inv...).Compact()
+		return back.EqualWithin(x, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReshape(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := randomTensor(r, 4, 6)
+	y := x.Reshape(2, 12)
+	if y.At(1, 5) != x.At(2, 5) {
+		t.Fatal("Reshape must preserve row-major ordering")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic on element-count change")
+			}
+		}()
+		x.Reshape(5, 5)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic on non-contiguous reshape")
+			}
+		}()
+		x.Permute(1, 0).Reshape(24)
+	}()
+}
+
+func TestFillAndEqualWithin(t *testing.T) {
+	x := New(3, 3)
+	x.Fill(2 + 1i)
+	y := New(3, 3)
+	y.Fill(2 + 1i)
+	if !x.EqualWithin(y, 0) {
+		t.Fatal("identical tensors must compare equal")
+	}
+	y.Set(2+1.0001i, 1, 1)
+	if x.EqualWithin(y, 1e-9) {
+		t.Fatal("different tensors must not compare equal at tight tol")
+	}
+	if !x.EqualWithin(y, 1e-2) {
+		t.Fatal("should compare equal at loose tol")
+	}
+	if x.EqualWithin(New(3, 4), 1) {
+		t.Fatal("shape mismatch must compare unequal")
+	}
+}
