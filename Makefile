@@ -1,0 +1,24 @@
+# Tier-1 gate: everything a PR must keep green.
+.PHONY: check build vet test race bench
+
+check: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Race pass over the packages with shared-memory parallelism (worker pool,
+# batched GEMM dispatch, banded MulParInto, SSE tiles, core grid loops).
+# -short keeps the core suite tractable under the race runtime.
+race:
+	go test -race -short ./internal/cmat ./internal/pool ./internal/sse ./internal/core
+
+# Table/figure benchmarks plus the kernel-engine micro-benchmarks.
+bench:
+	go test -bench . -benchtime 3x -run '^$$' .
+	go test -bench 'BenchmarkGEMM' -benchtime 20x -run '^$$' ./internal/cmat

@@ -1,0 +1,53 @@
+//go:build !race
+
+// The AllocsPerRun counters below measure steady-state heap traffic; the race
+// runtime adds its own allocations, so these regressions only hold un-raced.
+
+package cmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAllocsBlockedGEMM proves the blocked engine's steady state: once the
+// arena holds a pack buffer, MulAddInto on dense operands performs no heap
+// allocation per call.
+func TestAllocsBlockedGEMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 96
+	a := RandomDense(rng, n, n)
+	b := RandomDense(rng, n, n)
+	out := NewDense(n, n)
+	a.MulAddInto(out, b) // warm the arena
+	avg := testing.AllocsPerRun(50, func() {
+		a.MulAddInto(out, b)
+	})
+	if avg > 0.5 {
+		t.Fatalf("blocked MulAddInto steady state allocates %.2f/run, want ~0", avg)
+	}
+}
+
+// TestAllocsInverseInto pins the zero-allocation steady state of the pooled
+// LU inversion: the LU header lives on the stack, the factorization scratch
+// and pivot slice come from the arena.
+func TestAllocsInverseInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	const n = 24
+	a := RandomDense(rng, n, n)
+	for i := 0; i < n; i++ { // diagonally dominant → never singular
+		a.Data[i*n+i] += complex(float64(4*n), 0)
+	}
+	dst := NewDense(n, n)
+	if err := InverseInto(dst, a); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if err := InverseInto(dst, a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("InverseInto steady state allocates %.2f/run, want ~0", avg)
+	}
+}

@@ -1,0 +1,48 @@
+package cmat
+
+import "negfsim/internal/pool"
+
+// Triple is one independent product in a batched GEMM dispatch:
+// Out += A·B.
+type Triple struct {
+	Out, A, B *Dense
+}
+
+// batchSerialWork is the total R·K·C volume below which a batch runs
+// serially: scheduling a handful of Norb³ products over the pool costs more
+// than the products themselves.
+const batchSerialWork = 64 * 1024
+
+// BatchMulAddInto performs every product of the batch, accumulating into the
+// respective Out matrices. The products must be independent: no Out may
+// alias another triple's Out, A or B (A and B operands may be shared freely
+// between triples — they are only read).
+//
+// This is the runtime-level analogue of the paper's SDFG transformation that
+// fuses myriads of tiny Norb×Norb multiplications into batched kernel
+// launches: the SSE and block-tridiagonal RGF stages hand the pool many
+// independent small products at once instead of spawning goroutines (or
+// running serially) per product.
+func BatchMulAddInto(batch []Triple) {
+	work := 0
+	for _, t := range batch {
+		if t.A.Cols != t.B.Rows {
+			panic("cmat: BatchMulAddInto dimension mismatch")
+		}
+		if t.Out.Rows != t.A.Rows || t.Out.Cols != t.B.Cols {
+			panic("cmat: BatchMulAddInto output shape mismatch")
+		}
+		work += t.A.Rows * t.A.Cols * t.B.Cols
+	}
+	if len(batch) <= 1 || work < batchSerialWork {
+		for _, t := range batch {
+			t.A.MulAddInto(t.Out, t.B)
+		}
+		return
+	}
+	pool.ParallelFor(len(batch), pool.Size(), func(lo, hi int) {
+		for _, t := range batch[lo:hi] {
+			t.A.MulAddInto(t.Out, t.B)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package cmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBatchMatchesSequentialQuick property-tests BatchMulAddInto ≡ running
+// the same MulAddInto calls one by one, over random batch sizes and shapes
+// spanning the serial/parallel dispatch threshold.
+func TestBatchMatchesSequentialQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	f := func(ns, rs, ks, cs uint8) bool {
+		nb := 1 + int(ns)%12
+		r := 1 + int(rs)%48
+		k := 1 + int(ks)%48
+		c := 1 + int(cs)%48
+		batch := make([]Triple, nb)
+		want := make([]*Dense, nb)
+		for i := range batch {
+			a := RandomDense(rng, r, k)
+			b := RandomDense(rng, k, c)
+			out := RandomDense(rng, r, c)
+			want[i] = out.Clone()
+			a.MulAddInto(want[i], b)
+			batch[i] = Triple{Out: out, A: a, B: b}
+		}
+		BatchMulAddInto(batch)
+		for i := range batch {
+			if !batch[i].Out.Equalish(want[i], 1e-9*float64(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchDegenerate pins the edge cases: empty batch, single triple,
+// zero-dimension operands, mixed shapes within one batch, and a batch large
+// enough to take the parallel dispatch path.
+func TestBatchDegenerate(t *testing.T) {
+	BatchMulAddInto(nil) // must not panic
+	BatchMulAddInto([]Triple{})
+
+	rng := rand.New(rand.NewSource(103))
+
+	// Zero-sized operands: 0×k·k×c, r×0·0×c, r×k·k×0.
+	zeroShapes := [][3]int{{0, 3, 4}, {3, 0, 4}, {3, 4, 0}, {0, 0, 0}, {1, 1, 1}}
+	batch := make([]Triple, 0, len(zeroShapes))
+	want := make([]*Dense, 0, len(zeroShapes))
+	for _, s := range zeroShapes {
+		r, k, c := s[0], s[1], s[2]
+		a := RandomDense(rng, r, k)
+		b := RandomDense(rng, k, c)
+		out := RandomDense(rng, r, c)
+		w := out.Clone()
+		a.MulAddInto(w, b)
+		want = append(want, w)
+		batch = append(batch, Triple{Out: out, A: a, B: b})
+	}
+	BatchMulAddInto(batch)
+	for i := range batch {
+		if !batch[i].Out.Equalish(want[i], 1e-12) {
+			t.Fatalf("degenerate shape %v mismatch", zeroShapes[i])
+		}
+	}
+
+	// A batch whose total work exceeds batchSerialWork: forces the pool path.
+	const n, nb = 48, 8 // 8 · 48³ ≫ batchSerialWork
+	big := make([]Triple, nb)
+	bigWant := make([]*Dense, nb)
+	for i := range big {
+		a := RandomDense(rng, n, n)
+		b := RandomDense(rng, n, n)
+		out := NewDense(n, n)
+		bigWant[i] = NewDense(n, n)
+		a.MulAddInto(bigWant[i], b)
+		big[i] = Triple{Out: out, A: a, B: b}
+	}
+	BatchMulAddInto(big)
+	for i := range big {
+		if !big[i].Out.Equalish(bigWant[i], 1e-9*n) {
+			t.Fatalf("parallel-path triple %d mismatch: max diff %g", i, big[i].Out.MaxAbsDiff(bigWant[i]))
+		}
+	}
+}
+
+// TestBatchSharedInputs checks the documented sharing contract: distinct Out
+// matrices may read the same A and B operands concurrently.
+func TestBatchSharedInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	const n, nb = 40, 16
+	a := RandomDense(rng, n, n)
+	b := RandomDense(rng, n, n)
+	want := NewDense(n, n)
+	a.MulAddInto(want, b)
+	batch := make([]Triple, nb)
+	for i := range batch {
+		batch[i] = Triple{Out: NewDense(n, n), A: a, B: b}
+	}
+	BatchMulAddInto(batch)
+	for i := range batch {
+		if !batch[i].Out.Equalish(want, 1e-9*n) {
+			t.Fatalf("shared-input triple %d mismatch", i)
+		}
+	}
+}

@@ -109,8 +109,53 @@ func (b *BlockTri) IsHermitian(tol float64) bool {
 // ShiftDiag adds alpha·S to the diagonal structure of b block-wise, where S
 // is another block-tridiagonal matrix (used to form E·S − H).
 func (b *BlockTri) ShiftDiag(alpha complex128, s *BlockTri) *BlockTri {
-	out := b.Clone()
-	out.Scale(-1)
-	out.AXPY(alpha, s)
+	out := NewBlockTri(b.N, b.Bs)
+	b.ShiftDiagInto(out, alpha, s)
 	return out
+}
+
+// ShiftDiagInto writes alpha·S − b into dst block-wise in a single pass,
+// without intermediate allocations. dst must have b's shape.
+func (b *BlockTri) ShiftDiagInto(dst *BlockTri, alpha complex128, s *BlockTri) {
+	if b.N != s.N || b.Bs != s.Bs || dst.N != b.N || dst.Bs != b.Bs {
+		panic("cmat: ShiftDiagInto shape mismatch")
+	}
+	shift := func(d, bb, ss *Dense) {
+		for j := range d.Data {
+			d.Data[j] = alpha*ss.Data[j] - bb.Data[j]
+		}
+	}
+	for i := range b.Diag {
+		shift(dst.Diag[i], b.Diag[i], s.Diag[i])
+	}
+	for i := range b.Upper {
+		shift(dst.Upper[i], b.Upper[i], s.Upper[i])
+		shift(dst.Lower[i], b.Lower[i], s.Lower[i])
+	}
+}
+
+// ShiftIdentityInto writes alpha·I − b into dst block-wise (the phonon
+// operator ω²·I − Φ) without materializing a block identity. dst must have
+// b's shape.
+func (b *BlockTri) ShiftIdentityInto(dst *BlockTri, alpha complex128) {
+	if dst.N != b.N || dst.Bs != b.Bs {
+		panic("cmat: ShiftIdentityInto shape mismatch")
+	}
+	for i := range b.Diag {
+		d, bb := dst.Diag[i].Data, b.Diag[i].Data
+		for j := range bb {
+			d[j] = -bb[j]
+		}
+		for j := 0; j < b.Bs; j++ {
+			d[j*b.Bs+j] += alpha
+		}
+	}
+	for i := range b.Upper {
+		du, bu := dst.Upper[i].Data, b.Upper[i].Data
+		dl, bl := dst.Lower[i].Data, b.Lower[i].Data
+		for j := range bu {
+			du[j] = -bu[j]
+			dl[j] = -bl[j]
+		}
+	}
 }

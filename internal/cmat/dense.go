@@ -37,6 +37,15 @@ func DenseFromSlice(r, c int, data []complex128) *Dense {
 	return &Dense{Rows: r, Cols: c, Data: data}
 }
 
+// ViewInto rebinds dst as an r×c view of data without allocating a header;
+// the steady-state alternative to DenseFromSlice for hot loops.
+func ViewInto(dst *Dense, r, c int, data []complex128) {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("cmat: slice length %d does not match %d×%d", len(data), r, c))
+	}
+	dst.Rows, dst.Cols, dst.Data = r, c, data
+}
+
 // Identity returns the n×n identity matrix.
 func Identity(n int) *Dense {
 	m := NewDense(n, n)
@@ -179,6 +188,16 @@ func (m *Dense) AddScaledInPlace(alpha complex128, n *Dense) {
 	}
 }
 
+// SubInPlace subtracts n from m element-wise.
+func (m *Dense) SubInPlace(n *Dense) {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		panic("cmat: SubInPlace dimension mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] -= n.Data[i]
+	}
+}
+
 // Sub returns m − n as a new matrix.
 func (m *Dense) Sub(n *Dense) *Dense {
 	if m.Rows != n.Rows || m.Cols != n.Cols {
@@ -229,6 +248,19 @@ func (m *Dense) ConjTranspose() *Dense {
 	return out
 }
 
+// ConjTransposeInto writes m^H into dst, which must have shape
+// m.Cols × m.Rows and must not alias m.
+func (m *Dense) ConjTransposeInto(dst *Dense) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic("cmat: ConjTransposeInto output shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			dst.Data[j*m.Rows+i] = cmplx.Conj(m.Data[i*m.Cols+j])
+		}
+	}
+}
+
 // IsHermitian reports whether m equals its conjugate transpose within tol.
 func (m *Dense) IsHermitian(tol float64) bool {
 	if m.Rows != m.Cols {
@@ -265,7 +297,9 @@ func (m *Dense) Mul(n *Dense) *Dense {
 }
 
 // MulInto computes out = m·n. out must be preallocated with shape
-// m.Rows × n.Cols; it is overwritten.
+// m.Rows × n.Cols; it is overwritten. Large dense products run through the
+// cache-blocked engine of gemm.go, which overwrites directly instead of
+// zeroing first.
 func (m *Dense) MulInto(out, n *Dense) {
 	if m.Cols != n.Rows {
 		panic(fmt.Sprintf("cmat: Mul dimension mismatch %d×%d · %d×%d", m.Rows, m.Cols, n.Rows, n.Cols))
@@ -273,11 +307,13 @@ func (m *Dense) MulInto(out, n *Dense) {
 	if out.Rows != m.Rows || out.Cols != n.Cols {
 		panic("cmat: MulInto output shape mismatch")
 	}
-	out.Zero()
-	m.MulAddInto(out, n)
+	m.gemm(out, n, false)
+	Counter.AddGEMM(m.Rows, m.Cols, n.Cols)
 }
 
-// MulAddInto computes out += m·n without zeroing out first.
+// MulAddInto computes out += m·n without zeroing out first. Small or
+// sparse-ish products take the naive i-k-j loop; large dense ones the
+// cache-blocked engine (see gemm.go for the crossover).
 func (m *Dense) MulAddInto(out, n *Dense) {
 	if m.Cols != n.Rows {
 		panic(fmt.Sprintf("cmat: Mul dimension mismatch %d×%d · %d×%d", m.Rows, m.Cols, n.Rows, n.Cols))
@@ -285,22 +321,8 @@ func (m *Dense) MulAddInto(out, n *Dense) {
 	if out.Rows != m.Rows || out.Cols != n.Cols {
 		panic("cmat: MulAddInto output shape mismatch")
 	}
-	R, K, C := m.Rows, m.Cols, n.Cols
-	for i := 0; i < R; i++ {
-		mrow := m.Data[i*K : (i+1)*K]
-		orow := out.Data[i*C : (i+1)*C]
-		for k := 0; k < K; k++ {
-			a := mrow[k]
-			if a == 0 {
-				continue
-			}
-			nrow := n.Data[k*C : (k+1)*C]
-			for j := 0; j < C; j++ {
-				orow[j] += a * nrow[j]
-			}
-		}
-	}
-	Counter.AddGEMM(R, K, C)
+	m.gemm(out, n, true)
+	Counter.AddGEMM(m.Rows, m.Cols, n.Cols)
 }
 
 // MulHerm returns m·n^H as a new matrix without materializing n^H.

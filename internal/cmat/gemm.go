@@ -1,0 +1,316 @@
+package cmat
+
+// Blocked GEMM engine. The paper wins its single-node speedups by turning
+// myriads of tiny Norb×Norb multiplications into large, well-scheduled GEMMs
+// at the SDFG level; this file applies the same kernel-granularity idea at
+// the runtime level. Large dense products run through a cache-blocked,
+// panel-packed, register-tiled kernel; small products (the Norb×Norb blocks
+// of the SSE stage) and sparse-ish operands (Hamiltonian blocks with ~5%
+// fill, where the naive kernel's zero-skip wins) keep the simple i-k-j loop,
+// which also serves as the property-test oracle.
+//
+// Blocking scheme (see DESIGN.md §9):
+//
+//   - The K dimension is split into panels of gemmKC rows of B.
+//   - The C dimension is split into panels of gemmNC columns; each kc×nc
+//     panel of B is packed into strips of gemmNR contiguous columns
+//     (k-major within a strip), so the micro-kernel streams B unit-stride
+//     out of L1/L2 regardless of the source leading dimension.
+//   - The micro-kernel computes a gemmMR×gemmNR output tile with the
+//     accumulators held in registers across the whole kc loop, eliminating
+//     the per-k load/store traffic on the output row that bounds the naive
+//     kernel.
+const (
+	gemmKC = 192 // K-panel height: one packed strip is gemmKC·gemmNR·16 B
+	gemmNC = 64  // column-panel width: a packed panel is ≤ gemmKC·gemmNC·16 B ≈ 192 KiB
+	gemmNR = 4   // micro-tile width (columns)
+	gemmMR = 2   // micro-tile height (rows)
+
+	// blockedMinWork is the R·K·C product volume above which the blocked
+	// engine is tried; below it the packing and dispatch overhead exceeds
+	// the cache savings and the naive kernel wins.
+	blockedMinWork = 32 * 32 * 32
+
+	// blockedMinDensity is the minimum nonzero fraction of the left operand
+	// for the blocked path: below it the naive kernel's a==0 row skip
+	// (Hamiltonian blocks are ~5% dense) beats the dense micro-kernel.
+	blockedMinDensity = 0.25
+)
+
+// mulAddNaive is the original i-k-j triple loop with the zero-skip on the
+// left operand. It is the oracle the blocked kernel is property-tested
+// against and the fast path for small or sparse operands.
+func (m *Dense) mulAddNaive(out, n *Dense) {
+	R, K, C := m.Rows, m.Cols, n.Cols
+	for i := 0; i < R; i++ {
+		mrow := m.Data[i*K : (i+1)*K]
+		orow := out.Data[i*C : (i+1)*C]
+		for k := 0; k < K; k++ {
+			a := mrow[k]
+			if a == 0 {
+				continue
+			}
+			nrow := n.Data[k*C : (k+1)*C]
+			for j := 0; j < C; j++ {
+				orow[j] += a * nrow[j]
+			}
+		}
+	}
+}
+
+// gemm computes out += m·n (accumulate) or out = m·n, dispatching between
+// the naive and the blocked kernel on size and left-operand density.
+func (m *Dense) gemm(out, n *Dense, accumulate bool) {
+	R, K, C := m.Rows, m.Cols, n.Cols
+	if K == 0 {
+		if !accumulate {
+			out.Zero()
+		}
+		return
+	}
+	if R*K*C < blockedMinWork || C < gemmNR || !denseEnough(m) {
+		if !accumulate {
+			out.Zero()
+		}
+		m.mulAddNaive(out, n)
+		return
+	}
+	m.mulBlocked(out, n, accumulate)
+}
+
+// denseEnough reports whether at least blockedMinDensity of m's entries are
+// nonzero, returning early as soon as the threshold is reached.
+func denseEnough(m *Dense) bool {
+	need := int(blockedMinDensity*float64(len(m.Data))) + 1
+	nz := 0
+	for _, v := range m.Data {
+		if v != 0 {
+			nz++
+			if nz >= need {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mulBlocked is the cache-blocked kernel: panel packing of B plus a
+// register-tiled gemmMR×gemmNR micro-kernel.
+func (m *Dense) mulBlocked(out, n *Dense, accumulate bool) {
+	R, K, C := m.Rows, m.Cols, n.Cols
+	ncMax := gemmNC
+	if C < ncMax {
+		ncMax = C
+	}
+	stripsMax := (ncMax + gemmNR - 1) / gemmNR
+	pack := getDenseNoZero(1, gemmKC*stripsMax*gemmNR)
+	pb := pack.Data
+	for kb := 0; kb < K; kb += gemmKC {
+		kc := K - kb
+		if kc > gemmKC {
+			kc = gemmKC
+		}
+		// The first K-panel may overwrite; subsequent panels accumulate on
+		// top of it.
+		acc := accumulate || kb > 0
+		for jb := 0; jb < C; jb += gemmNC {
+			nc := C - jb
+			if nc > gemmNC {
+				nc = gemmNC
+			}
+			packPanel(pb, n, kb, kc, jb, nc)
+			// ncFull is the widest jj for which a full gemmNR strip fits; the
+			// assembly kernel handles only full strips (it stores 4 columns
+			// unconditionally), the Go micro-kernel covers column tails.
+			ncFull := 0
+			if useAsmKernel {
+				ncFull = nc - nc%gemmNR
+			}
+			var i int
+			for i = 0; i+gemmMR <= R; i += gemmMR {
+				a0 := m.Data[i*K+kb : i*K+kb+kc : i*K+kb+kc]
+				a1 := m.Data[(i+1)*K+kb : (i+1)*K+kb+kc : (i+1)*K+kb+kc]
+				jj := 0
+				for ; jj < ncFull; jj += gemmNR {
+					gemmKernel2x4(&a0[0], &a1[0], &pb[(jj/gemmNR)*kc*gemmNR],
+						&out.Data[i*C+jb+jj], &out.Data[(i+1)*C+jb+jj], kc, acc)
+				}
+				for ; jj < nc; jj += gemmNR {
+					c00, c01, c02, c03, c10, c11, c12, c13 := micro2x4(a0, a1, pb[(jj/gemmNR)*kc*gemmNR:], kc)
+					storeTile(out, i, jb+jj, nc-jj, acc,
+						c00, c01, c02, c03, c10, c11, c12, c13)
+				}
+			}
+			for ; i < R; i++ {
+				a0 := m.Data[i*K+kb : i*K+kb+kc : i*K+kb+kc]
+				jj := 0
+				for ; jj < ncFull; jj += gemmNR {
+					gemmKernel1x4(&a0[0], &pb[(jj/gemmNR)*kc*gemmNR],
+						&out.Data[i*C+jb+jj], kc, acc)
+				}
+				for ; jj < nc; jj += gemmNR {
+					c0, c1, c2, c3 := micro1x4(a0, pb[(jj/gemmNR)*kc*gemmNR:], kc)
+					storeRow(out, i, jb+jj, nc-jj, acc, c0, c1, c2, c3)
+				}
+			}
+		}
+	}
+	PutDense(pack)
+}
+
+// packPanel copies the kc×nc panel of n starting at (kb, jb) into pb as
+// strips of gemmNR columns, k-major within each strip; strip s occupies
+// pb[s·kc·gemmNR : (s+1)·kc·gemmNR]. Columns beyond nc are zero-padded so
+// the micro-kernel never branches on the column tail.
+func packPanel(pb []complex128, n *Dense, kb, kc, jb, nc int) {
+	C := n.Cols
+	for s := 0; s*gemmNR < nc; s++ {
+		j0 := jb + s*gemmNR
+		w := nc - s*gemmNR
+		if w > gemmNR {
+			w = gemmNR
+		}
+		dst := pb[s*kc*gemmNR:]
+		for k := 0; k < kc; k++ {
+			src := n.Data[(kb+k)*C+j0 : (kb+k)*C+j0+w]
+			d := dst[k*gemmNR : k*gemmNR+gemmNR]
+			switch w {
+			case gemmNR:
+				d[0], d[1], d[2], d[3] = src[0], src[1], src[2], src[3]
+			case 3:
+				d[0], d[1], d[2], d[3] = src[0], src[1], src[2], 0
+			case 2:
+				d[0], d[1], d[2], d[3] = src[0], src[1], 0, 0
+			case 1:
+				d[0], d[1], d[2], d[3] = src[0], 0, 0, 0
+			}
+		}
+	}
+}
+
+// micro2x4 accumulates a 2×4 output tile over kc steps: two rows of A
+// against one packed gemmNR strip of B.
+func micro2x4(a0, a1, bp []complex128, kc int) (c00, c01, c02, c03, c10, c11, c12, c13 complex128) {
+	bp = bp[: kc*gemmNR : kc*gemmNR]
+	for k := 0; k < kc; k++ {
+		b := bp[k*gemmNR : k*gemmNR+gemmNR : k*gemmNR+gemmNR]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		ra := a0[k]
+		c00 += ra * b0
+		c01 += ra * b1
+		c02 += ra * b2
+		c03 += ra * b3
+		rb := a1[k]
+		c10 += rb * b0
+		c11 += rb * b1
+		c12 += rb * b2
+		c13 += rb * b3
+	}
+	return
+}
+
+// micro1x4 is the single-row tail variant of micro2x4.
+func micro1x4(a0, bp []complex128, kc int) (c0, c1, c2, c3 complex128) {
+	bp = bp[: kc*gemmNR : kc*gemmNR]
+	for k := 0; k < kc; k++ {
+		b := bp[k*gemmNR : k*gemmNR+gemmNR : k*gemmNR+gemmNR]
+		ra := a0[k]
+		c0 += ra * b[0]
+		c1 += ra * b[1]
+		c2 += ra * b[2]
+		c3 += ra * b[3]
+	}
+	return
+}
+
+// storeTile writes a 2×4 accumulator tile into out at (i, j), accumulating
+// or overwriting, honouring the column tail width w.
+func storeTile(out *Dense, i, j, w int, acc bool, c00, c01, c02, c03, c10, c11, c12, c13 complex128) {
+	if w > gemmNR {
+		w = gemmNR
+	}
+	C := out.Cols
+	o0 := out.Data[i*C+j : i*C+j+w]
+	o1 := out.Data[(i+1)*C+j : (i+1)*C+j+w]
+	if acc {
+		switch w {
+		case 4:
+			o0[0] += c00
+			o0[1] += c01
+			o0[2] += c02
+			o0[3] += c03
+			o1[0] += c10
+			o1[1] += c11
+			o1[2] += c12
+			o1[3] += c13
+		case 3:
+			o0[0] += c00
+			o0[1] += c01
+			o0[2] += c02
+			o1[0] += c10
+			o1[1] += c11
+			o1[2] += c12
+		case 2:
+			o0[0] += c00
+			o0[1] += c01
+			o1[0] += c10
+			o1[1] += c11
+		case 1:
+			o0[0] += c00
+			o1[0] += c10
+		}
+		return
+	}
+	switch w {
+	case 4:
+		o0[0], o0[1], o0[2], o0[3] = c00, c01, c02, c03
+		o1[0], o1[1], o1[2], o1[3] = c10, c11, c12, c13
+	case 3:
+		o0[0], o0[1], o0[2] = c00, c01, c02
+		o1[0], o1[1], o1[2] = c10, c11, c12
+	case 2:
+		o0[0], o0[1] = c00, c01
+		o1[0], o1[1] = c10, c11
+	case 1:
+		o0[0] = c00
+		o1[0] = c10
+	}
+}
+
+// storeRow writes a 1×4 accumulator row into out at (i, j).
+func storeRow(out *Dense, i, j, w int, acc bool, c0, c1, c2, c3 complex128) {
+	if w > gemmNR {
+		w = gemmNR
+	}
+	C := out.Cols
+	o := out.Data[i*C+j : i*C+j+w]
+	if acc {
+		switch w {
+		case 4:
+			o[0] += c0
+			o[1] += c1
+			o[2] += c2
+			o[3] += c3
+		case 3:
+			o[0] += c0
+			o[1] += c1
+			o[2] += c2
+		case 2:
+			o[0] += c0
+			o[1] += c1
+		case 1:
+			o[0] += c0
+		}
+		return
+	}
+	switch w {
+	case 4:
+		o[0], o[1], o[2], o[3] = c0, c1, c2, c3
+	case 3:
+		o[0], o[1], o[2] = c0, c1, c2
+	case 2:
+		o[0], o[1] = c0, c1
+	case 1:
+		o[0] = c0
+	}
+}

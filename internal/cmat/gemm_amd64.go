@@ -1,0 +1,57 @@
+//go:build amd64
+
+package cmat
+
+// The blocked engine's micro-kernel has an AVX2+FMA assembly variant on
+// amd64 (gemm_amd64.s): complex multiply-accumulate vectorized two complexes
+// per ymm register, with the ai sign folded into a broadcast-XOR so each
+// complex MAC costs two FMAs. Selected at process start by CPUID; the pure
+// Go micro2x4 covers every other case (and remains the property-test
+// subject, since mulBlocked is exercised both ways in tests).
+
+// gemmKernel2x4 computes a 2×4 complex output tile over kc steps and stores
+// it (accumulating when acc) at o0/o1. a0 and a1 are rows of the left
+// operand (unit stride over k), bp a packed gemmNR strip of B. kc must be
+// positive and the strip full-width.
+//
+//go:noescape
+func gemmKernel2x4(a0, a1, bp, o0, o1 *complex128, kc int, acc bool)
+
+// gemmKernel1x4 is the single-row variant for the odd row tail.
+//
+//go:noescape
+func gemmKernel1x4(a0, bp, o0 *complex128, kc int, acc bool)
+
+// cpuidex executes CPUID with the given leaf/subleaf.
+func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (OS-enabled SIMD state).
+func xgetbv() (eax, edx uint32)
+
+// haveAVX2FMA reports whether the CPU and OS support AVX2 + FMA + the ymm
+// state the assembly kernels need.
+func haveAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	const fma = 1 << 12
+	if ecx1&osxsave == 0 || ecx1&avx == 0 || ecx1&fma == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// useAsmKernel gates the assembly micro-kernel. Tests flip it to cover both
+// paths on capable hosts.
+var useAsmKernel = haveAVX2FMA()

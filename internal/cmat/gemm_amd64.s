@@ -1,0 +1,131 @@
+// AVX2+FMA micro-kernels for the blocked complex GEMM engine (gemm.go).
+//
+// Complex multiply-accumulate, two complex128 per ymm register:
+// for each scalar a = ar + i·ai of the left operand and a packed vector b,
+//
+//	c += a·b  =  (c.re + ar·b.re − ai·b.im,  c.im + ar·b.im + ai·b.re)
+//
+// which is two FMAs per ymm: one with ar broadcast against b, one with
+// (−ai, ai, −ai, ai) against the lane-swapped b. The sign alternation is a
+// single VXORPD with signflip<> after broadcasting ai.
+
+#include "textflag.h"
+
+DATA signflip<>+0(SB)/8, $0x8000000000000000
+DATA signflip<>+8(SB)/8, $0x0000000000000000
+DATA signflip<>+16(SB)/8, $0x8000000000000000
+DATA signflip<>+24(SB)/8, $0x0000000000000000
+GLOBL signflip<>(SB), RODATA|NOPTR, $32
+
+// func gemmKernel2x4(a0, a1, bp, o0, o1 *complex128, kc int, acc bool)
+TEXT ·gemmKernel2x4(SB), NOSPLIT, $0-49
+	MOVQ a0+0(FP), AX
+	MOVQ a1+8(FP), BX
+	MOVQ bp+16(FP), CX
+	MOVQ o0+24(FP), DI
+	MOVQ o1+32(FP), SI
+	MOVQ kc+40(FP), DX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VMOVUPD signflip<>(SB), Y10
+
+loop:
+	VMOVUPD (CX), Y4           // b: columns 0,1
+	VMOVUPD 32(CX), Y5         // b: columns 2,3
+	VPERMILPD $0x5, Y4, Y6     // lane-swapped b
+	VPERMILPD $0x5, Y5, Y7
+	VBROADCASTSD (AX), Y8      // ar (row 0)
+	VBROADCASTSD 8(AX), Y9     // ai (row 0)
+	VXORPD Y10, Y9, Y9         // (−ai, ai, −ai, ai)
+	VFMADD231PD Y4, Y8, Y0
+	VFMADD231PD Y5, Y8, Y1
+	VFMADD231PD Y6, Y9, Y0
+	VFMADD231PD Y7, Y9, Y1
+	VBROADCASTSD (BX), Y8      // ar (row 1)
+	VBROADCASTSD 8(BX), Y9     // ai (row 1)
+	VXORPD Y10, Y9, Y9
+	VFMADD231PD Y4, Y8, Y2
+	VFMADD231PD Y5, Y8, Y3
+	VFMADD231PD Y6, Y9, Y2
+	VFMADD231PD Y7, Y9, Y3
+	ADDQ $64, CX
+	ADDQ $16, AX
+	ADDQ $16, BX
+	DECQ DX
+	JNZ  loop
+
+	MOVBLZX acc+48(FP), R8
+	TESTL R8, R8
+	JZ    store
+	VADDPD (DI), Y0, Y0
+	VADDPD 32(DI), Y1, Y1
+	VADDPD (SI), Y2, Y2
+	VADDPD 32(SI), Y3, Y3
+
+store:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, (SI)
+	VMOVUPD Y3, 32(SI)
+	VZEROUPPER
+	RET
+
+// func gemmKernel1x4(a0, bp, o0 *complex128, kc int, acc bool)
+TEXT ·gemmKernel1x4(SB), NOSPLIT, $0-33
+	MOVQ a0+0(FP), AX
+	MOVQ bp+8(FP), CX
+	MOVQ o0+16(FP), DI
+	MOVQ kc+24(FP), DX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VMOVUPD signflip<>(SB), Y10
+
+loop1:
+	VMOVUPD (CX), Y4
+	VMOVUPD 32(CX), Y5
+	VPERMILPD $0x5, Y4, Y6
+	VPERMILPD $0x5, Y5, Y7
+	VBROADCASTSD (AX), Y8
+	VBROADCASTSD 8(AX), Y9
+	VXORPD Y10, Y9, Y9
+	VFMADD231PD Y4, Y8, Y0
+	VFMADD231PD Y5, Y8, Y1
+	VFMADD231PD Y6, Y9, Y0
+	VFMADD231PD Y7, Y9, Y1
+	ADDQ $64, CX
+	ADDQ $16, AX
+	DECQ DX
+	JNZ  loop1
+
+	MOVBLZX acc+32(FP), R8
+	TESTL R8, R8
+	JZ    store1
+	VADDPD (DI), Y0, Y0
+	VADDPD 32(DI), Y1, Y1
+
+store1:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package cmat
+
+// Non-amd64 hosts always use the pure Go micro-kernel.
+var useAsmKernel = false
+
+func gemmKernel2x4(a0, a1, bp, o0, o1 *complex128, kc int, acc bool) {
+	panic("cmat: assembly GEMM kernel unavailable on this architecture")
+}
+
+func gemmKernel1x4(a0, bp, o0 *complex128, kc int, acc bool) {
+	panic("cmat: assembly GEMM kernel unavailable on this architecture")
+}

@@ -17,14 +17,27 @@ type LU struct {
 	sign int
 }
 
-// FactorLU computes the LU factorization of a (which is not modified).
+// FactorLU computes the LU factorization of a (which is not modified). The
+// factorization scratch comes from the workspace arena; call Release when the
+// factor is no longer needed to return it (otherwise the GC collects it).
 func FactorLU(a *Dense) (*LU, error) {
+	f := new(LU)
+	if err := factorLUInto(f, a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// factorLUInto factors a into a caller-provided (possibly stack-allocated)
+// LU value, so steady-state callers pay no header allocation.
+func factorLUInto(f *LU, a *Dense) error {
 	if a.Rows != a.Cols {
-		return nil, errors.New("cmat: LU of non-square matrix")
+		return errors.New("cmat: LU of non-square matrix")
 	}
 	n := a.Rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	lu := getDenseNoZero(n, n)
+	lu.CopyFrom(a)
+	piv := getInts(n)
 	for i := range piv {
 		piv[i] = i
 	}
@@ -40,7 +53,9 @@ func FactorLU(a *Dense) (*LU, error) {
 			}
 		}
 		if pmax == 0 {
-			return nil, ErrSingular
+			PutDense(lu)
+			putInts(piv)
+			return ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -62,21 +77,48 @@ func FactorLU(a *Dense) (*LU, error) {
 		}
 	}
 	Counter.AddFlops(uint64(8 * n * n * n / 3))
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	f.lu, f.piv, f.sign = lu, piv, sign
+	return nil
+}
+
+// Release returns the factorization scratch to the workspace arena. The
+// factor must not be used afterwards.
+func (f *LU) Release() {
+	PutDense(f.lu)
+	putInts(f.piv)
+	f.lu, f.piv = nil, nil
 }
 
 // Solve returns X such that A·X = B, where A is the factored matrix.
 func (f *LU) Solve(b *Dense) *Dense {
+	x := NewDense(f.lu.Rows, b.Cols)
+	f.SolveInto(x, b)
+	return x
+}
+
+// SolveInto computes X with A·X = B into x (which must be b-shaped and must
+// not alias b).
+func (f *LU) SolveInto(x, b *Dense) {
 	n := f.lu.Rows
 	if b.Rows != n {
 		panic("cmat: LU.Solve dimension mismatch")
 	}
+	if x.Rows != b.Rows || x.Cols != b.Cols {
+		panic("cmat: LU.SolveInto output shape mismatch")
+	}
 	nc := b.Cols
-	x := NewDense(n, nc)
 	// Apply the row permutation to B.
 	for i := 0; i < n; i++ {
 		copy(x.Data[i*nc:(i+1)*nc], b.Data[f.piv[i]*nc:(f.piv[i]+1)*nc])
 	}
+	f.substitute(x)
+}
+
+// substitute runs the forward and back substitution on the (already
+// permuted) right-hand side x in place.
+func (f *LU) substitute(x *Dense) {
+	n := f.lu.Rows
+	nc := x.Cols
 	d := f.lu.Data
 	// Forward substitution with unit-diagonal L.
 	for i := 1; i < n; i++ {
@@ -111,7 +153,6 @@ func (f *LU) Solve(b *Dense) *Dense {
 		}
 	}
 	Counter.AddFlops(uint64(8 * n * n * nc))
-	return x
 }
 
 // Det returns the determinant of the factored matrix.
@@ -126,11 +167,34 @@ func (f *LU) Det() complex128 {
 
 // Inverse returns A⁻¹ for a square matrix A using LU with partial pivoting.
 func Inverse(a *Dense) (*Dense, error) {
-	f, err := FactorLU(a)
-	if err != nil {
+	dst := NewDense(a.Rows, a.Cols)
+	if err := InverseInto(dst, a); err != nil {
 		return nil, err
 	}
-	return f.Solve(Identity(a.Rows)), nil
+	return dst, nil
+}
+
+// InverseInto computes dst = a⁻¹ with all factorization scratch drawn from
+// (and returned to) the workspace arena: the steady-state allocation count is
+// zero. dst must be a-shaped and must not alias a.
+func InverseInto(dst, a *Dense) error {
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("cmat: InverseInto output shape mismatch")
+	}
+	var f LU // stack header; the scratch behind it is arena-backed
+	if err := factorLUInto(&f, a); err != nil {
+		return err
+	}
+	// The permuted identity right-hand side: row i of X starts as row piv[i]
+	// of I, i.e. a single 1 in column piv[i].
+	n := a.Rows
+	dst.Zero()
+	for i := 0; i < n; i++ {
+		dst.Data[i*n+f.piv[i]] = 1
+	}
+	f.substitute(dst)
+	f.Release()
+	return nil
 }
 
 // Solve returns X with A·X = B.

@@ -1,6 +1,6 @@
 package cmat
 
-import "sync"
+import "negfsim/internal/pool"
 
 // MulPar computes m·n with the row range of the output partitioned across
 // `workers` goroutines. Worthwhile for the large fused GEMMs of the
@@ -17,7 +17,9 @@ func (m *Dense) MulPar(n *Dense, workers int) *Dense {
 // beats Mul on multicore hosts.
 const ParallelThreshold = 256
 
-// MulParInto computes out = m·n in parallel over row bands.
+// MulParInto computes out = m·n in parallel over row bands, scheduled on the
+// persistent worker pool. Each band overwrites (and therefore zeroes) only
+// its own slice of out — there is no serial full-matrix zeroing pass.
 func (m *Dense) MulParInto(out, n *Dense, workers int) {
 	if m.Cols != n.Rows {
 		panic("cmat: MulPar dimension mismatch")
@@ -32,21 +34,9 @@ func (m *Dense) MulParInto(out, n *Dense, workers int) {
 		m.MulInto(out, n)
 		return
 	}
-	out.Zero()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * m.Rows / workers
-		hi := (w + 1) * m.Rows / workers
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			band := DenseFromSlice(hi-lo, m.Cols, m.Data[lo*m.Cols:hi*m.Cols])
-			outBand := DenseFromSlice(hi-lo, out.Cols, out.Data[lo*out.Cols:hi*out.Cols])
-			band.MulAddInto(outBand, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	pool.ParallelFor(m.Rows, workers, func(lo, hi int) {
+		band := DenseFromSlice(hi-lo, m.Cols, m.Data[lo*m.Cols:hi*m.Cols])
+		outBand := DenseFromSlice(hi-lo, out.Cols, out.Data[lo*out.Cols:hi*out.Cols])
+		band.MulInto(outBand, n)
+	})
 }

@@ -1,0 +1,50 @@
+package cmat
+
+import (
+	"testing"
+)
+
+// TestArenaShapes checks the GetDense contract: correct shape, zeroed
+// contents (even when the pooled buffer held garbage), and degenerate sizes.
+func TestArenaShapes(t *testing.T) {
+	m := GetDense(3, 5)
+	if m.Rows != 3 || m.Cols != 5 || len(m.Data) != 15 {
+		t.Fatalf("GetDense(3,5) shape: %d×%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i := range m.Data {
+		m.Data[i] = complex(float64(i), 1)
+	}
+	PutDense(m)
+	// A later Get of compatible size must come back zeroed.
+	m2 := GetDense(2, 7)
+	for i, v := range m2.Data {
+		if v != 0 {
+			t.Fatalf("GetDense returned dirty buffer at %d: %v", i, v)
+		}
+	}
+	PutDense(m2)
+
+	z := GetDense(0, 4)
+	if z.Rows != 0 || z.Cols != 4 || len(z.Data) != 0 {
+		t.Fatalf("GetDense(0,4): %d×%d len %d", z.Rows, z.Cols, len(z.Data))
+	}
+	PutDense(z)
+	PutDense(nil) // must not panic
+}
+
+// TestArenaBlockTri checks GetBlockTri/PutBlockTri round-trips.
+func TestArenaBlockTri(t *testing.T) {
+	bt := GetBlockTri(4, 3)
+	if bt.N != 4 || bt.Bs != 3 || len(bt.Diag) != 4 || len(bt.Upper) != 3 {
+		t.Fatalf("GetBlockTri(4,3) shape wrong")
+	}
+	for _, d := range bt.Diag {
+		for _, v := range d.Data {
+			if v != 0 {
+				t.Fatal("GetBlockTri block not zeroed")
+			}
+		}
+	}
+	PutBlockTri(bt)
+	PutBlockTri(nil)
+}

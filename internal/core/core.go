@@ -13,10 +13,12 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"negfsim/internal/cmat"
 	"negfsim/internal/device"
+	"negfsim/internal/pool"
 	"negfsim/internal/rgf"
 	"negfsim/internal/sse"
 	"negfsim/internal/tensor"
@@ -160,9 +162,9 @@ func (s *Simulator) scatteringBlocks(kz, e int, sigR, sigL, sigG *tensor.GTensor
 		Gtr:  make([]*cmat.Dense, p.Bnum),
 	}
 	for blk := 0; blk < p.Bnum; blk++ {
-		r := cmat.NewDense(bs, bs)
-		l := cmat.NewDense(bs, bs)
-		g := cmat.NewDense(bs, bs)
+		r := cmat.GetDense(bs, bs)
+		l := cmat.GetDense(bs, bs)
+		g := cmat.GetDense(bs, bs)
 		for la := 0; la < apb; la++ {
 			a := blk*apb + la
 			off := la * p.Norb
@@ -193,9 +195,9 @@ func (s *Simulator) phononScatteringBlocks(qz, w int, piR, piL, piG *tensor.DTen
 		Gtr:  make([]*cmat.Dense, p.Bnum),
 	}
 	for blk := 0; blk < p.Bnum; blk++ {
-		out.R[blk] = cmat.NewDense(bs, bs)
-		out.Less[blk] = cmat.NewDense(bs, bs)
-		out.Gtr[blk] = cmat.NewDense(bs, bs)
+		out.R[blk] = cmat.GetDense(bs, bs)
+		out.Less[blk] = cmat.GetDense(bs, bs)
+		out.Gtr[blk] = cmat.GetDense(bs, bs)
 	}
 	place := func(dst []*cmat.Dense, t *tensor.DTensor, a, f, slot int) {
 		blk := s.Dev.BlockOf(a)
@@ -267,8 +269,9 @@ func (s *Simulator) extractPhonon(qz, w int, res *rgf.PhononResult, dl, dg *tens
 }
 
 // gfPhase runs the full GF phase: all (kz, E) electron points and all
-// (qz, ω) phonon points, in parallel over Workers goroutines. It returns
-// fresh Green's function tensors and accumulated contact observables.
+// (qz, ω) phonon points, dynamically scheduled over the persistent worker
+// pool (at most Workers concurrent points). It returns fresh Green's
+// function tensors and accumulated contact observables.
 func (s *Simulator) gfPhase(sigR, sigL, sigG *tensor.GTensor, piR, piL, piG *tensor.DTensor) (
 	gl, gg *tensor.GTensor, dl, dg *tensor.DTensor, obs Observables, err error) {
 	p := s.Dev.P
@@ -279,69 +282,82 @@ func (s *Simulator) gfPhase(sigR, sigL, sigG *tensor.GTensor, piR, piL, piG *ten
 	obs.CurrentPerEnergy = make([]float64, p.NE)
 
 	type job struct{ kz, e, qz, w int } // e < 0 marks a phonon job
-	jobs := make(chan job)
-	var mu sync.Mutex
-	var firstErr error
-	var wg sync.WaitGroup
-	eWeight := p.EStep() / float64(p.Nkz)
-	for i := 0; i < s.Opts.Workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if j.e >= 0 {
-					scat := s.scatteringBlocks(j.kz, j.e, sigR, sigL, sigG)
-					res, e := rgf.SolveElectron(s.h[j.kz], s.s[j.kz], p.Energy(j.e), scat, s.Opts.Contacts, s.Opts.Eta)
-					if e != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = fmt.Errorf("electron point (kz=%d, E=%d): %w", j.kz, j.e, e)
-						}
-						mu.Unlock()
-						continue
-					}
-					s.extractElectron(j.kz, j.e, res, gl, gg)
-					mu.Lock()
-					obs.CurrentL += res.CurrentL * eWeight
-					obs.CurrentR += res.CurrentR * eWeight
-					obs.EnergyCurrentL += p.Energy(j.e) * res.CurrentL * eWeight
-					obs.EnergyCurrentR += p.Energy(j.e) * res.CurrentR * eWeight
-					obs.CurrentPerEnergy[j.e] += res.CurrentL
-					mu.Unlock()
-				} else {
-					scat := s.phononScatteringBlocks(j.qz, j.w, piR, piL, piG)
-					hw := float64(p.PhononShift(j.w)) * p.EStep()
-					res, e := rgf.SolvePhonon(s.phi[j.qz], hw, scat,
-						rgf.PhononContacts{KTL: s.Opts.PhononKTL, KTR: s.Opts.PhononKTR}, s.Opts.Eta)
-					if e != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = fmt.Errorf("phonon point (qz=%d, ω=%d): %w", j.qz, j.w, e)
-						}
-						mu.Unlock()
-						continue
-					}
-					s.extractPhonon(j.qz, j.w, res, dl, dg)
-					mu.Lock()
-					obs.HeatL += res.HeatL * eWeight
-					obs.HeatR += res.HeatR * eWeight
-					mu.Unlock()
-				}
-			}
-		}()
-	}
+	jobs := make([]job, 0, p.Nkz*p.NE+p.Nqz*p.Nw)
 	for kz := 0; kz < p.Nkz; kz++ {
 		for e := 0; e < p.NE; e++ {
-			jobs <- job{kz: kz, e: e}
+			jobs = append(jobs, job{kz: kz, e: e})
 		}
 	}
 	for qz := 0; qz < p.Nqz; qz++ {
 		for w := 0; w < p.Nw; w++ {
-			jobs <- job{kz: 0, e: -1, qz: qz, w: w}
+			jobs = append(jobs, job{kz: 0, e: -1, qz: qz, w: w})
 		}
 	}
-	close(jobs)
-	wg.Wait()
+	var next atomic.Int64
+	var mu sync.Mutex
+	var firstErr error
+	eWeight := p.EStep() / float64(p.Nkz)
+	run := func(j job) {
+		if j.e >= 0 {
+			scat := s.scatteringBlocks(j.kz, j.e, sigR, sigL, sigG)
+			res, e := rgf.SolveElectron(s.h[j.kz], s.s[j.kz], p.Energy(j.e), scat, s.Opts.Contacts, s.Opts.Eta)
+			scat.Release()
+			if e != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("electron point (kz=%d, E=%d): %w", j.kz, j.e, e)
+				}
+				mu.Unlock()
+				return
+			}
+			s.extractElectron(j.kz, j.e, res, gl, gg)
+			res.Release()
+			mu.Lock()
+			obs.CurrentL += res.CurrentL * eWeight
+			obs.CurrentR += res.CurrentR * eWeight
+			obs.EnergyCurrentL += p.Energy(j.e) * res.CurrentL * eWeight
+			obs.EnergyCurrentR += p.Energy(j.e) * res.CurrentR * eWeight
+			obs.CurrentPerEnergy[j.e] += res.CurrentL
+			mu.Unlock()
+		} else {
+			scat := s.phononScatteringBlocks(j.qz, j.w, piR, piL, piG)
+			hw := float64(p.PhononShift(j.w)) * p.EStep()
+			res, e := rgf.SolvePhonon(s.phi[j.qz], hw, scat,
+				rgf.PhononContacts{KTL: s.Opts.PhononKTL, KTR: s.Opts.PhononKTR}, s.Opts.Eta)
+			scat.Release()
+			if e != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("phonon point (qz=%d, ω=%d): %w", j.qz, j.w, e)
+				}
+				mu.Unlock()
+				return
+			}
+			s.extractPhonon(j.qz, j.w, res, dl, dg)
+			res.Release()
+			mu.Lock()
+			obs.HeatL += res.HeatL * eWeight
+			obs.HeatR += res.HeatR * eWeight
+			mu.Unlock()
+		}
+	}
+	workers := s.Opts.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	tasks := make([]pool.Task, workers)
+	for i := range tasks {
+		tasks[i] = func() {
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(jobs) {
+					return
+				}
+				run(jobs[idx])
+			}
+		}
+	}
+	pool.Do(tasks...)
 	if firstErr != nil {
 		return nil, nil, nil, nil, obs, firstErr
 	}

@@ -1,0 +1,100 @@
+// Package pool provides the persistent shared worker pool behind the
+// runtime-level parallelism of the simulator: the batched small-matrix GEMM
+// dispatch in cmat, the row-banded parallel GEMM, the SSE tile parallelism
+// and core's per-grid-point loops. It replaces the fork/join goroutine
+// spawning those call sites used to perform on every invocation with a fixed
+// set of workers started once per process.
+//
+// The pool uses direct (unbuffered) handoff: a task is either picked up by an
+// idle worker immediately or executed inline by the submitter. Tasks
+// therefore never sit in a queue, the calling goroutine always participates,
+// and nested Do calls from inside pool tasks cannot deadlock — a saturated
+// pool simply degrades to inline execution.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Task is one unit of work.
+type Task func()
+
+var (
+	initOnce sync.Once
+	handoff  chan func()
+	size     int
+)
+
+func ensure() {
+	initOnce.Do(func() {
+		size = runtime.GOMAXPROCS(0)
+		handoff = make(chan func())
+		for i := 0; i < size; i++ {
+			go func() {
+				for f := range handoff {
+					f()
+				}
+			}()
+		}
+	})
+}
+
+// Size returns the number of persistent workers (GOMAXPROCS at first use).
+func Size() int {
+	ensure()
+	return size
+}
+
+// Do runs the tasks over the persistent workers and returns when all have
+// completed. Tasks no idle worker can accept run inline on the calling
+// goroutine, so Do is safe to call from inside a pool task.
+func Do(tasks ...Task) {
+	if len(tasks) == 0 {
+		return
+	}
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	ensure()
+	var wg sync.WaitGroup
+	for _, t := range tasks[1:] {
+		t := t
+		wg.Add(1)
+		wrapped := func() { defer wg.Done(); t() }
+		select {
+		case handoff <- wrapped:
+		default:
+			wrapped()
+		}
+	}
+	tasks[0]()
+	wg.Wait()
+}
+
+// ParallelFor partitions [0, n) into at most parts contiguous chunks and
+// runs fn(lo, hi) for each over the pool. parts values below 1 (and chunks
+// that would be empty) collapse toward serial execution.
+func ParallelFor(n, parts int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 {
+		fn(0, n)
+		return
+	}
+	tasks := make([]Task, 0, parts)
+	for w := 0; w < parts; w++ {
+		lo := w * n / parts
+		hi := (w + 1) * n / parts
+		if lo == hi {
+			continue
+		}
+		tasks = append(tasks, func() { fn(lo, hi) })
+	}
+	Do(tasks...)
+}

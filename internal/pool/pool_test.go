@@ -1,0 +1,71 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoRunsAllTasks checks that every task runs exactly once and Do blocks
+// until all have finished.
+func TestDoRunsAllTasks(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 257} {
+		var ran atomic.Int64
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tasks[i] = func() { ran.Add(1) }
+		}
+		Do(tasks...)
+		if got := ran.Load(); got != int64(n) {
+			t.Fatalf("Do(%d tasks): %d ran", n, got)
+		}
+	}
+}
+
+// TestNestedDoNoDeadlock saturates the pool with tasks that themselves call
+// Do (and ParallelFor). The direct-handoff + inline-fallback design must
+// degrade to inline execution rather than deadlock.
+func TestNestedDoNoDeadlock(t *testing.T) {
+	outer := 4 * Size()
+	var ran atomic.Int64
+	tasks := make([]Task, outer)
+	for i := range tasks {
+		tasks[i] = func() {
+			inner := make([]Task, 2*Size())
+			for j := range inner {
+				inner[j] = func() { ran.Add(1) }
+			}
+			Do(inner...)
+			ParallelFor(8, Size(), func(lo, hi int) {
+				ran.Add(int64(hi - lo))
+			})
+		}
+	}
+	Do(tasks...) // hangs here if nesting can deadlock
+	want := int64(outer * (2*Size() + 8))
+	if got := ran.Load(); got != want {
+		t.Fatalf("nested work: ran %d, want %d", got, want)
+	}
+}
+
+// TestParallelForCovers checks that ParallelFor visits every index exactly
+// once for a range of (n, parts) combinations including the degenerate ones.
+func TestParallelForCovers(t *testing.T) {
+	cases := [][2]int{{0, 4}, {1, 4}, {5, 1}, {5, 0}, {5, -3}, {7, 3}, {100, 7}, {3, 100}}
+	for _, c := range cases {
+		n, parts := c[0], c[1]
+		hits := make([]atomic.Int32, n)
+		ParallelFor(n, parts, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("ParallelFor(%d, %d): bad chunk [%d, %d)", n, parts, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if h := hits[i].Load(); h != 1 {
+				t.Fatalf("ParallelFor(%d, %d): index %d visited %d times", n, parts, i, h)
+			}
+		}
+	}
+}

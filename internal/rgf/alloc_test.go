@@ -1,0 +1,60 @@
+//go:build !race
+
+// The AllocsPerRun counters below measure steady-state heap traffic; the race
+// runtime adds its own allocations, so these regressions only hold un-raced.
+
+package rgf
+
+import (
+	"testing"
+)
+
+// TestAllocsSolveElectronSteadyState proves the arena pays off at the solver
+// level: once the workspace arena is warm, one full per-energy RGF chain
+// (operator assembly, boundary self-energies, retarded + two Keldysh sweeps,
+// observables) performs only a small constant number of heap allocations —
+// the result headers and block-pointer slices — independent of the matrix
+// work, provided the caller releases the result back to the arena.
+//
+// Before pooling, a single SolveElectron call allocated hundreds of dense
+// matrices; the bound here would be in the thousands of allocations.
+func TestAllocsSolveElectronSteadyState(t *testing.T) {
+	d := miniDevice(t)
+	h := d.Hamiltonian(0)
+	s := d.Overlap(0)
+	c := Contacts{MuL: 0.2, MuR: -0.2, KT: 0.025}
+	run := func() {
+		res, err := SolveElectron(h, s, 0.05, Scattering{}, c, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Release()
+	}
+	run() // warm the arena
+	avg := testing.AllocsPerRun(20, run)
+	// Small slice headers (result blocks, pivot boxing) remain; the dense
+	// matrix traffic must be gone. The device has N blocks of Bs² complex
+	// entries — ~60 matrix temporaries per solve before pooling.
+	if avg > 40 {
+		t.Fatalf("SolveElectron steady state allocates %.1f/run, want bounded small constant", avg)
+	}
+}
+
+// TestAllocsSolvePhononSteadyState is the phonon-side twin.
+func TestAllocsSolvePhononSteadyState(t *testing.T) {
+	d := miniDevice(t)
+	phi := d.Dynamical(0)
+	c := PhononContacts{KTL: 0.026, KTR: 0.024}
+	run := func() {
+		res, err := SolvePhonon(phi, 0.05, PhononScattering{}, c, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Release()
+	}
+	run()
+	avg := testing.AllocsPerRun(20, run)
+	if avg > 40 {
+		t.Fatalf("SolvePhonon steady state allocates %.1f/run, want bounded small constant", avg)
+	}
+}

@@ -14,6 +14,14 @@ type Scattering struct {
 	R, Less, Gtr []*cmat.Dense
 }
 
+// Release returns arena-backed scattering blocks to the workspace arena,
+// for callers that assembled them with cmat.GetDense.
+func (s Scattering) Release() {
+	cmat.PutAll(s.R...)
+	cmat.PutAll(s.Less...)
+	cmat.PutAll(s.Gtr...)
+}
+
 // Contacts sets the occupation of the two leads.
 type Contacts struct {
 	MuL, MuR float64 // chemical potentials [eV]
@@ -35,36 +43,58 @@ type ElectronResult struct {
 	DissipationPerBlock []float64
 }
 
+// Release returns every Green's function block of the result to the
+// workspace arena. The result must not be used afterwards. Callers that keep
+// the blocks (tests, public results) simply never call it.
+func (r *ElectronResult) Release() {
+	cmat.PutAll(r.GR...)
+	cmat.PutAll(r.GLess...)
+	cmat.PutAll(r.GGtr...)
+	r.GR, r.GLess, r.GGtr = nil, nil, nil
+}
+
 // SolveElectron solves one (E, kz) point of Eq. (1): boundary self-energies
 // by Sancho-Rubio on the pristine operator, then the retarded and Keldysh
 // RGF passes with the supplied scattering self-energies.
+//
+// The whole solve runs on workspace-arena buffers: the device operator is
+// assembled once into a pooled block-tridiagonal matrix and mutated in place
+// (no per-call Clone or Sub chains), and all intermediates are returned to
+// the arena before the function exits. The result blocks are pooled too —
+// call (*ElectronResult).Release once their contents have been consumed.
 func SolveElectron(h, s *cmat.BlockTri, energy float64, scat Scattering, c Contacts, eta float64) (*ElectronResult, error) {
 	if h.N != s.N || h.Bs != s.Bs {
 		return nil, fmt.Errorf("rgf: H and S shapes differ: (%d,%d) vs (%d,%d)", h.N, h.Bs, s.N, s.Bs)
 	}
-	n := h.N
+	n, bs := h.N, h.Bs
 	// A = (E + iη)·S − H, before scattering: the leads are ballistic.
-	a0 := h.ShiftDiag(complex(energy, eta), s)
-	sigL, sigR, err := BoundarySelfEnergies(a0, 1e-10)
+	a := cmat.GetBlockTri(n, bs)
+	defer cmat.PutBlockTri(a)
+	h.ShiftDiagInto(a, complex(energy, eta), s)
+	sigL, sigR, err := BoundarySelfEnergies(a, 1e-10)
 	if err != nil {
 		return nil, err
 	}
-	gamL, gamR := Broadening(sigL), Broadening(sigR)
+	gamL := cmat.GetDense(bs, bs)
+	gamR := cmat.GetDense(bs, bs)
+	broadeningInto(gamL, sigL)
+	broadeningInto(gamR, sigR)
 
-	// Device operator: subtract boundary and scattering retarded parts.
-	a := a0.Clone()
-	a.Diag[0] = a.Diag[0].Sub(sigL)
-	a.Diag[n-1] = a.Diag[n-1].Sub(sigR)
+	// Fold boundary and scattering retarded parts into the device operator.
+	a.Diag[0].SubInPlace(sigL)
+	a.Diag[n-1].SubInPlace(sigR)
+	cmat.PutAll(sigL, sigR)
 	if scat.R != nil {
 		for i := 0; i < n; i++ {
 			if scat.R[i] != nil {
-				a.Diag[i] = a.Diag[i].Sub(scat.R[i])
+				a.Diag[i].SubInPlace(scat.R[i])
 			}
 		}
 	}
 
 	ret, err := SolveRetarded(a)
 	if err != nil {
+		cmat.PutAll(gamL, gamR)
 		return nil, err
 	}
 
@@ -74,8 +104,8 @@ func SolveElectron(h, s *cmat.BlockTri, energy float64, scat Scattering, c Conta
 	sigLessBlocks := make([]*cmat.Dense, n)
 	sigGtrBlocks := make([]*cmat.Dense, n)
 	for i := 0; i < n; i++ {
-		less := cmat.NewDense(h.Bs, h.Bs)
-		gtr := cmat.NewDense(h.Bs, h.Bs)
+		less := cmat.GetDense(bs, bs)
+		gtr := cmat.GetDense(bs, bs)
 		if scat.Less != nil && scat.Less[i] != nil {
 			less.AddInPlace(scat.Less[i])
 		}
@@ -93,14 +123,19 @@ func SolveElectron(h, s *cmat.BlockTri, energy float64, scat Scattering, c Conta
 	res := &ElectronResult{GR: ret.Diag}
 	res.GLess = ret.SolveKeldysh(sigLessBlocks)
 	res.GGtr = ret.SolveKeldysh(sigGtrBlocks)
+	ret.releaseGL()
+	cmat.PutAll(sigLessBlocks...)
+	cmat.PutAll(sigGtrBlocks...)
 
-	// Meir-Wingreen contact currents.
-	sigLessL := gamL.Scale(complex(0, fL))
-	sigGtrL := gamL.Scale(complex(0, fL-1))
-	sigLessR := gamR.Scale(complex(0, fR))
-	sigGtrR := gamR.Scale(complex(0, fR-1))
-	res.CurrentL = real(sigLessL.Mul(res.GGtr[0]).Trace() - sigGtrL.Mul(res.GLess[0]).Trace())
-	res.CurrentR = real(sigLessR.Mul(res.GGtr[n-1]).Trace() - sigGtrR.Mul(res.GLess[n-1]).Trace())
+	// Meir-Wingreen contact currents, via O(bs²) trace products:
+	// Tr[Σ^<_c·G^> − Σ^>_c·G^<] with Σ^≷_c = i·f·Γ / i·(f−1)·Γ.
+	tL := gamL.TraceMul(res.GGtr[0])
+	uL := gamL.TraceMul(res.GLess[0])
+	res.CurrentL = real(complex(0, fL)*tL - complex(0, fL-1)*uL)
+	tR := gamR.TraceMul(res.GGtr[n-1])
+	uR := gamR.TraceMul(res.GLess[n-1])
+	res.CurrentR = real(complex(0, fR)*tR - complex(0, fR-1)*uR)
+	cmat.PutAll(gamL, gamR)
 
 	res.DissipationPerBlock = make([]float64, n)
 	if scat.Less != nil && scat.Gtr != nil {
@@ -108,8 +143,8 @@ func SolveElectron(h, s *cmat.BlockTri, energy float64, scat Scattering, c Conta
 			if scat.Less[i] == nil || scat.Gtr[i] == nil {
 				continue
 			}
-			res.DissipationPerBlock[i] = real(scat.Less[i].Mul(res.GGtr[i]).Trace() -
-				scat.Gtr[i].Mul(res.GLess[i]).Trace())
+			res.DissipationPerBlock[i] = real(scat.Less[i].TraceMul(res.GGtr[i]) -
+				scat.Gtr[i].TraceMul(res.GLess[i]))
 		}
 	}
 	return res, nil

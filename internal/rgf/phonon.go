@@ -12,6 +12,14 @@ type PhononScattering struct {
 	R, Less, Gtr []*cmat.Dense
 }
 
+// Release returns arena-backed scattering blocks to the workspace arena,
+// for callers that assembled them with cmat.GetDense.
+func (s PhononScattering) Release() {
+	cmat.PutAll(s.R...)
+	cmat.PutAll(s.Less...)
+	cmat.PutAll(s.Gtr...)
+}
+
 // PhononContacts sets the lattice temperature of the two contacts via their
 // Bose occupations.
 type PhononContacts struct {
@@ -27,41 +35,56 @@ type PhononResult struct {
 	HeatL, HeatR float64
 }
 
+// Release returns every Green's function block of the result to the
+// workspace arena. The result must not be used afterwards.
+func (r *PhononResult) Release() {
+	cmat.PutAll(r.DR...)
+	cmat.PutAll(r.DLess...)
+	cmat.PutAll(r.DGtr...)
+	r.DR, r.DLess, r.DGtr = nil, nil, nil
+}
+
 // SolvePhonon solves one (ω, qz) point of Eq. (2):
 // (ω²·I − Φ(qz) − Π^R)·D^R = I and D^≷ = D^R·Π^≷·D^A.
 // hw is the phonon energy ℏω in eV; the squared frequency enters the
 // operator directly.
+//
+// Like SolveElectron, the solve is arena-backed throughout: the operator
+// ω²·I − Φ is assembled in one pass into a pooled matrix (no block identity
+// is materialized) and mutated in place; result blocks are released via
+// (*PhononResult).Release.
 func SolvePhonon(phi *cmat.BlockTri, hw float64, scat PhononScattering, c PhononContacts, eta float64) (*PhononResult, error) {
 	if hw <= 0 {
 		return nil, fmt.Errorf("rgf: phonon energy must be positive, got %g", hw)
 	}
-	n := phi.N
-	// A = (ω² + iη)·I − Φ. ShiftDiag needs an S operand: block identity.
-	eye := cmat.NewBlockTri(phi.N, phi.Bs)
-	for i := 0; i < phi.N; i++ {
-		eye.Diag[i] = cmat.Identity(phi.Bs)
-	}
-	w2 := complex(hw*hw, eta)
-	a0 := phi.ShiftDiag(w2, eye)
-	sigL, sigR, err := BoundarySelfEnergies(a0, 1e-10)
+	n, bs := phi.N, phi.Bs
+	// A = (ω² + iη)·I − Φ.
+	a := cmat.GetBlockTri(n, bs)
+	defer cmat.PutBlockTri(a)
+	phi.ShiftIdentityInto(a, complex(hw*hw, eta))
+	sigL, sigR, err := BoundarySelfEnergies(a, 1e-10)
 	if err != nil {
 		return nil, err
 	}
-	gamL, gamR := Broadening(sigL), Broadening(sigR)
+	gamL := cmat.GetDense(bs, bs)
+	gamR := cmat.GetDense(bs, bs)
+	broadeningInto(gamL, sigL)
+	broadeningInto(gamR, sigR)
 
-	a := a0.Clone()
-	a.Diag[0] = a.Diag[0].Sub(sigL)
-	a.Diag[n-1] = a.Diag[n-1].Sub(sigR)
+	a.Diag[0].SubInPlace(sigL)
+	a.Diag[n-1].SubInPlace(sigR)
+	cmat.PutAll(sigL, sigR)
 	if scat.R != nil {
 		for i := 0; i < n; i++ {
 			if scat.R[i] != nil {
-				a.Diag[i] = a.Diag[i].Sub(scat.R[i])
+				a.Diag[i].SubInPlace(scat.R[i])
 			}
 		}
 	}
 
 	ret, err := SolveRetarded(a)
 	if err != nil {
+		cmat.PutAll(gamL, gamR)
 		return nil, err
 	}
 
@@ -72,8 +95,8 @@ func SolvePhonon(phi *cmat.BlockTri, hw float64, scat PhononScattering, c Phonon
 	piLess := make([]*cmat.Dense, n)
 	piGtr := make([]*cmat.Dense, n)
 	for i := 0; i < n; i++ {
-		less := cmat.NewDense(phi.Bs, phi.Bs)
-		gtr := cmat.NewDense(phi.Bs, phi.Bs)
+		less := cmat.GetDense(bs, bs)
+		gtr := cmat.GetDense(bs, bs)
 		if scat.Less != nil && scat.Less[i] != nil {
 			less.AddInPlace(scat.Less[i])
 		}
@@ -91,12 +114,18 @@ func SolvePhonon(phi *cmat.BlockTri, hw float64, scat PhononScattering, c Phonon
 	res := &PhononResult{DR: ret.Diag}
 	res.DLess = ret.SolveKeldysh(piLess)
 	res.DGtr = ret.SolveKeldysh(piGtr)
+	ret.releaseGL()
+	cmat.PutAll(piLess...)
+	cmat.PutAll(piGtr...)
 
-	cLessL := gamL.Scale(complex(0, -nL))
-	cGtrL := gamL.Scale(complex(0, -(nL + 1)))
-	cLessR := gamR.Scale(complex(0, -nR))
-	cGtrR := gamR.Scale(complex(0, -(nR + 1)))
-	res.HeatL = real(cLessL.Mul(res.DGtr[0]).Trace() - cGtrL.Mul(res.DLess[0]).Trace())
-	res.HeatR = real(cLessR.Mul(res.DGtr[n-1]).Trace() - cGtrR.Mul(res.DLess[n-1]).Trace())
+	// Contact heat currents via trace products, no matrix intermediates:
+	// Tr[Π^<_c·D^> − Π^>_c·D^<] with Π^<_c = −i·N·Γ, Π^>_c = −i·(N+1)·Γ.
+	tL := gamL.TraceMul(res.DGtr[0])
+	uL := gamL.TraceMul(res.DLess[0])
+	res.HeatL = real(complex(0, -nL)*tL - complex(0, -(nL+1))*uL)
+	tR := gamR.TraceMul(res.DGtr[n-1])
+	uR := gamR.TraceMul(res.DLess[n-1])
+	res.HeatR = real(complex(0, -nR)*tR - complex(0, -(nR+1))*uR)
+	cmat.PutAll(gamL, gamR)
 	return res, nil
 }

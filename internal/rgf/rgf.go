@@ -21,28 +21,71 @@ type Retarded struct {
 //
 //	forward:  gL[0] = A[0,0]⁻¹,  gL[n] = (A[n,n] − A[n,n−1]·gL[n−1]·A[n−1,n])⁻¹
 //	backward: G[N−1] = gL[N−1], G[n] = gL[n] + gL[n]·A[n,n+1]·G[n+1]·A[n+1,n]·gL[n]
+//
+// All result and intermediate blocks come from the workspace arena; call
+// Release (or keep the blocks and let the GC take them) when done.
 func SolveRetarded(a *cmat.BlockTri) (*Retarded, error) {
-	n := a.N
+	n, bs := a.N, a.Bs
 	r := &Retarded{Diag: make([]*cmat.Dense, n), gL: make([]*cmat.Dense, n), a: a}
-	g, err := cmat.Inverse(a.Diag[0])
-	if err != nil {
+	g := cmat.GetDense(bs, bs)
+	if err := cmat.InverseInto(g, a.Diag[0]); err != nil {
+		cmat.PutDense(g)
 		return nil, fmt.Errorf("rgf: forward block 0: %w", err)
 	}
 	r.gL[0] = g
+	t1 := cmat.GetDense(bs, bs)
+	t2 := cmat.GetDense(bs, bs)
 	for i := 1; i < n; i++ {
-		m := a.Diag[i].Sub(a.Lower[i-1].Mul(r.gL[i-1]).Mul(a.Upper[i-1]))
-		g, err = cmat.Inverse(m)
-		if err != nil {
+		a.Lower[i-1].MulInto(t1, r.gL[i-1])
+		t1.MulInto(t2, a.Upper[i-1])
+		t2.ScaleInPlace(-1)
+		t2.AddInPlace(a.Diag[i])
+		g = cmat.GetDense(bs, bs)
+		if err := cmat.InverseInto(g, t2); err != nil {
+			cmat.PutAll(g, t1, t2)
+			r.Release()
 			return nil, fmt.Errorf("rgf: forward block %d: %w", i, err)
 		}
 		r.gL[i] = g
 	}
-	r.Diag[n-1] = r.gL[n-1]
+	// Diag[n−1] is a pooled copy (not an alias of gL[n−1]) so Release can
+	// blanket-return every block exactly once.
+	last := cmat.GetDense(bs, bs)
+	last.CopyFrom(r.gL[n-1])
+	r.Diag[n-1] = last
 	for i := n - 2; i >= 0; i-- {
-		corr := r.gL[i].Mul(a.Upper[i]).Mul(r.Diag[i+1]).Mul(a.Lower[i]).Mul(r.gL[i])
-		r.Diag[i] = r.gL[i].Add(corr)
+		r.gL[i].MulInto(t1, a.Upper[i])
+		t1.MulInto(t2, r.Diag[i+1])
+		t2.MulInto(t1, a.Lower[i])
+		d := cmat.GetDense(bs, bs)
+		d.CopyFrom(r.gL[i])
+		t1.MulAddInto(d, r.gL[i])
+		r.Diag[i] = d
 	}
+	cmat.PutAll(t1, t2)
 	return r, nil
+}
+
+// Release returns every block the solve drew from the workspace arena. The
+// Retarded value (including Diag and anything computed from gL) must not be
+// used afterwards. The operator a is the caller's and is left alone.
+func (r *Retarded) Release() {
+	for _, d := range r.Diag {
+		cmat.PutDense(d)
+	}
+	for _, g := range r.gL {
+		cmat.PutDense(g)
+	}
+	r.Diag, r.gL = nil, nil
+}
+
+// releaseGL returns only the left-connected helper blocks, keeping Diag
+// alive — for callers that hand Diag onward as a result.
+func (r *Retarded) releaseGL() {
+	for _, g := range r.gL {
+		cmat.PutDense(g)
+	}
+	r.gL = nil
 }
 
 // OffDiagLower returns G^R[n+1, n] = −G^R[n+1,n+1]·A[n+1,n]·gL[n], the
@@ -66,23 +109,74 @@ func (r *Retarded) SolveKeldysh(sigma []*cmat.Dense) []*cmat.Dense {
 		panic(fmt.Sprintf("rgf: SolveKeldysh got %d self-energy blocks for %d RGF blocks", len(sigma), n))
 	}
 	a := r.a
+	bs := a.Bs
 	gLess := make([]*cmat.Dense, n)
 	lLess := make([]*cmat.Dense, n)
-	lLess[0] = r.gL[0].Mul(sigma[0]).Mul(r.gL[0].ConjTranspose())
+	t1 := cmat.GetDense(bs, bs)
+	t2 := cmat.GetDense(bs, bs)
+	t3 := cmat.GetDense(bs, bs)
+	h := cmat.GetDense(bs, bs) // conjugate-transpose scratch
+	r.gL[0].MulInto(t1, sigma[0])
+	r.gL[0].ConjTransposeInto(h)
+	l0 := cmat.GetDense(bs, bs)
+	t1.MulInto(l0, h)
+	lLess[0] = l0
 	for i := 1; i < n; i++ {
-		inner := sigma[i].Add(a.Lower[i-1].Mul(lLess[i-1]).Mul(a.Lower[i-1].ConjTranspose()))
-		lLess[i] = r.gL[i].Mul(inner).Mul(r.gL[i].ConjTranspose())
+		// inner = Σ[i] + A[i,i−1]·l<[i−1]·A[i,i−1]^H
+		a.Lower[i-1].MulInto(t1, lLess[i-1])
+		a.Lower[i-1].ConjTransposeInto(h)
+		t1.MulInto(t2, h)
+		t2.AddInPlace(sigma[i])
+		r.gL[i].MulInto(t1, t2)
+		r.gL[i].ConjTransposeInto(h)
+		li := cmat.GetDense(bs, bs)
+		t1.MulInto(li, h)
+		lLess[i] = li
 	}
-	gLess[n-1] = lLess[n-1]
+	// gLess[n−1] is a pooled copy, so the lLess blocks can be returned
+	// wholesale below without aliasing the result.
+	gN := cmat.GetDense(bs, bs)
+	gN.CopyFrom(lLess[n-1])
+	gLess[n-1] = gN
+	u := cmat.GetDense(bs, bs)
+	p1 := cmat.GetDense(bs, bs)
+	p2 := cmat.GetDense(bs, bs)
+	m := cmat.GetDense(bs, bs)
+	var batch [2]cmat.Triple
 	for i := n - 2; i >= 0; i-- {
 		gli := r.gL[i]
-		gliH := gli.ConjTranspose()
-		t1 := gli.Mul(a.Upper[i]).Mul(gLess[i+1]).Mul(a.Upper[i].ConjTranspose()).Mul(gliH)
-		m := gli.Mul(a.Upper[i]).Mul(r.Diag[i+1]).Mul(a.Lower[i])
-		t2 := m.Mul(lLess[i])
-		t3 := lLess[i].Mul(m.ConjTranspose())
-		gLess[i] = lLess[i].Add(t1).Add(t2).Add(t3)
+		gli.ConjTransposeInto(h)
+		// u = gL[i]·A[i,i+1]; the two products against G<[i+1] and G^R[i+1]
+		// share u and are independent — one batched dispatch.
+		gli.MulInto(u, a.Upper[i])
+		p1.Zero()
+		p2.Zero()
+		batch[0] = cmat.Triple{Out: p1, A: u, B: gLess[i+1]}
+		batch[1] = cmat.Triple{Out: p2, A: u, B: r.Diag[i+1]}
+		cmat.BatchMulAddInto(batch[:])
+		// t1 = p1·A[i,i+1]^H·gL[i]^H
+		a.Upper[i].ConjTransposeInto(t3)
+		p1.MulInto(t2, t3)
+		t2.MulInto(t1, h)
+		// m = p2·A[i+1,i]
+		p2.MulInto(m, a.Lower[i])
+		// g = l<[i] + t1 + m·l<[i] + l<[i]·m^H; the two correction products
+		// write disjoint accumulators, so batch them too.
+		g := cmat.GetDense(bs, bs)
+		g.CopyFrom(lLess[i])
+		g.AddInPlace(t1)
+		t2.Zero()
+		t3.Zero()
+		batch[0] = cmat.Triple{Out: t2, A: m, B: lLess[i]}
+		m.ConjTransposeInto(h)
+		batch[1] = cmat.Triple{Out: t3, A: lLess[i], B: h}
+		cmat.BatchMulAddInto(batch[:])
+		g.AddInPlace(t2)
+		g.AddInPlace(t3)
+		gLess[i] = g
 	}
+	cmat.PutAll(t1, t2, t3, h, u, p1, p2, m)
+	cmat.PutAll(lLess...)
 	return gLess
 }
 

@@ -32,28 +32,52 @@ var ErrNoConvergence = errors.New("rgf: surface Green's function did not converg
 // inter-cell couplings a01 (towards the bulk) and a10 (back), using
 // Sancho-Rubio decimation: g = (a00 − a01·g·a10)⁻¹.
 func SurfaceGF(a00, a01, a10 *cmat.Dense, tol float64) (*cmat.Dense, error) {
-	epsS := a00.Clone()
-	eps := a00.Clone()
-	alpha := a01.Clone()
-	beta := a10.Clone()
+	dst := cmat.NewDense(a00.Rows, a00.Cols)
+	if err := surfaceGFInto(dst, a00, a01, a10, tol); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// surfaceGFInto is SurfaceGF with the result written into dst and all
+// iteration scratch drawn from (and returned to) the workspace arena.
+func surfaceGFInto(dst, a00, a01, a10 *cmat.Dense, tol float64) error {
+	bs := a00.Rows
+	epsS := cmat.GetDense(bs, bs)
+	eps := cmat.GetDense(bs, bs)
+	alpha := cmat.GetDense(bs, bs)
+	beta := cmat.GetDense(bs, bs)
+	g := cmat.GetDense(bs, bs)
+	ag := cmat.GetDense(bs, bs)
+	bg := cmat.GetDense(bs, bs)
+	t := cmat.GetDense(bs, bs)
+	defer cmat.PutAll(epsS, eps, alpha, beta, g, ag, bg, t)
+	epsS.CopyFrom(a00)
+	eps.CopyFrom(a00)
+	alpha.CopyFrom(a01)
+	beta.CopyFrom(a10)
 	for iter := 0; iter < surfaceGFMaxIter; iter++ {
-		g, err := cmat.Inverse(eps)
-		if err != nil {
-			return nil, fmt.Errorf("rgf: decimation step %d: %w", iter, err)
+		if err := cmat.InverseInto(g, eps); err != nil {
+			return fmt.Errorf("rgf: decimation step %d: %w", iter, err)
 		}
-		agb := alpha.Mul(g).Mul(beta)
-		bga := beta.Mul(g).Mul(alpha)
-		epsS = epsS.Sub(agb)
-		eps = eps.Sub(agb).Sub(bga)
-		alpha = alpha.Mul(g).Mul(alpha)
-		beta = beta.Mul(g).Mul(beta)
+		alpha.MulInto(ag, g) // α·g
+		beta.MulInto(bg, g)  // β·g
+		ag.MulInto(t, beta)  // α·g·β
+		epsS.SubInPlace(t)
+		eps.SubInPlace(t)
+		bg.MulInto(t, alpha) // β·g·α
+		eps.SubInPlace(t)
+		ag.MulInto(t, alpha) // α' = α·g·α
+		alpha.CopyFrom(t)
+		bg.MulInto(t, beta) // β' = β·g·β
+		beta.CopyFrom(t)
 		// Converged when the remaining couplings can no longer move ε_s:
 		// the next correction is bounded by ‖α‖·‖g‖·‖β‖.
 		if alpha.FrobNorm()*g.FrobNorm()*beta.FrobNorm() < tol*(1+epsS.FrobNorm()) {
-			return cmat.Inverse(epsS)
+			return cmat.InverseInto(dst, epsS)
 		}
 	}
-	return nil, ErrNoConvergence
+	return ErrNoConvergence
 }
 
 // BoundarySelfEnergies returns the retarded contact self-energies (Σ_L, Σ_R)
@@ -64,26 +88,49 @@ func BoundarySelfEnergies(a *cmat.BlockTri, tol float64) (sigL, sigR *cmat.Dense
 	if a.N < 2 {
 		return nil, nil, errors.New("rgf: boundary self-energies need at least 2 blocks")
 	}
+	bs := a.Bs
+	g := cmat.GetDense(bs, bs)
+	t := cmat.GetDense(bs, bs)
+	defer cmat.PutAll(g, t)
 	// Left lead grows to the left: from the surface cell, the coupling
 	// deeper into the lead is A10-like (towards smaller indices).
-	gL, err := SurfaceGF(a.Diag[0], a.Lower[0], a.Upper[0], tol)
-	if err != nil {
+	if err := surfaceGFInto(g, a.Diag[0], a.Lower[0], a.Upper[0], tol); err != nil {
 		return nil, nil, fmt.Errorf("rgf: left contact: %w", err)
 	}
 	// Σ_L = A(0,-1)·g_L·A(-1,0) with A(0,-1) ≡ A10 pattern, A(-1,0) ≡ A01.
-	sigL = a.Lower[0].Mul(gL).Mul(a.Upper[0])
+	// The returned matrices are arena-backed; hot callers PutDense them.
+	sigL = cmat.GetDense(bs, bs)
+	a.Lower[0].MulInto(t, g)
+	t.MulInto(sigL, a.Upper[0])
 
 	n := a.N
-	gR, err := SurfaceGF(a.Diag[n-1], a.Upper[n-2], a.Lower[n-2], tol)
-	if err != nil {
+	if err := surfaceGFInto(g, a.Diag[n-1], a.Upper[n-2], a.Lower[n-2], tol); err != nil {
+		cmat.PutDense(sigL)
 		return nil, nil, fmt.Errorf("rgf: right contact: %w", err)
 	}
-	sigR = a.Upper[n-2].Mul(gR).Mul(a.Lower[n-2])
+	sigR = cmat.GetDense(bs, bs)
+	a.Upper[n-2].MulInto(t, g)
+	t.MulInto(sigR, a.Lower[n-2])
 	return sigL, sigR, nil
 }
 
 // Broadening returns Γ = i(Σ − Σ^H), the contact broadening matrix of a
 // retarded boundary self-energy.
 func Broadening(sigma *cmat.Dense) *cmat.Dense {
-	return sigma.Sub(sigma.ConjTranspose()).Scale(1i)
+	out := cmat.NewDense(sigma.Rows, sigma.Cols)
+	broadeningInto(out, sigma)
+	return out
+}
+
+// broadeningInto computes dst = i(σ − σ^H) in a single pass with no
+// intermediates.
+func broadeningInto(dst, sigma *cmat.Dense) {
+	n := sigma.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := sigma.Data[i*n+j]
+			sh := sigma.Data[j*n+i]
+			dst.Data[i*n+j] = 1i * (s - complex(real(sh), -imag(sh)))
+		}
+	}
 }

@@ -3,6 +3,7 @@ package sse
 import (
 	"sync"
 
+	"negfsim/internal/pool"
 	"negfsim/internal/tensor"
 )
 
@@ -11,7 +12,8 @@ import (
 // distributed decomposition: Σ tiles write disjoint atom ranges, Π tiles
 // produce partials that are summed. Only the DaCe formulation parallelizes
 // this way (its tiles are exact slices); other variants fall back to the
-// serial path.
+// serial path. Tiles are scheduled on the persistent worker pool rather than
+// freshly spawned goroutines.
 func (k *Kernel) ComputePhaseParallel(in PhaseInput, v Variant, workers int) PhaseOutput {
 	p := k.Dev.P
 	if v != DaCe || workers <= 1 || p.NA < 2*workers {
@@ -25,17 +27,15 @@ func (k *Kernel) ComputePhaseParallel(in PhaseInput, v Variant, workers int) Pha
 		PiLess:    tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D),
 		PiGtr:     tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D),
 	}
-	var wg sync.WaitGroup
 	var mu sync.Mutex
+	tasks := make([]pool.Task, 0, workers)
 	for w := 0; w < workers; w++ {
 		aLo := w * p.NA / workers
 		aHi := (w + 1) * p.NA / workers
 		if aLo == aHi {
 			continue
 		}
-		wg.Add(1)
-		go func(aLo, aHi int) {
-			defer wg.Done()
+		tasks = append(tasks, func() {
 			sl := k.SigmaDaCeTile(in.GLess, preLess, 0, p.NE, aLo, aHi)
 			sg := k.SigmaDaCeTile(in.GGtr, preGtr, 0, p.NE, aLo, aHi)
 			pl, pg := k.PiDaCeTile(in.GLess, in.GGtr, 0, p.NE, aLo, aHi)
@@ -57,8 +57,8 @@ func (k *Kernel) ComputePhaseParallel(in PhaseInput, v Variant, workers int) Pha
 				out.PiGtr.Data[i] += pg.Data[i]
 			}
 			mu.Unlock()
-		}(aLo, aHi)
+		})
 	}
-	wg.Wait()
+	pool.Do(tasks...)
 	return out
 }

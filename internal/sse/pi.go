@@ -9,9 +9,8 @@ import (
 // tensors: Eq. (5) fills the off-diagonal (a, b) slot with +i·pref·tr{…},
 // Eq. (4) accumulates −i·pref·tr{…} into the diagonal (a, a) slot.
 func piAccumulate(pi *tensor.DTensor, qz, w, a, slot, i, j, nb int, val complex128) {
-	pi.Block(qz, w, a, slot).Set(i, j, pi.Block(qz, w, a, slot).At(i, j)+val)
-	diag := pi.Block(qz, w, a, nb)
-	diag.Set(i, j, diag.At(i, j)-val)
+	pi.AddAt(qz, w, a, slot, i, j, val)
+	pi.AddAt(qz, w, a, nb, i, j, -val)
 }
 
 // PiReference evaluates Eqs. (4)–(5) with the naive dataflow: the trace
@@ -69,10 +68,19 @@ func (k *Kernel) PiOMEN(gLess, gGtr *tensor.GTensor) (piLess, piGtr *tensor.DTen
 	pref := complex(0, k.piPref())
 	piLess = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
 	piGtr = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
+	no := p.Norb
+	// Arena-backed per-point transients, reused across the whole sweep.
 	uLess := make([]*cmat.Dense, p.N3D)
 	uGtr := make([]*cmat.Dense, p.N3D)
 	wLess := make([]*cmat.Dense, p.N3D)
 	wGtr := make([]*cmat.Dense, p.N3D)
+	for i := 0; i < p.N3D; i++ {
+		uLess[i] = cmat.GetDense(no, no)
+		uGtr[i] = cmat.GetDense(no, no)
+		wLess[i] = cmat.GetDense(no, no)
+		wGtr[i] = cmat.GetDense(no, no)
+	}
+	var gvL, gvG cmat.Dense // reusable block-view headers
 	for qz := 0; qz < p.Nqz; qz++ {
 		for w := 0; w < p.Nw; w++ {
 			for a := 0; a < p.NA; a++ {
@@ -92,13 +100,17 @@ func (k *Kernel) PiOMEN(gLess, gGtr *tensor.GTensor) (piLess, piGtr *tensor.DTen
 							if e2 >= p.NE {
 								continue
 							}
+							gLess.BlockInto(&gvL, k2, e2, a)
+							gGtr.BlockInto(&gvG, k2, e2, a)
 							for i := 0; i < p.N3D; i++ {
-								uLess[i] = k.dH[f][r][i].Mul(gLess.Block(k2, e2, a))
-								uGtr[i] = k.dH[f][r][i].Mul(gGtr.Block(k2, e2, a))
+								k.dH[f][r][i].MulInto(uLess[i], &gvL)
+								k.dH[f][r][i].MulInto(uGtr[i], &gvG)
 							}
+							gLess.BlockInto(&gvL, kz, e, f)
+							gGtr.BlockInto(&gvG, kz, e, f)
 							for j := 0; j < p.N3D; j++ {
-								wLess[j] = k.dH[a][b][j].Mul(gLess.Block(kz, e, f))
-								wGtr[j] = k.dH[a][b][j].Mul(gGtr.Block(kz, e, f))
+								k.dH[a][b][j].MulInto(wLess[j], &gvL)
+								k.dH[a][b][j].MulInto(wGtr[j], &gvG)
 							}
 							for i := 0; i < p.N3D; i++ {
 								for j := 0; j < p.N3D; j++ {
@@ -111,6 +123,9 @@ func (k *Kernel) PiOMEN(gLess, gGtr *tensor.GTensor) (piLess, piGtr *tensor.DTen
 				}
 			}
 		}
+	}
+	for i := 0; i < p.N3D; i++ {
+		cmat.PutAll(uLess[i], uGtr[i], wLess[i], wGtr[i])
 	}
 	return piLess, piGtr
 }
@@ -128,14 +143,24 @@ func (k *Kernel) PiDaCe(gLess, gGtr *tensor.GTensor) (piLess, piGtr *tensor.DTen
 	nke := p.Nkz * p.NE
 	// Per-bond transients, reused across bonds: U^≷[i], W^≷[j] on the whole
 	// (kz, E) grid.
+	no := p.Norb
 	alloc := func() [][]*cmat.Dense {
 		m := make([][]*cmat.Dense, p.N3D)
 		for i := range m {
 			m[i] = make([]*cmat.Dense, nke)
+			for s := range m[i] {
+				m[i][s] = cmat.GetDense(no, no)
+			}
 		}
 		return m
 	}
+	release := func(m [][]*cmat.Dense) {
+		for i := range m {
+			cmat.PutAll(m[i]...)
+		}
+	}
 	uLess, uGtr, wLess, wGtr := alloc(), alloc(), alloc(), alloc()
+	var gvL, gvG cmat.Dense // reusable block-view headers
 
 	for a := 0; a < p.NA; a++ {
 		for b := 0; b < p.NB; b++ {
@@ -150,11 +175,17 @@ func (k *Kernel) PiDaCe(gLess, gGtr *tensor.GTensor) (piLess, piGtr *tensor.DTen
 			for kz := 0; kz < p.Nkz; kz++ {
 				for e := 0; e < p.NE; e++ {
 					idx := kz*p.NE + e
+					gLess.BlockInto(&gvL, kz, e, a)
+					gGtr.BlockInto(&gvG, kz, e, a)
 					for i := 0; i < p.N3D; i++ {
-						uLess[i][idx] = k.dH[f][r][i].Mul(gLess.Block(kz, e, a))
-						uGtr[i][idx] = k.dH[f][r][i].Mul(gGtr.Block(kz, e, a))
-						wLess[i][idx] = k.dH[a][b][i].Mul(gLess.Block(kz, e, f))
-						wGtr[i][idx] = k.dH[a][b][i].Mul(gGtr.Block(kz, e, f))
+						k.dH[f][r][i].MulInto(uLess[i][idx], &gvL)
+						k.dH[f][r][i].MulInto(uGtr[i][idx], &gvG)
+					}
+					gLess.BlockInto(&gvL, kz, e, f)
+					gGtr.BlockInto(&gvG, kz, e, f)
+					for i := 0; i < p.N3D; i++ {
+						k.dH[a][b][i].MulInto(wLess[i][idx], &gvL)
+						k.dH[a][b][i].MulInto(wGtr[i][idx], &gvG)
 					}
 				}
 			}
@@ -178,5 +209,9 @@ func (k *Kernel) PiDaCe(gLess, gGtr *tensor.GTensor) (piLess, piGtr *tensor.DTen
 			}
 		}
 	}
+	release(uLess)
+	release(uGtr)
+	release(wLess)
+	release(wGtr)
 	return piLess, piGtr
 }

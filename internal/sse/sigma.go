@@ -49,10 +49,29 @@ func (k *Kernel) SigmaReference(g *tensor.GTensor, d *PreD) *tensor.GTensor {
 // decomposition), ∇H·G^≷ hoisted out of the innermost j loop, but still
 // recomputed for every (qz, ω) pair — the redundancy the data-centric view
 // exposes and removes.
+//
+// The ∇H·G^≷ recomputation is kept (it is what this variant demonstrates),
+// but the many independent Norb×Norb products of one (bond, kz, E) point are
+// dispatched as ONE batch over the worker pool, and every transient comes
+// from the workspace arena. The accumulation runs in the original
+// (qz, ω, i, j) order, so the values are bit-for-bit unchanged.
 func (k *Kernel) SigmaOMEN(g *tensor.GTensor, d *PreD) *tensor.GTensor {
 	p := k.Dev.P
 	pref := k.sigmaPref()
 	sigma := tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb)
+	no := p.Norb
+	nBatch := p.Nqz * p.Nw * p.N3D
+	dHG := make([]*cmat.Dense, nBatch)
+	for i := range dHG {
+		dHG[i] = cmat.GetDense(no, no)
+	}
+	triples := make([]cmat.Triple, 0, nBatch)
+	// gviews holds one block-view header per (qz, ω) pair of a point; the
+	// headers are rebound every point, so the loop allocates nothing.
+	gviews := make([]cmat.Dense, p.Nqz*p.Nw)
+	var out cmat.Dense
+	dHD := cmat.GetDense(no, no)
+	t := cmat.GetDense(no, no)
 	for a := 0; a < p.NA; a++ {
 		for b := 0; b < p.NB; b++ {
 			f := k.Dev.Neigh[a][b]
@@ -61,7 +80,11 @@ func (k *Kernel) SigmaOMEN(g *tensor.GTensor, d *PreD) *tensor.GTensor {
 			}
 			for kz := 0; kz < p.Nkz; kz++ {
 				for e := 0; e < p.NE; e++ {
-					out := sigma.Block(kz, e, a)
+					sigma.BlockInto(&out, kz, e, a)
+					// Stage 1: every (qz, ω, i) product ∇iH·G^≷ of this point
+					// is independent — one batched dispatch.
+					triples = triples[:0]
+					nv := 0
 					for qz := 0; qz < p.Nqz; qz++ {
 						k2 := wrapK(kz, qz, p.Nkz)
 						for w := 0; w < p.Nw; w++ {
@@ -69,12 +92,33 @@ func (k *Kernel) SigmaOMEN(g *tensor.GTensor, d *PreD) *tensor.GTensor {
 							if e2 < 0 {
 								continue
 							}
-							gblk := g.Block(k2, e2, f)
+							gblk := &gviews[nv]
+							nv++
+							g.BlockInto(gblk, k2, e2, f)
 							for i := 0; i < p.N3D; i++ {
-								dHG := gblk.Mul(k.dH[a][b][i])
+								o := dHG[len(triples)]
+								o.Zero()
+								triples = append(triples, cmat.Triple{Out: o, A: gblk, B: k.dH[a][b][i]})
+							}
+						}
+					}
+					cmat.BatchMulAddInto(triples)
+					// Stage 2: the j reduction, in the original order.
+					idx := 0
+					for qz := 0; qz < p.Nqz; qz++ {
+						for w := 0; w < p.Nw; w++ {
+							e2 := e - p.PhononShift(w)
+							if e2 < 0 {
+								continue
+							}
+							for i := 0; i < p.N3D; i++ {
+								hg := dHG[idx]
+								idx++
 								for j := 0; j < p.N3D; j++ {
-									dHD := k.dH[a][b][j].Scale(d.At(qz, w, a, b, i, j))
-									out.AddScaledInPlace(pref, dHG.Mul(dHD))
+									dHD.CopyFrom(k.dH[a][b][j])
+									dHD.ScaleInPlace(d.At(qz, w, a, b, i, j))
+									hg.MulInto(t, dHD)
+									out.AddScaledInPlace(pref, t)
 								}
 							}
 						}
@@ -83,6 +127,8 @@ func (k *Kernel) SigmaOMEN(g *tensor.GTensor, d *PreD) *tensor.GTensor {
 			}
 		}
 	}
+	cmat.PutAll(dHG...)
+	cmat.PutAll(dHD, t)
 	return sigma
 }
 
@@ -105,16 +151,21 @@ func (k *Kernel) SigmaDaCe(g *tensor.GTensor, d *PreD) *tensor.GTensor {
 	am := g.ToAtomMajor() // Fig. 10(c): the data-layout transformation.
 	no := p.Norb
 
-	// Reusable per-bond transients (Fig. 12: three-dimensional, per (a,b)).
+	// Reusable per-bond transients (Fig. 12: three-dimensional, per (a,b)),
+	// all drawn from the workspace arena.
 	dHG := make([]*cmat.Dense, p.N3D)
+	for i := range dHG {
+		dHG[i] = cmat.GetDense(p.Nkz*p.NE*no, no)
+	}
 	dHD := make([][]*cmat.Dense, p.N3D) // [i][qz]: (Nω·Norb) × Norb stacks
 	for i := range dHD {
 		dHD[i] = make([]*cmat.Dense, p.Nqz)
 		for qz := range dHD[i] {
-			dHD[i][qz] = cmat.NewDense(p.Nw*no, no)
+			dHD[i][qz] = cmat.GetDense(p.Nw*no, no)
 		}
 	}
 
+	var rowBlock, out, vb, cb cmat.Dense // reusable view headers
 	for a := 0; a < p.NA; a++ {
 		for b := 0; b < p.NB; b++ {
 			f := k.Dev.Neigh[a][b]
@@ -123,7 +174,7 @@ func (k *Kernel) SigmaDaCe(g *tensor.GTensor, d *PreD) *tensor.GTensor {
 			}
 			// Stage 1 (Fig. 10d): one fused GEMM per direction.
 			for i := 0; i < p.N3D; i++ {
-				dHG[i] = am.Atom[f].Mul(k.dH[a][b][i])
+				am.Atom[f].MulInto(dHG[i], k.dH[a][b][i])
 			}
 			// Stage 2: ∇H·D^≷ with the j reduction folded in; the ω blocks
 			// are stacked ascending-energy (descending ω) so stage 3 can
@@ -133,7 +184,7 @@ func (k *Kernel) SigmaDaCe(g *tensor.GTensor, d *PreD) *tensor.GTensor {
 					stack := dHD[i][qz]
 					stack.Zero()
 					for w := 0; w < p.Nw; w++ {
-						rowBlock := cmat.DenseFromSlice(no, no,
+						cmat.ViewInto(&rowBlock, no, no,
 							stack.Data[(p.Nw-1-w)*no*no:(p.Nw-w)*no*no])
 						for j := 0; j < p.N3D; j++ {
 							rowBlock.AddScaledInPlace(pref*d.At(qz, w, a, b, i, j), k.dH[a][b][j])
@@ -153,24 +204,24 @@ func (k *Kernel) SigmaDaCe(g *tensor.GTensor, d *PreD) *tensor.GTensor {
 							if e < smax {
 								smax = e
 							}
-							out := sigma.Block(kz, e, a)
+							sigma.BlockInto(&out, kz, e, a)
 							// Slab of ∇H·G^≷ at energies e−smax … e−1 and
 							// the matching ∇H·D^≷ window (shift s = e−e').
 							vlo := (base + e - smax) * no
-							slab := cmat.DenseFromSlice(smax*no, no,
-								dHG[i].Data[vlo*no:(base+e)*no*no])
-							win := cmat.DenseFromSlice(smax*no, no,
-								stack.Data[(p.Nw-smax)*no*no:])
 							for t := 0; t < smax; t++ {
-								vb := cmat.DenseFromSlice(no, no, slab.Data[t*no*no:(t+1)*no*no])
-								cb := cmat.DenseFromSlice(no, no, win.Data[t*no*no:(t+1)*no*no])
-								vb.MulAddInto(out, cb)
+								cmat.ViewInto(&vb, no, no, dHG[i].Data[(vlo+t*no)*no:(vlo+(t+1)*no)*no])
+								cmat.ViewInto(&cb, no, no, stack.Data[((p.Nw-smax)+t)*no*no:((p.Nw-smax)+t+1)*no*no])
+								vb.MulAddInto(&out, &cb)
 							}
 						}
 					}
 				}
 			}
 		}
+	}
+	cmat.PutAll(dHG...)
+	for i := range dHD {
+		cmat.PutAll(dHD[i]...)
 	}
 	return sigma
 }

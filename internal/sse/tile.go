@@ -27,26 +27,30 @@ func (k *Kernel) SigmaDaCeTile(g *tensor.GTensor, d *PreD, eLo, eHi, aLo, aHi in
 	for i := range dHD {
 		dHD[i] = make([]*cmat.Dense, p.Nqz)
 		for qz := range dHD[i] {
-			dHD[i][qz] = cmat.NewDense(p.Nw*no, no)
+			dHD[i][qz] = cmat.GetDense(p.Nw*no, no)
 		}
 	}
+	dHG := make([]*cmat.Dense, p.N3D)
+	for i := range dHG {
+		dHG[i] = cmat.GetDense(p.Nkz*p.NE*no, no)
+	}
 	am := g.ToAtomMajor()
+	var rowBlock, out, vb, cb cmat.Dense // reusable view headers
 	for a := aLo; a < aHi; a++ {
 		for b := 0; b < p.NB; b++ {
 			f := k.Dev.Neigh[a][b]
 			if f < 0 {
 				continue
 			}
-			dHG := make([]*cmat.Dense, p.N3D)
 			for i := 0; i < p.N3D; i++ {
-				dHG[i] = am.Atom[f].Mul(k.dH[a][b][i])
+				am.Atom[f].MulInto(dHG[i], k.dH[a][b][i])
 			}
 			for i := 0; i < p.N3D; i++ {
 				for qz := 0; qz < p.Nqz; qz++ {
 					stack := dHD[i][qz]
 					stack.Zero()
 					for w := 0; w < p.Nw; w++ {
-						rowBlock := cmat.DenseFromSlice(no, no,
+						cmat.ViewInto(&rowBlock, no, no,
 							stack.Data[(p.Nw-1-w)*no*no:(p.Nw-w)*no*no])
 						for j := 0; j < p.N3D; j++ {
 							rowBlock.AddScaledInPlace(pref*d.At(qz, w, a, b, i, j), k.dH[a][b][j])
@@ -65,18 +69,22 @@ func (k *Kernel) SigmaDaCeTile(g *tensor.GTensor, d *PreD, eLo, eHi, aLo, aHi in
 							if e < smax {
 								smax = e
 							}
-							out := sigma.Block(kz, e, a)
+							sigma.BlockInto(&out, kz, e, a)
 							vlo := (base + e - smax) * no
 							for t := 0; t < smax; t++ {
-								vb := cmat.DenseFromSlice(no, no, dHG[i].Data[(vlo+t*no)*no:(vlo+(t+1)*no)*no])
-								cb := cmat.DenseFromSlice(no, no, stack.Data[((p.Nw-smax)+t)*no*no:((p.Nw-smax)+t+1)*no*no])
-								vb.MulAddInto(out, cb)
+								cmat.ViewInto(&vb, no, no, dHG[i].Data[(vlo+t*no)*no:(vlo+(t+1)*no)*no])
+								cmat.ViewInto(&cb, no, no, stack.Data[((p.Nw-smax)+t)*no*no:((p.Nw-smax)+t+1)*no*no])
+								vb.MulAddInto(&out, &cb)
 							}
 						}
 					}
 				}
 			}
 		}
+	}
+	cmat.PutAll(dHG...)
+	for i := range dHD {
+		cmat.PutAll(dHD[i]...)
 	}
 	return sigma
 }
@@ -93,14 +101,24 @@ func (k *Kernel) PiDaCeTile(gLess, gGtr *tensor.GTensor, eLo, eHi, aLo, aHi int)
 	piGtr = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
 	ne := eHi - eLo
 	nke := p.Nkz * ne
+	no := p.Norb
 	alloc := func() [][]*cmat.Dense {
 		m := make([][]*cmat.Dense, p.N3D)
 		for i := range m {
 			m[i] = make([]*cmat.Dense, nke)
+			for s := range m[i] {
+				m[i][s] = cmat.GetDense(no, no)
+			}
 		}
 		return m
 	}
+	release := func(m [][]*cmat.Dense) {
+		for i := range m {
+			cmat.PutAll(m[i]...)
+		}
+	}
 	wLess, wGtr := alloc(), alloc()
+	var gvL, gvG cmat.Dense // reusable block-view headers
 	for a := aLo; a < aHi; a++ {
 		for b := 0; b < p.NB; b++ {
 			f := k.Dev.Neigh[a][b]
@@ -114,14 +132,17 @@ func (k *Kernel) PiDaCeTile(gLess, gGtr *tensor.GTensor, eLo, eHi, aLo, aHi int)
 			for kz := 0; kz < p.Nkz; kz++ {
 				for e := eLo; e < eHi; e++ {
 					idx := kz*ne + (e - eLo)
+					gLess.BlockInto(&gvL, kz, e, f)
+					gGtr.BlockInto(&gvG, kz, e, f)
 					for i := 0; i < p.N3D; i++ {
-						wLess[i][idx] = k.dH[a][b][i].Mul(gLess.Block(kz, e, f))
-						wGtr[i][idx] = k.dH[a][b][i].Mul(gGtr.Block(kz, e, f))
+						k.dH[a][b][i].MulInto(wLess[i][idx], &gvL)
+						k.dH[a][b][i].MulInto(wGtr[i][idx], &gvG)
 					}
 				}
 			}
 			// U products at shifted energies (they live in the halo above
-			// the tile), computed on demand and cached per bond.
+			// the tile), computed on demand and cached per bond; the cached
+			// matrices go back to the arena when the bond is done.
 			uLessCache := make([]map[int]*cmat.Dense, p.N3D)
 			uGtrCache := make([]map[int]*cmat.Dense, p.N3D)
 			for i := range uLessCache {
@@ -139,9 +160,12 @@ func (k *Kernel) PiDaCeTile(gLess, gGtr *tensor.GTensor, eLo, eHi, aLo, aHi int)
 							for i := 0; i < p.N3D; i++ {
 								ul, ok := uLessCache[i][su]
 								if !ok {
-									ul = k.dH[f][r][i].Mul(gLess.Block(k2, e+shift, a))
+									ul = cmat.GetDense(no, no)
+									k.dH[f][r][i].MulInto(ul, gLess.Block(k2, e+shift, a))
 									uLessCache[i][su] = ul
-									uGtrCache[i][su] = k.dH[f][r][i].Mul(gGtr.Block(k2, e+shift, a))
+									ug := cmat.GetDense(no, no)
+									k.dH[f][r][i].MulInto(ug, gGtr.Block(k2, e+shift, a))
+									uGtrCache[i][su] = ug
 								}
 								ug := uGtrCache[i][su]
 								for j := 0; j < p.N3D; j++ {
@@ -153,7 +177,17 @@ func (k *Kernel) PiDaCeTile(gLess, gGtr *tensor.GTensor, eLo, eHi, aLo, aHi int)
 					}
 				}
 			}
+			for i := range uLessCache {
+				for _, m := range uLessCache[i] {
+					cmat.PutDense(m)
+				}
+				for _, m := range uGtrCache[i] {
+					cmat.PutDense(m)
+				}
+			}
 		}
 	}
+	release(wLess)
+	release(wGtr)
 	return piLess, piGtr
 }

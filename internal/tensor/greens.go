@@ -31,6 +31,18 @@ func (g *GTensor) Block(kz, e, a int) *cmat.Dense {
 	return cmat.DenseFromSlice(g.Norb, g.Norb, g.Data[off:off+n2])
 }
 
+// BlockInto rebinds dst as the (kz, E, a) view without allocating a header:
+// the steady-state alternative to Block for hot loops. dst shares storage
+// with g afterwards.
+func (g *GTensor) BlockInto(dst *cmat.Dense, kz, e, a int) {
+	if kz < 0 || kz >= g.Nkz || e < 0 || e >= g.NE || a < 0 || a >= g.NA {
+		panic(fmt.Sprintf("tensor: GTensor.BlockInto(%d,%d,%d) out of range (%d,%d,%d)", kz, e, a, g.Nkz, g.NE, g.NA))
+	}
+	n2 := g.Norb * g.Norb
+	off := ((kz*g.NE+e)*g.NA + a) * n2
+	dst.Rows, dst.Cols, dst.Data = g.Norb, g.Norb, g.Data[off:off+n2]
+}
+
 // Clone returns a deep copy.
 func (g *GTensor) Clone() *GTensor {
 	out := NewGTensor(g.Nkz, g.NE, g.NA, g.Norb)
@@ -92,12 +104,13 @@ func (g *GTensor) ToAtomMajor() *AtomMajor {
 	am := &AtomMajor{Nkz: g.Nkz, NE: g.NE, NA: g.NA, Norb: g.Norb,
 		Atom: make([]*cmat.Dense, g.NA)}
 	rows := g.Nkz * g.NE * g.Norb
+	var src cmat.Dense
 	for a := 0; a < g.NA; a++ {
 		m := cmat.NewDense(rows, g.Norb)
 		for kz := 0; kz < g.Nkz; kz++ {
 			for e := 0; e < g.NE; e++ {
-				src := g.Block(kz, e, a)
-				m.SetSubmatrix((kz*g.NE+e)*g.Norb, 0, src)
+				g.BlockInto(&src, kz, e, a)
+				m.SetSubmatrix((kz*g.NE+e)*g.Norb, 0, &src)
 			}
 		}
 		am.Atom[a] = m
@@ -152,6 +165,14 @@ func (d *DTensor) Block(qz, w, a, b int) *cmat.Dense {
 	n2 := d.N3D * d.N3D
 	off := (((qz*d.Nw+w)*d.NA+a)*(d.NB+1) + b) * n2
 	return cmat.DenseFromSlice(d.N3D, d.N3D, d.Data[off:off+n2])
+}
+
+// AddAt adds v to element (i, j) of the (qz, ω, a, b) block by direct
+// indexing — no block header is materialized, so the Π accumulation loops
+// stay allocation-free.
+func (d *DTensor) AddAt(qz, w, a, b, i, j int, v complex128) {
+	off := (((qz*d.Nw+w)*d.NA+a)*(d.NB+1)+b)*d.N3D*d.N3D + i*d.N3D + j
+	d.Data[off] += v
 }
 
 // Clone returns a deep copy.
