@@ -1,7 +1,12 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check build vet test race bench
+.PHONY: check fmt build vet test race bench
 
-check: build vet test
+check: fmt build vet test
+
+# gofmt -l prints nothing (and exits 0) on a clean tree; any output fails
+# the gate via the grep.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 build:
 	go build ./...
@@ -9,6 +14,8 @@ build:
 vet:
 	go vet ./...
 
+# Includes the doc-comment lint (doclint_test.go) over the exported API of
+# internal/obs, internal/comm and internal/core.
 test:
 	go test ./...
 

@@ -367,7 +367,6 @@ func BenchmarkDistributedSSE(b *testing.B) {
 	}
 }
 
-
 // -----------------------------------------------------------------------------
 // Ablation benches — the design choices DESIGN.md calls out
 // -----------------------------------------------------------------------------

@@ -5,19 +5,101 @@
 // Example:
 //
 //	qtsim -na 48 -rows 4 -bnum 4 -nkz 3 -ne 24 -variant dace -iters 6
+//
+// With -metrics-addr the process serves Prometheus-style metrics, expvar
+// and net/http/pprof while the simulation runs; with -trace-out it writes
+// one JSON line per outer Born iteration (a Table 7-style phase
+// breakdown). Either flag enables the observability layer and an
+// end-of-run summary table. See docs/OBSERVABILITY.md.
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"net/http"
+	"net/http/pprof"
+	"os"
 	"strings"
+	"time"
 
 	"negfsim/internal/core"
 	"negfsim/internal/device"
+	"negfsim/internal/obs"
 	"negfsim/internal/sse"
 )
+
+// traceLine is the JSON schema of one -trace-out record. The four phase
+// durations sum exactly to wall: "other" absorbs residual computation and
+// bookkeeping, so consumers can treat the line as a complete partition of
+// the iteration (the Table 7 reading). Span deltas are cumulative across
+// workers and may exceed wall under parallel execution.
+type traceLine struct {
+	Iter      int              `json:"iter"`
+	WallNs    int64            `json:"wall_ns"`
+	Phases    map[string]int64 `json:"phases_ns"`
+	Residual  *float64         `json:"residual,omitempty"`
+	Converged bool             `json:"converged"`
+	Spans     map[string]int64 `json:"spans_ns,omitempty"`
+}
+
+// traceWriter serializes IterStats to the -trace-out file.
+func traceWriter(f *os.File) func(core.IterStats) {
+	enc := json.NewEncoder(f)
+	return func(st core.IterStats) {
+		other := st.Wall - st.GF - st.SSE - st.Mix
+		if other < 0 {
+			other = 0
+		}
+		line := traceLine{
+			Iter:   st.Iter,
+			WallNs: st.Wall.Nanoseconds(),
+			Phases: map[string]int64{
+				"gf":    st.GF.Nanoseconds(),
+				"sse":   st.SSE.Nanoseconds(),
+				"mix":   st.Mix.Nanoseconds(),
+				"other": other.Nanoseconds(),
+			},
+			Converged: st.Converged,
+		}
+		if !math.IsNaN(st.Residual) {
+			r := st.Residual
+			line.Residual = &r
+		}
+		if len(st.Spans) > 0 {
+			line.Spans = make(map[string]int64, len(st.Spans))
+			for _, s := range st.Spans {
+				line.Spans[s.Name] = s.Total.Nanoseconds()
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			log.Printf("trace write: %v", err)
+		}
+	}
+}
+
+// serveMetrics starts the diagnostics endpoint: Prometheus text at
+// /metrics, the expvar JSON dump at /debug/vars, and the full pprof
+// suite under /debug/pprof/.
+func serveMetrics(addr string) {
+	obs.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("metrics server: %v", err)
+		}
+	}()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -39,6 +121,8 @@ func main() {
 	kt := flag.Float64("kt", 0.025, "electron thermal energy [eV]")
 	seed := flag.Uint64("seed", 7, "structure seed")
 	gate := flag.Float64("gate", math.NaN(), "gate voltage [V]; enables the coupled NEGF–Poisson solver")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+	traceOut := flag.String("trace-out", "", "write one JSON line per Born iteration to this file")
 	flag.Parse()
 
 	p := device.Params{
@@ -70,11 +154,28 @@ func main() {
 		log.Fatalf("unknown variant %q", *variant)
 	}
 
+	observing := *metricsAddr != "" || *traceOut != ""
+	if observing {
+		obs.Enable()
+	}
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		opts.OnIteration = traceWriter(f)
+	}
+
 	fmt.Printf("structure: NA=%d (%d×%d), Nkz=%d, NE=%d, Nω=%d, NB=%d, Norb=%d\n",
 		p.NA, p.Cols(), p.Rows, p.Nkz, p.NE, p.Nw, p.NB, p.Norb)
 	fmt.Printf("solver: %s kernel, ≤%d iterations, mixing %.2f, bias %.2f eV\n",
 		opts.Variant, opts.MaxIter, opts.Mixing, *bias)
 
+	start := time.Now()
 	sim := core.New(dev, opts)
 	var res *core.Result
 	if !math.IsNaN(*gate) {
@@ -92,6 +193,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	wall := time.Since(start)
 
 	fmt.Printf("\niterations: %d (converged: %v)\n", res.Iterations, res.Converged)
 	for i, r := range res.Residuals {
@@ -110,5 +212,10 @@ func main() {
 	if dmax > 0 {
 		fmt.Printf("hottest atom: #%d at column %d (dissipation %.3e)\n",
 			amax, dev.Col(amax), dmax)
+	}
+
+	if observing {
+		fmt.Println()
+		obs.WriteSummary(os.Stdout, wall)
 	}
 }

@@ -1,5 +1,7 @@
 package cmat
 
+import "negfsim/internal/obs"
+
 // Blocked GEMM engine. The paper wins its single-node speedups by turning
 // myriads of tiny Norb×Norb multiplications into large, well-scheduled GEMMs
 // at the SDFG level; this file applies the same kernel-granularity idea at
@@ -58,6 +60,13 @@ func (m *Dense) mulAddNaive(out, n *Dense) {
 	}
 }
 
+// Dispatch telemetry: how many products took each kernel path, surfaced on
+// the observability registry (near-nops while obs recording is disabled).
+var (
+	obsGemmNaive   = obs.GetCounter("cmat.gemm.naive")
+	obsGemmBlocked = obs.GetCounter("cmat.gemm.blocked")
+)
+
 // gemm computes out += m·n (accumulate) or out = m·n, dispatching between
 // the naive and the blocked kernel on size and left-operand density.
 func (m *Dense) gemm(out, n *Dense, accumulate bool) {
@@ -69,12 +78,14 @@ func (m *Dense) gemm(out, n *Dense, accumulate bool) {
 		return
 	}
 	if R*K*C < blockedMinWork || C < gemmNR || !denseEnough(m) {
+		obsGemmNaive.Inc()
 		if !accumulate {
 			out.Zero()
 		}
 		m.mulAddNaive(out, n)
 		return
 	}
+	obsGemmBlocked.Inc()
 	m.mulBlocked(out, n, accumulate)
 }
 

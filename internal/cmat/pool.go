@@ -3,6 +3,15 @@ package cmat
 import (
 	"math/bits"
 	"sync"
+
+	"negfsim/internal/obs"
+)
+
+// Arena telemetry: hit/miss rates of the dense workspace pool, surfaced on
+// the observability registry (near-nops while obs recording is disabled).
+var (
+	obsPoolHit  = obs.GetCounter("cmat.pool.hit")
+	obsPoolMiss = obs.GetCounter("cmat.pool.miss")
 )
 
 // Workspace arena: size-class pools of scratch matrices, so the steady-state
@@ -50,11 +59,13 @@ func getDenseNoZero(r, c int) *Dense {
 	}
 	k := bits.Len(uint(n - 1)) // ceil(log2(n))
 	if v := denseClasses[k].Get(); v != nil {
+		obsPoolHit.Inc()
 		m := v.(*Dense)
 		m.Rows, m.Cols = r, c
 		m.Data = m.Data[:n]
 		return m
 	}
+	obsPoolMiss.Inc()
 	return &Dense{Rows: r, Cols: c, Data: make([]complex128, n, 1<<k)}
 }
 

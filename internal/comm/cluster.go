@@ -3,9 +3,23 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"negfsim/internal/obs"
+)
+
+// Exchange telemetry. The per-transfer byte accounting lives in the
+// cluster's own atomics (always on — tests compare it against the §4.1
+// closed-form models); the observability layer mirrors it as gauge funcs
+// registered per cluster (see NewCluster) plus the global counters and the
+// collective-latency timer below.
+var (
+	obsSends     = obs.GetCounter("comm.sends")
+	obsSentBytes = obs.GetCounter("comm.sent_bytes_total")
+	obsAlltoallv = obs.GetTimer("comm.alltoallv")
 )
 
 // Cluster is an in-process stand-in for an MPI communicator: one goroutine
@@ -23,6 +37,12 @@ type Cluster struct {
 // NewCluster creates a communicator with n ranks. A Recv that waits longer
 // than the deadlock timeout fails, so protocol mismatches surface as test
 // errors instead of hangs.
+//
+// The cluster's byte counters are exported on the observability registry as
+// per-rank gauges — comm.sent_bytes{rank="r"}, comm.recvd_bytes{rank="r"} —
+// plus comm.total_bytes. The gauges read the cluster's own atomics at
+// scrape time, so they agree with SentBytes/ReceivedBytes/TotalBytes by
+// construction; creating a new cluster re-points them at the new instance.
 func NewCluster(n int) *Cluster {
 	if n < 1 {
 		panic("comm: cluster needs at least one rank")
@@ -35,6 +55,13 @@ func NewCluster(n int) *Cluster {
 		for from := 0; from < n; from++ {
 			c.mailbox[to][from] = make(chan []complex128, 64)
 		}
+	}
+	obs.RegisterGaugeFunc("comm.total_bytes", c.TotalBytes)
+	for r := 0; r < n; r++ {
+		r := r
+		rank := strconv.Itoa(r)
+		obs.RegisterGaugeFunc(obs.Labeled("comm.sent_bytes", "rank", rank), func() int64 { return c.SentBytes(r) })
+		obs.RegisterGaugeFunc(obs.Labeled("comm.recvd_bytes", "rank", rank), func() int64 { return c.ReceivedBytes(r) })
 	}
 	return c
 }
@@ -104,6 +131,8 @@ func (r *Rank) Send(to int, data []complex128) error {
 		n := int64(bytesPerComplex * len(data))
 		r.c.sent[r.ID].Add(n)
 		r.c.recvd[to].Add(n)
+		obsSends.Inc()
+		obsSentBytes.Add(n)
 	}
 	return nil
 }
@@ -178,6 +207,8 @@ func (r *Rank) Alltoallv(send [][]complex128) ([][]complex128, error) {
 	if len(send) != r.c.n {
 		return nil, fmt.Errorf("comm: alltoallv needs %d buffers, got %d", r.c.n, len(send))
 	}
+	sp := obsAlltoallv.Start()
+	defer sp.End()
 	// Post all sends first (buffered mailboxes decouple the phases), then
 	// collect.
 	for to, buf := range send {

@@ -1,0 +1,68 @@
+package comm
+
+import (
+	"strconv"
+	"testing"
+
+	"negfsim/internal/obs"
+)
+
+// TestClusterGaugesAgreeWithCounters runs an alltoallv exchange with
+// recording enabled and asserts that the per-rank gauges exported through
+// the obs registry report exactly the cluster's own byte counters — the
+// gauges are GaugeFuncs reading the same atomics, so any disagreement
+// means a registration bug (e.g. gauges still pointing at an older
+// cluster).
+func TestClusterGaugesAgreeWithCounters(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+	})
+
+	// An earlier cluster whose gauges must be superseded by the next one.
+	stale := NewCluster(2)
+	_ = stale
+
+	const n = 4
+	c := NewCluster(n)
+	err := c.Run(func(r *Rank) error {
+		send := make([][]complex128, n)
+		for to := 0; to < n; to++ {
+			// Asymmetric payloads so every rank's sent/received totals
+			// differ: rank r sends r+to+1 elements to rank to.
+			send[to] = make([]complex128, r.ID+to+1)
+		}
+		_, err := r.Alltoallv(send)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for r := 0; r < n; r++ {
+		rank := strconv.Itoa(r)
+		if g, ok := obs.GaugeValue(obs.Labeled("comm.sent_bytes", "rank", rank)); !ok {
+			t.Errorf("rank %d: sent_bytes gauge not registered", r)
+		} else if want := c.SentBytes(r); g != want {
+			t.Errorf("rank %d: sent_bytes gauge = %d, counter = %d", r, g, want)
+		}
+		if g, ok := obs.GaugeValue(obs.Labeled("comm.recvd_bytes", "rank", rank)); !ok {
+			t.Errorf("rank %d: recvd_bytes gauge not registered", r)
+		} else if want := c.ReceivedBytes(r); g != want {
+			t.Errorf("rank %d: recvd_bytes gauge = %d, counter = %d", r, g, want)
+		}
+	}
+	if g, ok := obs.GaugeValue("comm.total_bytes"); !ok {
+		t.Error("total_bytes gauge not registered")
+	} else if want := c.TotalBytes(); g != want {
+		t.Errorf("total_bytes gauge = %d, cluster reports %d", g, want)
+	} else if want == 0 {
+		t.Error("exchange moved zero bytes; test is vacuous")
+	}
+
+	// The sends counter and byte counter must have advanced too.
+	if v := obs.GetCounter("comm.sends").Value(); v < int64(n*(n-1)) {
+		t.Errorf("comm.sends = %d, want ≥ %d", v, n*(n-1))
+	}
+}

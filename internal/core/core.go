@@ -18,10 +18,21 @@ import (
 
 	"negfsim/internal/cmat"
 	"negfsim/internal/device"
+	"negfsim/internal/obs"
 	"negfsim/internal/pool"
 	"negfsim/internal/rgf"
 	"negfsim/internal/sse"
 	"negfsim/internal/tensor"
+)
+
+// Top-level phase timers of the Born loop. core measures the phases with
+// its own clock (the durations also feed Result.Timings and the
+// OnIteration hook) and mirrors them onto the observability registry, so
+// a scrape of /metrics sees the same breakdown the trace reports.
+var (
+	obsSpanGF  = obs.GetTimer("core.gf")
+	obsSpanSSE = obs.GetTimer("core.sse")
+	obsSpanMix = obs.GetTimer("core.mix")
 )
 
 // Options configures the self-consistent solver.
@@ -48,6 +59,40 @@ type Options struct {
 	Mixer MixerKind
 	// AndersonHistory is the Anderson mixer's history depth (default 3).
 	AndersonHistory int
+	// OnIteration, when non-nil, is called after every Born iteration with
+	// that iteration's phase breakdown — the hook behind cmd/qtsim's
+	// -trace-out JSON trace. It runs on the solver goroutine; keep it
+	// cheap (write a line, update a gauge) or the iteration time it
+	// reports next will include itself.
+	OnIteration func(IterStats)
+}
+
+// IterStats is one Born iteration's Table 7-style breakdown, delivered to
+// Options.OnIteration. GF + SSE + Mix cover the phase work; Wall − (GF +
+// SSE + Mix) is loop overhead (convergence norms, tensor bookkeeping).
+type IterStats struct {
+	// Iter is the 1-based Born iteration index within this run.
+	Iter int
+	// Wall is the full iteration wall time.
+	Wall time.Duration
+	// GF is the Green's-function phase: every (kz, E) electron and
+	// (qz, ω) phonon RGF solve of the iteration.
+	GF time.Duration
+	// SSE is the scattering self-energy phase (Σ^≷ and Π^≷ kernels).
+	// Zero on a final iteration that converged before the SSE phase ran.
+	SSE time.Duration
+	// Mix is self-energy mixing plus the retarded reconstruction.
+	Mix time.Duration
+	// Residual is the relative G change versus the previous iteration;
+	// NaN on the first iteration, where no previous G exists.
+	Residual float64
+	// Converged reports whether this iteration met the tolerance.
+	Converged bool
+	// Spans holds the observability-timer activity recorded during the
+	// iteration (rgf.electron, sse.sigma, comm.alltoallv, …). Nil unless
+	// obs recording is enabled. Parallel phases accumulate worker time,
+	// so span totals may exceed Wall.
+	Spans []obs.TimerStat
 }
 
 // DefaultOptions returns a stable configuration for the synthetic devices.
@@ -273,13 +318,13 @@ func (s *Simulator) extractPhonon(qz, w int, res *rgf.PhononResult, dl, dg *tens
 // pool (at most Workers concurrent points). It returns fresh Green's
 // function tensors and accumulated contact observables.
 func (s *Simulator) gfPhase(sigR, sigL, sigG *tensor.GTensor, piR, piL, piG *tensor.DTensor) (
-	gl, gg *tensor.GTensor, dl, dg *tensor.DTensor, obs Observables, err error) {
+	gl, gg *tensor.GTensor, dl, dg *tensor.DTensor, o Observables, err error) {
 	p := s.Dev.P
 	gl = tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb)
 	gg = tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb)
 	dl = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
 	dg = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
-	obs.CurrentPerEnergy = make([]float64, p.NE)
+	o.CurrentPerEnergy = make([]float64, p.NE)
 
 	type job struct{ kz, e, qz, w int } // e < 0 marks a phonon job
 	jobs := make([]job, 0, p.Nkz*p.NE+p.Nqz*p.Nw)
@@ -313,11 +358,11 @@ func (s *Simulator) gfPhase(sigR, sigL, sigG *tensor.GTensor, piR, piL, piG *ten
 			s.extractElectron(j.kz, j.e, res, gl, gg)
 			res.Release()
 			mu.Lock()
-			obs.CurrentL += res.CurrentL * eWeight
-			obs.CurrentR += res.CurrentR * eWeight
-			obs.EnergyCurrentL += p.Energy(j.e) * res.CurrentL * eWeight
-			obs.EnergyCurrentR += p.Energy(j.e) * res.CurrentR * eWeight
-			obs.CurrentPerEnergy[j.e] += res.CurrentL
+			o.CurrentL += res.CurrentL * eWeight
+			o.CurrentR += res.CurrentR * eWeight
+			o.EnergyCurrentL += p.Energy(j.e) * res.CurrentL * eWeight
+			o.EnergyCurrentR += p.Energy(j.e) * res.CurrentR * eWeight
+			o.CurrentPerEnergy[j.e] += res.CurrentL
 			mu.Unlock()
 		} else {
 			scat := s.phononScatteringBlocks(j.qz, j.w, piR, piL, piG)
@@ -336,8 +381,8 @@ func (s *Simulator) gfPhase(sigR, sigL, sigG *tensor.GTensor, piR, piL, piG *ten
 			s.extractPhonon(j.qz, j.w, res, dl, dg)
 			res.Release()
 			mu.Lock()
-			obs.HeatL += res.HeatL * eWeight
-			obs.HeatR += res.HeatR * eWeight
+			o.HeatL += res.HeatL * eWeight
+			o.HeatR += res.HeatR * eWeight
 			mu.Unlock()
 		}
 	}
@@ -359,9 +404,9 @@ func (s *Simulator) gfPhase(sigR, sigL, sigG *tensor.GTensor, piR, piL, piG *ten
 	}
 	pool.Do(tasks...)
 	if firstErr != nil {
-		return nil, nil, nil, nil, obs, firstErr
+		return nil, nil, nil, nil, o, firstErr
 	}
-	return gl, gg, dl, dg, obs, nil
+	return gl, gg, dl, dg, o, nil
 }
 
 // Run executes the self-consistent Born loop: Σ = Π = 0, GF phase, SSE
@@ -390,14 +435,21 @@ func (s *Simulator) run(ck *Checkpoint) (*Result, error) {
 	}
 
 	for iter := 0; iter < s.Opts.MaxIter; iter++ {
+		st := IterStats{Iter: iter + 1, Residual: math.NaN()}
+		var snap []obs.TimerStat
+		if s.Opts.OnIteration != nil && obs.Enabled() {
+			snap = obs.TimerStats()
+		}
 		t0 := time.Now()
-		gl, gg, dl, dg, obs, err := s.gfPhase(sigR, sigL, sigG, piR, piL, piG)
+		gl, gg, dl, dg, o, err := s.gfPhase(sigR, sigL, sigG, piR, piL, piG)
 		if err != nil {
 			return nil, err
 		}
-		res.Timings.GF += time.Since(t0)
+		st.GF = time.Since(t0)
+		res.Timings.GF += st.GF
+		obsSpanGF.Observe(st.GF)
 		res.GLess, res.GGtr, res.DLess, res.DGtr = gl, gg, dl, dg
-		res.Obs = obs
+		res.Obs = o
 		res.Iterations = iter + 1
 
 		if prevL != nil {
@@ -409,8 +461,11 @@ func (s *Simulator) run(ck *Checkpoint) (*Result, error) {
 				return res, errors.New("core: Born iteration diverged (non-finite Green's functions)")
 			}
 			res.Residuals = append(res.Residuals, r)
+			st.Residual = r
 			if r < s.Opts.Tol {
 				res.Converged = true
+				st.Converged = true
+				s.emitIterStats(&st, t0, snap)
 				break
 			}
 		}
@@ -418,7 +473,10 @@ func (s *Simulator) run(ck *Checkpoint) (*Result, error) {
 
 		t1 := time.Now()
 		out := s.Kernel.ComputePhaseParallel(sse.PhaseInput{GLess: gl, GGtr: gg, DLess: dl, DGtr: dg}, s.Opts.Variant, s.Opts.Workers)
-		res.Timings.SSE += time.Since(t1)
+		st.SSE = time.Since(t1)
+		res.Timings.SSE += st.SSE
+		obsSpanSSE.Observe(st.SSE)
+		t2 := time.Now()
 		sse.AntiHermitize(out.SigmaLess)
 		sse.AntiHermitize(out.SigmaGtr)
 		switch {
@@ -443,11 +501,29 @@ func (s *Simulator) run(ck *Checkpoint) (*Result, error) {
 		}
 		sigR = sse.Retarded(sigL, sigG)
 		piR = sse.RetardedD(piL, piG)
+		st.Mix = time.Since(t2)
+		obsSpanMix.Observe(st.Mix)
 		res.SigmaLess, res.SigmaGtr = sigL, sigG
 		res.PiLess, res.PiGtr = piL, piG
+		s.emitIterStats(&st, t0, snap)
 	}
 	res.Obs.DissipationPerAtom, res.Obs.EnergyDissipationPerAtom = s.dissipationPerAtom(res)
 	return res, nil
+}
+
+// emitIterStats completes an iteration's stats (wall time, span deltas) and
+// delivers them to the OnIteration hook, if any. iterStart is the instant
+// the iteration began; snap is the obs timer snapshot taken then (nil when
+// obs recording was off or no hook is set).
+func (s *Simulator) emitIterStats(st *IterStats, iterStart time.Time, snap []obs.TimerStat) {
+	if s.Opts.OnIteration == nil {
+		return
+	}
+	st.Wall = time.Since(iterStart)
+	if snap != nil {
+		st.Spans = obs.TimerDelta(snap)
+	}
+	s.Opts.OnIteration(*st)
 }
 
 // relChange returns max|a−b| / (1 + max|b|).

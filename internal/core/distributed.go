@@ -5,8 +5,17 @@ import (
 	"sort"
 
 	"negfsim/internal/comm"
+	"negfsim/internal/obs"
 	"negfsim/internal/sse"
 	"negfsim/internal/tensor"
+)
+
+// The distributed tile computations record on the same sse.* timers as the
+// shared-memory kernels (per-rank spans accumulate, like parallel tiles),
+// so one dashboard covers every execution path of the SSE phase.
+var (
+	obsSpanDistSigma = obs.GetTimer("sse.sigma")
+	obsSpanDistPi    = obs.GetTimer("sse.pi")
 )
 
 // Distributed execution of the SSE phase with the communication-avoiding
@@ -249,9 +258,13 @@ func (s *Simulator) DistributedSSE(in sse.PhaseInput, te, ta int) (*DistributedR
 		// --- Tile computation --------------------------------------------
 		preL := s.Kernel.PreprocessD(dl)
 		preG := s.Kernel.PreprocessD(dg)
+		sps := obsSpanDistSigma.Start()
 		sigL := s.Kernel.SigmaDaCeTile(gl, preL, eLo, eHi, aLo, aHi)
 		sigG := s.Kernel.SigmaDaCeTile(gg, preG, eLo, eHi, aLo, aHi)
+		sps.End()
+		spq := obsSpanDistPi.Start()
 		piL, piG := s.Kernel.PiDaCeTile(gl, gg, eLo, eHi, aLo, aHi)
+		spq.End()
 
 		// --- Exchange 2: Σ tiles to energy owners, Π partials to point
 		// owners ------------------------------------------------------------

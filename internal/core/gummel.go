@@ -4,9 +4,19 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"negfsim/internal/device"
+	"negfsim/internal/obs"
 	"negfsim/internal/poisson"
+)
+
+// Timers of the electrostatic coupling: one core.gummel span per outer
+// iteration (NEGF run + charge integration + Poisson solve + damping) and
+// one core.poisson span per Poisson solve inside it.
+var (
+	obsSpanGummel  = obs.GetTimer("core.gummel")
+	obsSpanPoisson = obs.GetTimer("core.poisson")
 )
 
 // NEGF–Poisson (Gummel) coupling: the gate/drain biases of the FinFET in
@@ -108,6 +118,7 @@ func (s *Simulator) RunWithPoisson(g GateSpec) (*ElectrostaticResult, error) {
 	out := &ElectrostaticResult{Potential: phi}
 
 	for outer := 0; outer < g.MaxOuter; outer++ {
+		outerStart := time.Now()
 		s.applyPotential(phi)
 		res, err := s.Run()
 		if err != nil {
@@ -126,10 +137,12 @@ func (s *Simulator) RunWithPoisson(g GateSpec) (*ElectrostaticResult, error) {
 			charge[a] = -g.Coupling * (n[a] - reference[a])
 			out.ChargePerAtom = charge
 		}
+		spp := obsSpanPoisson.Start()
 		next, err := poisson.Solve(poisson.Problem{
 			Cols: p.Cols(), Rows: p.Rows, H: device.LatticeConst,
 			Dirichlet: dirichlet, Charge: charge,
 		}, 1e-10, 0)
+		spp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: Gummel outer %d Poisson: %w", outer, err)
 		}
@@ -142,6 +155,7 @@ func (s *Simulator) RunWithPoisson(g GateSpec) (*ElectrostaticResult, error) {
 			phi[a] = updated
 		}
 		out.PhiResiduals = append(out.PhiResiduals, dmax)
+		obsSpanGummel.Observe(time.Since(outerStart))
 		if dmax < g.Tol {
 			out.GummelConverged = true
 			break

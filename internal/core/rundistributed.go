@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"negfsim/internal/obs"
 	"negfsim/internal/sse"
 	"negfsim/internal/tensor"
 )
@@ -25,14 +26,21 @@ func (s *Simulator) RunDistributed(te, ta int) (*Result, int64, error) {
 	var totalBytes int64
 
 	for iter := 0; iter < s.Opts.MaxIter; iter++ {
+		st := IterStats{Iter: iter + 1, Residual: math.NaN()}
+		var snap []obs.TimerStat
+		if s.Opts.OnIteration != nil && obs.Enabled() {
+			snap = obs.TimerStats()
+		}
 		t0 := time.Now()
-		gl, gg, dl, dg, obs, err := s.gfPhase(sigR, sigL, sigG, piR, piL, piG)
+		gl, gg, dl, dg, o, err := s.gfPhase(sigR, sigL, sigG, piR, piL, piG)
 		if err != nil {
 			return nil, totalBytes, err
 		}
-		res.Timings.GF += time.Since(t0)
+		st.GF = time.Since(t0)
+		res.Timings.GF += st.GF
+		obsSpanGF.Observe(st.GF)
 		res.GLess, res.GGtr, res.DLess, res.DGtr = gl, gg, dl, dg
-		res.Obs = obs
+		res.Obs = o
 		res.Iterations = iter + 1
 
 		if prevL != nil {
@@ -44,8 +52,11 @@ func (s *Simulator) RunDistributed(te, ta int) (*Result, int64, error) {
 				return res, totalBytes, errors.New("core: distributed Born iteration diverged")
 			}
 			res.Residuals = append(res.Residuals, r)
+			st.Residual = r
 			if r < s.Opts.Tol {
 				res.Converged = true
+				st.Converged = true
+				s.emitIterStats(&st, t0, snap)
 				break
 			}
 		}
@@ -56,8 +67,11 @@ func (s *Simulator) RunDistributed(te, ta int) (*Result, int64, error) {
 		if err != nil {
 			return nil, totalBytes, err
 		}
-		res.Timings.SSE += time.Since(t1)
+		st.SSE = time.Since(t1)
+		res.Timings.SSE += st.SSE
+		obsSpanSSE.Observe(st.SSE)
 		totalBytes += dist.MeasuredBytes
+		t2 := time.Now()
 		sse.AntiHermitize(dist.SigmaLess)
 		sse.AntiHermitize(dist.SigmaGtr)
 		if sigL == nil {
@@ -71,8 +85,11 @@ func (s *Simulator) RunDistributed(te, ta int) (*Result, int64, error) {
 		}
 		sigR = sse.Retarded(sigL, sigG)
 		piR = sse.RetardedD(piL, piG)
+		st.Mix = time.Since(t2)
+		obsSpanMix.Observe(st.Mix)
 		res.SigmaLess, res.SigmaGtr = sigL, sigG
 		res.PiLess, res.PiGtr = piL, piG
+		s.emitIterStats(&st, t0, snap)
 	}
 	res.Obs.DissipationPerAtom, res.Obs.EnergyDissipationPerAtom = s.dissipationPerAtom(res)
 	return res, totalBytes, nil

@@ -1,0 +1,87 @@
+//go:build !race
+
+// The AllocsPerRun pins below guarantee the instrumentation layer stays off
+// the heap on the steady-state hot path; the race runtime adds its own
+// allocations, so they only hold un-raced.
+
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAllocsSpan pins zero allocations for a span start/stop pair with
+// recording enabled — the contract that lets rgf/sse/core instrument their
+// per-grid-point solves without perturbing the arena's zero-alloc steady
+// state.
+func TestAllocsSpan(t *testing.T) {
+	withRecording(t)
+	tm := GetTimer("test.alloc.span")
+	avg := testing.AllocsPerRun(100, func() {
+		sp := tm.Start()
+		sp.End()
+	})
+	if avg > 0 {
+		t.Fatalf("span start/stop allocates %.2f/run, want 0", avg)
+	}
+}
+
+// TestAllocsSpanByName pins the registry-lookup form obs.Span(name): the
+// read-locked map hit must not allocate either.
+func TestAllocsSpanByName(t *testing.T) {
+	withRecording(t)
+	GetTimer("test.alloc.byname") // pre-register; lookups are the hot path
+	avg := testing.AllocsPerRun(100, func() {
+		sp := Span("test.alloc.byname")
+		sp.End()
+	})
+	if avg > 0 {
+		t.Fatalf("obs.Span allocates %.2f/run, want 0", avg)
+	}
+}
+
+// TestAllocsCounterGauge pins counter increments and gauge stores.
+func TestAllocsCounterGauge(t *testing.T) {
+	withRecording(t)
+	c := GetCounter("test.alloc.counter")
+	g := GetGauge("test.alloc.gauge")
+	avg := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(17)
+		g.Add(1)
+	})
+	if avg > 0 {
+		t.Fatalf("counter/gauge ops allocate %.2f/run, want 0", avg)
+	}
+}
+
+// TestAllocsHistogram pins direct histogram observations.
+func TestAllocsHistogram(t *testing.T) {
+	withRecording(t)
+	var h Histogram
+	avg := testing.AllocsPerRun(100, func() {
+		h.Observe(12345)
+	})
+	if avg > 0 {
+		t.Fatalf("Histogram.Observe allocates %.2f/run, want 0", avg)
+	}
+}
+
+// TestAllocsDisabled pins the disabled path: with no sink registered the
+// whole layer must cost nothing on the heap (and nearly nothing off it).
+func TestAllocsDisabled(t *testing.T) {
+	Disable()
+	tm := GetTimer("test.alloc.disabled")
+	c := GetCounter("test.alloc.disabled.c")
+	avg := testing.AllocsPerRun(100, func() {
+		sp := tm.Start()
+		sp.End()
+		c.Inc()
+		tm.Observe(time.Millisecond)
+	})
+	if avg > 0 {
+		t.Fatalf("disabled instrumentation allocates %.2f/run, want 0", avg)
+	}
+}

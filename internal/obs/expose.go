@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file holds the consumer side of the registry: the Prometheus-style
+// text exposition (served by cmd/qtsim's -metrics-addr endpoint), the
+// expvar bridge, and the human-readable end-of-run summary table.
+
+// promName converts a registry name to a Prometheus metric name: the
+// "negfsim_" namespace prefix, dots to underscores, any label suffix
+// produced by Labeled passed through untouched.
+func promName(name string) string {
+	base, labels, _ := strings.Cut(name, "{")
+	base = "negfsim_" + strings.ReplaceAll(base, ".", "_")
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels
+}
+
+// promFamily returns the metric family (name without labels) of a registry
+// name, in Prometheus form.
+func promFamily(name string) string {
+	base, _, _ := strings.Cut(name, "{")
+	return "negfsim_" + strings.ReplaceAll(base, ".", "_")
+}
+
+// writeTyped writes one # TYPE header per metric family followed by its
+// samples. stats must be sorted by name, which groups label variants of a
+// family together.
+func writeTyped(w io.Writer, stats []Stat, kind string) {
+	lastFamily := ""
+	for _, s := range stats {
+		if fam := promFamily(s.Name); fam != lastFamily {
+			fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind)
+			lastFamily = fam
+		}
+		fmt.Fprintf(w, "%s %d\n", promName(s.Name), s.Value)
+	}
+}
+
+// WriteMetrics writes the whole registry in Prometheus text exposition
+// format: counters and gauges as plain samples, timers as cumulative
+// histograms in seconds with _sum and _count series.
+func WriteMetrics(w io.Writer) {
+	writeTyped(w, CounterStats(), "counter")
+	writeTyped(w, GaugeStats(), "gauge")
+
+	registry.mu.RLock()
+	timers := make(map[string]*Timer, len(registry.timers))
+	for name, t := range registry.timers {
+		timers[name] = t
+	}
+	registry.mu.RUnlock()
+	for _, st := range TimerStats() {
+		t := timers[st.Name]
+		if t == nil {
+			continue
+		}
+		fam := promFamily(st.Name) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+		buckets := t.Hist().Buckets()
+		var cum int64
+		for i, n := range buckets {
+			if n == 0 {
+				continue // empty buckets add nothing; emit only informative bounds
+			}
+			cum += n
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", fam, formatSeconds(BucketBound(i)), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", fam, st.Count)
+		fmt.Fprintf(w, "%s_sum %g\n", fam, st.Total.Seconds())
+		fmt.Fprintf(w, "%s_count %d\n", fam, st.Count)
+	}
+}
+
+// formatSeconds renders a nanosecond bound as seconds for a le label.
+func formatSeconds(ns int64) string {
+	return fmt.Sprintf("%g", float64(ns)/1e9)
+}
+
+// Handler serves the text exposition, for mounting at /metrics.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w)
+	})
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the registry under the expvar key "negfsim" as a
+// JSON object of counters, gauges and timers (count + total nanoseconds),
+// so /debug/vars carries the simulator's metrics next to the runtime's.
+// Safe to call more than once; only the first call registers.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("negfsim", expvar.Func(func() any {
+			counters := map[string]int64{}
+			for _, s := range CounterStats() {
+				counters[s.Name] = s.Value
+			}
+			gauges := map[string]int64{}
+			for _, s := range GaugeStats() {
+				gauges[s.Name] = s.Value
+			}
+			timers := map[string]map[string]int64{}
+			for _, s := range TimerStats() {
+				timers[s.Name] = map[string]int64{"count": s.Count, "total_ns": int64(s.Total)}
+			}
+			return map[string]any{"counters": counters, "gauges": gauges, "timers": timers}
+		}))
+	})
+}
+
+// WriteSummary writes the human-readable end-of-run table: every timer with
+// calls, total, mean and (when wall > 0) the share of the given wall time,
+// followed by the non-zero counters and the gauges. Shares of nested or
+// parallel phases legitimately sum past 100%: they measure cumulative time
+// inside the phase, not exclusive time.
+func WriteSummary(w io.Writer, wall time.Duration) {
+	stats := TimerStats()
+	if len(stats) > 0 {
+		fmt.Fprintf(w, "--- phase timers %s\n", strings.Repeat("-", 48))
+		if wall > 0 {
+			fmt.Fprintf(w, "%-28s %9s %12s %12s %7s\n", "span", "calls", "total", "mean", "%wall")
+		} else {
+			fmt.Fprintf(w, "%-28s %9s %12s %12s\n", "span", "calls", "total", "mean")
+		}
+		for _, s := range stats {
+			mean := time.Duration(0)
+			if s.Count > 0 {
+				mean = s.Total / time.Duration(s.Count)
+			}
+			if wall > 0 {
+				fmt.Fprintf(w, "%-28s %9d %12s %12s %6.1f%%\n",
+					s.Name, s.Count, round(s.Total), round(mean),
+					100*float64(s.Total)/float64(wall))
+			} else {
+				fmt.Fprintf(w, "%-28s %9d %12s %12s\n", s.Name, s.Count, round(s.Total), round(mean))
+			}
+		}
+	}
+	if cs := CounterStats(); len(cs) > 0 {
+		fmt.Fprintf(w, "--- counters %s\n", strings.Repeat("-", 52))
+		for _, s := range cs {
+			fmt.Fprintf(w, "%-40s %14d\n", s.Name, s.Value)
+		}
+	}
+	if gs := GaugeStats(); len(gs) > 0 {
+		fmt.Fprintf(w, "--- gauges %s\n", strings.Repeat("-", 54))
+		for _, s := range gs {
+			fmt.Fprintf(w, "%-40s %14d\n", s.Name, s.Value)
+		}
+	}
+}
+
+// round trims a duration to three significant sub-unit digits for tables.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log₂ buckets: bucket 0 holds zero (and
+// clamped negative) observations, bucket i ≥ 1 holds values in
+// [2^(i−1), 2^i). 64 buckets cover the whole non-negative int64 range, so
+// nanosecond durations from sub-nanosecond (recorded as zero) through hours
+// and beyond land in a well-defined bucket with no configuration.
+const histBuckets = 64
+
+// Histogram is a fixed-footprint log₂-bucketed histogram of non-negative
+// int64 values (span durations in nanoseconds, sizes in bytes). All fields
+// are atomics: concurrent Observe calls are safe and allocation-free.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// bucketOf returns the bucket index of v: 0 for v ≤ 0, otherwise
+// bits.Len64(v) = ⌊log₂ v⌋ + 1, so bucket i covers [2^(i−1), 2^i).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketBound returns the inclusive upper bound of bucket i
+// (2^i − 1; bucket 0's bound is 0). The last bucket's bound saturates at
+// the maximum int64.
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(1)<<62 - 1 + int64(1)<<62 // MaxInt64 without overflow
+	}
+	return int64(1)<<i - 1
+}
+
+// Observe records one value while recording is enabled. Negative values
+// clamp into the zero bucket (durations can only be negative through clock
+// anomalies; losing their sign beats corrupting a log-scale bucket index).
+func (h *Histogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	h.observe(v)
+}
+
+// observe is Observe without the gate, for callers that already checked it.
+func (h *Histogram) observe(v int64) {
+	h.counts[bucketOf(v)].Add(1)
+	if v > 0 {
+		h.sum.Add(v)
+	}
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values (negatives contribute zero).
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Buckets copies the per-bucket observation counts; Buckets()[i] is the
+// number of observations in [2^(i−1), 2^i) (index 0: values ≤ 0).
+func (h *Histogram) Buckets() [histBuckets]int64 {
+	var out [histBuckets]int64
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// reset zeroes the histogram.
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.count.Store(0)
+}

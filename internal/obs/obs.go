@@ -1,0 +1,231 @@
+// Package obs is the zero-dependency observability layer of the simulator:
+// a named registry of atomic counters, gauges and log-scale histograms, plus
+// lightweight span timers recording per-phase wall time and invocation
+// counts for the NEGF loop phases (boundary self-energies, RGF sweeps, SSE
+// Σ/Π kernels, communication exchanges, Poisson/Gummel outer iterations).
+//
+// The package is built for hot paths:
+//
+//   - Recording is allocation-free: counters and histograms are atomics,
+//     span handles are stack values, and no instrument allocates after
+//     registration (pinned by AllocsPerRun tests).
+//   - Recording is globally gated by Enable/Disable and compiles to a
+//     single atomic load plus an untaken branch while disabled, so
+//     instrumented kernels run at full speed when no sink is registered.
+//     The gate starts disabled; consumers (cmd/qtsim's -metrics-addr and
+//     -trace-out flags, tests) enable it explicitly.
+//
+// Instruments are registered lazily by name: GetCounter, GetGauge, GetTimer
+// and RegisterGaugeFunc all create-or-return, so producers can hold package
+// variables and avoid the registry lookup on hot paths. Names are dotted
+// lowercase paths ("cmat.pool.hit"); per-instance dimensions use the
+// Prometheus-style label suffix produced by Labeled ("comm.sent_bytes" +
+// rank → `comm.sent_bytes{rank="3"}`). See docs/OBSERVABILITY.md for the
+// full metric reference and the exposition formats.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the global recording gate. All Add/Set/Observe/Start entry
+// points check it first, so instrumentation is a near-nop while disabled.
+var enabled atomic.Bool
+
+// Enable turns recording on. Instruments registered while disabled exist
+// but hold zeros until enabled.
+func Enable() { enabled.Store(true) }
+
+// Disable turns recording off. Values recorded so far are retained.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether recording is on. Producers with non-trivial
+// instrumentation paths (building a label string, walking a structure) may
+// check it to skip the work entirely.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n while recording is enabled.
+func (c *Counter) Add(n int64) {
+	if enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one while recording is enabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (a level, not an accumulation).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v while recording is enabled.
+func (g *Gauge) Set(v int64) {
+	if enabled.Load() {
+		g.v.Store(v)
+	}
+}
+
+// Add offsets the gauge by n while recording is enabled.
+func (g *Gauge) Add(n int64) {
+	if enabled.Load() {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// registry is the process-global name → instrument store. Lookups take the
+// read lock only; hot paths are expected to cache the returned pointers in
+// package variables so the registry is off the steady-state path entirely.
+var registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	timers     map[string]*Timer
+}
+
+// getOrCreate returns m[name], creating it with mk under the write lock if
+// absent. The double-checked locking keeps the common path on RLock.
+func getOrCreate[T any](mu *sync.RWMutex, m *map[string]*T, name string, mk func() *T) *T {
+	mu.RLock()
+	v := (*m)[name]
+	mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if *m == nil {
+		*m = make(map[string]*T)
+	}
+	if v := (*m)[name]; v != nil {
+		return v
+	}
+	v = mk()
+	(*m)[name] = v
+	return v
+}
+
+// GetCounter returns the counter registered under name, creating it on
+// first use.
+func GetCounter(name string) *Counter {
+	return getOrCreate(&registry.mu, &registry.counters, name, func() *Counter { return new(Counter) })
+}
+
+// GetGauge returns the gauge registered under name, creating it on first
+// use.
+func GetGauge(name string) *Gauge {
+	return getOrCreate(&registry.mu, &registry.gauges, name, func() *Gauge { return new(Gauge) })
+}
+
+// RegisterGaugeFunc registers (or replaces) a gauge whose value is computed
+// by fn at read time. Use it to surface state an existing structure already
+// tracks — e.g. the per-rank byte counters of a comm.Cluster — without
+// double-counting on the hot path. Re-registration overwrites, so
+// structures recreated per run (clusters in tests) always export the most
+// recent instance.
+func RegisterGaugeFunc(name string, fn func() int64) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.gaugeFuncs == nil {
+		registry.gaugeFuncs = make(map[string]func() int64)
+	}
+	registry.gaugeFuncs[name] = fn
+}
+
+// GaugeValue returns the current value of the named gauge or gauge func,
+// and whether it exists. Plain gauges shadow gauge funcs of the same name.
+func GaugeValue(name string) (int64, bool) {
+	registry.mu.RLock()
+	g := registry.gauges[name]
+	fn := registry.gaugeFuncs[name]
+	registry.mu.RUnlock()
+	if g != nil {
+		return g.Value(), true
+	}
+	if fn != nil {
+		return fn(), true
+	}
+	return 0, false
+}
+
+// Labeled appends a Prometheus-style label to a metric name:
+// Labeled("comm.sent_bytes", "rank", "3") → `comm.sent_bytes{rank="3"}`.
+// The exposition handler splits the suffix back out, so labeled series
+// group under one metric family when scraped.
+func Labeled(name, key, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+}
+
+// Stat is one named int64 reading (a counter, gauge or gauge-func value).
+type Stat struct {
+	Name  string
+	Value int64
+}
+
+// CounterStats returns every registered counter's current value, sorted by
+// name.
+func CounterStats() []Stat {
+	registry.mu.RLock()
+	out := make([]Stat, 0, len(registry.counters))
+	for name, c := range registry.counters {
+		out = append(out, Stat{Name: name, Value: c.Value()})
+	}
+	registry.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// GaugeStats returns every registered gauge and gauge func's current value,
+// sorted by name. Plain gauges shadow same-named funcs.
+func GaugeStats() []Stat {
+	registry.mu.RLock()
+	fns := make(map[string]func() int64, len(registry.gaugeFuncs))
+	for name, fn := range registry.gaugeFuncs {
+		if _, shadowed := registry.gauges[name]; !shadowed {
+			fns[name] = fn
+		}
+	}
+	out := make([]Stat, 0, len(registry.gauges)+len(fns))
+	for name, g := range registry.gauges {
+		out = append(out, Stat{Name: name, Value: g.Value()})
+	}
+	registry.mu.RUnlock()
+	// Funcs run outside the registry lock: they may take their own locks.
+	for name, fn := range fns {
+		out = append(out, Stat{Name: name, Value: fn()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reset zeroes every registered counter, gauge and timer (gauge funcs read
+// live state and are left alone). Intended for tests and benchmark setup;
+// concurrent recorders may interleave, so quiesce producers first.
+func Reset() {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, g := range registry.gauges {
+		g.v.Store(0)
+	}
+	for _, t := range registry.timers {
+		t.reset()
+	}
+}

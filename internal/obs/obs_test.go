@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// withRecording enables recording for one test and restores the disabled
+// default (plus a clean registry state) afterwards.
+func withRecording(t *testing.T) {
+	t.Helper()
+	Enable()
+	t.Cleanup(func() {
+		Disable()
+		Reset()
+	})
+}
+
+func TestCounterGate(t *testing.T) {
+	c := GetCounter("test.gate.counter")
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disabled counter recorded %d, want 0", got)
+	}
+	withRecording(t)
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("enabled counter = %d, want 6", got)
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	if GetCounter("test.identity") != GetCounter("test.identity") {
+		t.Fatal("GetCounter returned distinct instances for one name")
+	}
+	if GetTimer("test.identity.t") != GetTimer("test.identity.t") {
+		t.Fatal("GetTimer returned distinct instances for one name")
+	}
+	if GetGauge("test.identity.g") != GetGauge("test.identity.g") {
+		t.Fatal("GetGauge returned distinct instances for one name")
+	}
+}
+
+// TestHistogramEdgeCases pins the bucketing of the degenerate inputs a span
+// timer can produce: exact zero, sub-nanosecond (clock ticks shorter than
+// the 1 ns resolution arrive as 0), negative (monotonic-clock anomalies),
+// and durations beyond one hour.
+func TestHistogramEdgeCases(t *testing.T) {
+	withRecording(t)
+	var h Histogram
+
+	h.Observe(0)                                   // zero duration
+	h.Observe(int64(500 * time.Nanosecond / 1000)) // sub-nanosecond: 0.5 ns truncates to 0
+	h.Observe(-3)                                  // clock anomaly
+	b := h.Buckets()
+	if b[0] != 3 {
+		t.Fatalf("zero/sub-ns/negative observations in bucket 0 = %d, want 3", b[0])
+	}
+	if h.Sum() != 0 {
+		t.Fatalf("sum after non-positive observations = %d, want 0", h.Sum())
+	}
+
+	h.Observe(1) // smallest positive: [1,2) is bucket 1
+	if b := h.Buckets(); b[1] != 1 {
+		t.Fatalf("Observe(1) landed outside bucket 1: %v", b[:4])
+	}
+
+	twoHours := int64(2 * time.Hour)
+	h.Observe(twoHours)
+	idx := bucketOf(twoHours)
+	if lo, hi := BucketBound(idx-1), BucketBound(idx); int64(2*time.Hour) <= lo || twoHours > hi {
+		t.Fatalf("2h observation bucket %d has bounds (%d, %d] that exclude it", idx, lo, hi)
+	}
+	if b := h.Buckets(); b[idx] != 1 {
+		t.Fatalf("2h observation missing from bucket %d", idx)
+	}
+
+	h.Observe(math.MaxInt64)
+	if b := h.Buckets(); b[histBuckets-1] != 1 {
+		t.Fatalf("MaxInt64 observation missing from final bucket")
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+}
+
+func TestBucketBoundsArePartition(t *testing.T) {
+	// Every bucket's range must start right after the previous bound.
+	for i := 1; i < histBuckets; i++ {
+		lo := BucketBound(i-1) + 1
+		if bucketOf(lo) != i {
+			t.Fatalf("value %d should open bucket %d, got %d", lo, i, bucketOf(lo))
+		}
+		hi := BucketBound(i)
+		if hi > 0 && bucketOf(hi) != i {
+			t.Fatalf("value %d should close bucket %d, got %d", hi, i, bucketOf(hi))
+		}
+	}
+	if BucketBound(histBuckets-1) != math.MaxInt64 {
+		t.Fatalf("final bound = %d, want MaxInt64", BucketBound(histBuckets-1))
+	}
+}
+
+func TestSpanRecords(t *testing.T) {
+	withRecording(t)
+	tm := GetTimer("test.span")
+	sp := tm.Start()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if tm.Count() != 1 {
+		t.Fatalf("span count = %d, want 1", tm.Count())
+	}
+	if tm.Total() < time.Millisecond {
+		t.Fatalf("span total %v implausibly short", tm.Total())
+	}
+	// Convenience form shares the same timer.
+	sp2 := Span("test.span")
+	sp2.End()
+	if tm.Count() != 2 {
+		t.Fatalf("obs.Span did not hit the registered timer (count %d)", tm.Count())
+	}
+}
+
+func TestSpanDisabledIsInert(t *testing.T) {
+	Disable()
+	tm := GetTimer("test.span.disabled")
+	sp := tm.Start()
+	Enable() // enabling mid-span must not resurrect a span started disabled
+	defer func() { Disable(); Reset() }()
+	sp.End()
+	if tm.Count() != 0 {
+		t.Fatalf("disabled-start span recorded (count %d)", tm.Count())
+	}
+}
+
+func TestTimerDelta(t *testing.T) {
+	withRecording(t)
+	tm := GetTimer("test.delta")
+	tm.Observe(time.Millisecond)
+	snap := TimerStats()
+	tm.Observe(3 * time.Millisecond)
+	d := TimerDelta(snap)
+	var found *TimerStat
+	for i := range d {
+		if d[i].Name == "test.delta" {
+			found = &d[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("delta missing test.delta: %v", d)
+	}
+	if found.Count != 1 || found.Total != 3*time.Millisecond {
+		t.Fatalf("delta = %+v, want count 1 total 3ms", *found)
+	}
+}
+
+func TestGaugeFuncAndLabels(t *testing.T) {
+	withRecording(t)
+	name := Labeled("test.bytes", "rank", "2")
+	if name != `test.bytes{rank="2"}` {
+		t.Fatalf("Labeled = %q", name)
+	}
+	var v int64 = 41
+	RegisterGaugeFunc(name, func() int64 { return v })
+	got, ok := GaugeValue(name)
+	if !ok || got != 41 {
+		t.Fatalf("GaugeValue = %d, %v", got, ok)
+	}
+	v = 42 // funcs read live state
+	if got, _ := GaugeValue(name); got != 42 {
+		t.Fatalf("gauge func not live: %d", got)
+	}
+}
+
+func TestWriteMetricsExposition(t *testing.T) {
+	withRecording(t)
+	GetCounter("test.expo.hits").Add(7)
+	RegisterGaugeFunc(Labeled("test.expo.bytes", "rank", "0"), func() int64 { return 9 })
+	GetTimer("test.expo.phase").Observe(time.Microsecond)
+
+	var sb strings.Builder
+	WriteMetrics(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE negfsim_test_expo_hits counter",
+		"negfsim_test_expo_hits 7",
+		`negfsim_test_expo_bytes{rank="0"} 9`,
+		"# TYPE negfsim_test_expo_phase_seconds histogram",
+		"negfsim_test_expo_phase_seconds_count 1",
+		`negfsim_test_expo_phase_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	withRecording(t)
+	GetTimer("test.summary.phase").Observe(50 * time.Millisecond)
+	GetCounter("test.summary.count").Add(3)
+	var sb strings.Builder
+	WriteSummary(&sb, 100*time.Millisecond)
+	out := sb.String()
+	if !strings.Contains(out, "test.summary.phase") || !strings.Contains(out, "50.0%") {
+		t.Fatalf("summary missing phase share:\n%s", out)
+	}
+	if !strings.Contains(out, "test.summary.count") {
+		t.Fatalf("summary missing counter:\n%s", out)
+	}
+}
+
+func TestReset(t *testing.T) {
+	withRecording(t)
+	GetCounter("test.reset.c").Add(2)
+	GetTimer("test.reset.t").Observe(time.Second)
+	Reset()
+	if GetCounter("test.reset.c").Value() != 0 {
+		t.Fatal("counter survived Reset")
+	}
+	if GetTimer("test.reset.t").Count() != 0 {
+		t.Fatal("timer survived Reset")
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Timer accumulates the invocation count, total wall time and a log-scale
+// duration histogram of one named phase. Timers are the backing store of
+// spans: each Start/End pair observes one duration. Concurrent spans on the
+// same timer are safe and simply accumulate — nested or overlapping phases
+// (an rgf.electron span inside a core.gf span, parallel SSE tiles on worker
+// goroutines) each record their own wall time, so a timer's Total is
+// cumulative time spent in the phase, which for parallel phases can exceed
+// elapsed wall clock.
+type Timer struct {
+	name string
+	hist Histogram
+}
+
+// GetTimer returns the timer registered under name, creating it on first
+// use. Hot paths should call this once (package variable) and keep the
+// pointer; Span is the convenience wrapper that looks up per call.
+func GetTimer(name string) *Timer {
+	return getOrCreate(&registry.mu, &registry.timers, name, func() *Timer { return &Timer{name: name} })
+}
+
+// Span looks up (or registers) the named timer and starts a span on it:
+//
+//	sp := obs.Span("rgf.electron")
+//	... phase body ...
+//	sp.End()
+//
+// The handle is a stack value; starting and ending a span performs no heap
+// allocation, and while recording is disabled the returned handle is inert
+// and no clock is read.
+func Span(name string) SpanHandle {
+	if !enabled.Load() {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: GetTimer(name), start: time.Now()}
+}
+
+// Start begins a span on t. Equivalent to obs.Span(name) without the
+// registry lookup — the form hot paths should use.
+func (t *Timer) Start() SpanHandle {
+	if !enabled.Load() {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: t, start: time.Now()}
+}
+
+// Observe records an externally measured duration as one invocation, for
+// phases whose boundaries are timed by the caller.
+func (t *Timer) Observe(d time.Duration) {
+	if !enabled.Load() {
+		return
+	}
+	t.hist.observe(int64(d))
+}
+
+// Name returns the timer's registered name.
+func (t *Timer) Name() string { return t.name }
+
+// Count returns the number of completed spans.
+func (t *Timer) Count() int64 { return t.hist.Count() }
+
+// Total returns the accumulated duration of all completed spans.
+func (t *Timer) Total() time.Duration { return time.Duration(t.hist.Sum()) }
+
+// Hist returns the timer's duration histogram (nanosecond buckets).
+func (t *Timer) Hist() *Histogram { return &t.hist }
+
+// reset zeroes the timer.
+func (t *Timer) reset() { t.hist.reset() }
+
+// SpanHandle is an in-flight span. The zero value (returned while recording
+// is disabled) is valid and End on it is a no-op.
+type SpanHandle struct {
+	t     *Timer
+	start time.Time
+}
+
+// End stops the span and records its duration on the owning timer. Spans
+// started while recording was disabled record nothing even if recording was
+// enabled in between (their start time was never taken).
+func (s SpanHandle) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.hist.observe(int64(time.Since(s.start)))
+}
+
+// TimerStat is one timer's cumulative reading.
+type TimerStat struct {
+	Name  string
+	Count int64
+	Total time.Duration
+}
+
+// TimerStats returns every registered timer's count and total, sorted by
+// name. Timers that have never completed a span are omitted.
+func TimerStats() []TimerStat {
+	registry.mu.RLock()
+	out := make([]TimerStat, 0, len(registry.timers))
+	for name, t := range registry.timers {
+		if c := t.Count(); c > 0 {
+			out = append(out, TimerStat{Name: name, Count: c, Total: t.Total()})
+		}
+	}
+	registry.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TimerDelta subtracts a previous TimerStats snapshot from the current
+// state, returning the per-timer activity in between (timers with no new
+// spans are omitted). It is how per-iteration phase breakdowns are carved
+// out of the cumulative registry.
+func TimerDelta(prev []TimerStat) []TimerStat {
+	base := make(map[string]TimerStat, len(prev))
+	for _, s := range prev {
+		base[s.Name] = s
+	}
+	cur := TimerStats()
+	out := cur[:0]
+	for _, s := range cur {
+		b := base[s.Name]
+		if s.Count == b.Count && s.Total == b.Total {
+			continue
+		}
+		out = append(out, TimerStat{Name: s.Name, Count: s.Count - b.Count, Total: s.Total - b.Total})
+	}
+	return out
+}

@@ -15,6 +15,8 @@ package pool
 import (
 	"runtime"
 	"sync"
+
+	"negfsim/internal/obs"
 )
 
 // Task is one unit of work.
@@ -26,10 +28,20 @@ var (
 	size     int
 )
 
+// Utilization telemetry: tasks picked up by an idle worker versus tasks the
+// submitting goroutine had to run inline because the pool was saturated
+// (plus the submitter's own share — tasks[0] of every Do). A high inline
+// fraction means the pool is the bottleneck; see docs/OBSERVABILITY.md.
+var (
+	obsTasksHandoff = obs.GetCounter("pool.tasks_handoff")
+	obsTasksInline  = obs.GetCounter("pool.tasks_inline")
+)
+
 func ensure() {
 	initOnce.Do(func() {
 		size = runtime.GOMAXPROCS(0)
 		handoff = make(chan func())
+		obs.RegisterGaugeFunc("pool.workers", func() int64 { return int64(size) })
 		for i := 0; i < size; i++ {
 			go func() {
 				for f := range handoff {
@@ -65,10 +77,13 @@ func Do(tasks ...Task) {
 		wrapped := func() { defer wg.Done(); t() }
 		select {
 		case handoff <- wrapped:
+			obsTasksHandoff.Inc()
 		default:
+			obsTasksInline.Inc()
 			wrapped()
 		}
 	}
+	obsTasksInline.Inc() // tasks[0] always runs on the submitter
 	tasks[0]()
 	wg.Wait()
 }

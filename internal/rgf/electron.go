@@ -4,6 +4,16 @@ import (
 	"fmt"
 
 	"negfsim/internal/cmat"
+	"negfsim/internal/obs"
+)
+
+// Phase timers of the GF phase. One span per solve (and per boundary
+// decimation inside it); allocation-free and near-nops while obs recording
+// is disabled, so the per-grid-point hot loop is unaffected.
+var (
+	obsSpanElectron = obs.GetTimer("rgf.electron")
+	obsSpanPhonon   = obs.GetTimer("rgf.phonon")
+	obsSpanBoundary = obs.GetTimer("rgf.boundary")
 )
 
 // Scattering carries the per-RGF-block scattering self-energy matrices for
@@ -66,12 +76,16 @@ func SolveElectron(h, s *cmat.BlockTri, energy float64, scat Scattering, c Conta
 	if h.N != s.N || h.Bs != s.Bs {
 		return nil, fmt.Errorf("rgf: H and S shapes differ: (%d,%d) vs (%d,%d)", h.N, h.Bs, s.N, s.Bs)
 	}
+	sp := obsSpanElectron.Start()
+	defer sp.End()
 	n, bs := h.N, h.Bs
 	// A = (E + iη)·S − H, before scattering: the leads are ballistic.
 	a := cmat.GetBlockTri(n, bs)
 	defer cmat.PutBlockTri(a)
 	h.ShiftDiagInto(a, complex(energy, eta), s)
+	spb := obsSpanBoundary.Start()
 	sigL, sigR, err := BoundarySelfEnergies(a, 1e-10)
+	spb.End()
 	if err != nil {
 		return nil, err
 	}

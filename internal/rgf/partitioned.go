@@ -29,17 +29,17 @@ type segment struct {
 	lo, hi     int
 	sepL, sepR int
 
-	diag               []*cmat.Dense // M[i,i]
-	colFirst, colLast  []*cmat.Dense // M[i,0], M[i,m−1]
-	rowFirst, rowLast  []*cmat.Dense // M[0,i], M[m−1,i]
+	diag              []*cmat.Dense // M[i,i]
+	colFirst, colLast []*cmat.Dense // M[i,0], M[i,m−1]
+	rowFirst, rowLast []*cmat.Dense // M[0,i], M[m−1,i]
 }
 
 // localInverse runs the two-sided recursion on the segment's blocks and
 // fills the diagonal and border strips of M = B⁻¹.
 func (sg *segment) localInverse(a *cmat.BlockTri) error {
 	m := sg.hi - sg.lo + 1
-	up := func(i int) *cmat.Dense { return a.Upper[sg.lo+i] }   // A[i, i+1]
-	lo := func(i int) *cmat.Dense { return a.Lower[sg.lo+i] }   // A[i+1, i]
+	up := func(i int) *cmat.Dense { return a.Upper[sg.lo+i] } // A[i, i+1]
+	lo := func(i int) *cmat.Dense { return a.Lower[sg.lo+i] } // A[i+1, i]
 	dg := func(i int) *cmat.Dense { return a.Diag[sg.lo+i] }
 
 	gL := make([]*cmat.Dense, m)

@@ -57,12 +57,16 @@ func SolvePhonon(phi *cmat.BlockTri, hw float64, scat PhononScattering, c Phonon
 	if hw <= 0 {
 		return nil, fmt.Errorf("rgf: phonon energy must be positive, got %g", hw)
 	}
+	sp := obsSpanPhonon.Start()
+	defer sp.End()
 	n, bs := phi.N, phi.Bs
 	// A = (ω² + iη)·I − Φ.
 	a := cmat.GetBlockTri(n, bs)
 	defer cmat.PutBlockTri(a)
 	phi.ShiftIdentityInto(a, complex(hw*hw, eta))
+	spb := obsSpanBoundary.Start()
 	sigL, sigR, err := BoundarySelfEnergies(a, 1e-10)
+	spb.End()
 	if err != nil {
 		return nil, err
 	}

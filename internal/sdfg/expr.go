@@ -198,6 +198,7 @@ func Span(n Expr) Range { return Range{Lit(0), n} }
 // Length returns Hi − Lo.
 func (r Range) Length() Expr { return Sub(r.Hi, r.Lo) }
 
+// String renders the range in half-open interval notation.
 func (r Range) String() string { return fmt.Sprintf("[%s, %s)", r.Lo, r.Hi) }
 
 // ContainsSym reports whether the expression tree references symbol name.

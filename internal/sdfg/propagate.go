@@ -88,6 +88,7 @@ func propagate(e Expr, scope map[string]Range) (lo, hi, acc Expr, err error) {
 // ErrIndirect marks subscripts that need a manual model.
 type ErrIndirect struct{ Table string }
 
+// Error describes which lookup table made the subscript data-dependent.
 func (e ErrIndirect) Error() string {
 	return fmt.Sprintf("sdfg: indirect access through %q requires a manual model", e.Table)
 }

@@ -19,8 +19,10 @@ func (k *Kernel) ComputePhaseParallel(in PhaseInput, v Variant, workers int) Pha
 	if v != DaCe || workers <= 1 || p.NA < 2*workers {
 		return k.ComputePhase(in, v)
 	}
+	spp := obsSpanPreprocess.Start()
 	preLess := k.PreprocessD(in.DLess)
 	preGtr := k.PreprocessD(in.DGtr)
+	spp.End()
 	out := PhaseOutput{
 		SigmaLess: tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb),
 		SigmaGtr:  tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb),
@@ -36,9 +38,13 @@ func (k *Kernel) ComputePhaseParallel(in PhaseInput, v Variant, workers int) Pha
 			continue
 		}
 		tasks = append(tasks, func() {
+			sps := obsSpanSigma.Start()
 			sl := k.SigmaDaCeTile(in.GLess, preLess, 0, p.NE, aLo, aHi)
 			sg := k.SigmaDaCeTile(in.GGtr, preGtr, 0, p.NE, aLo, aHi)
+			sps.End()
+			spq := obsSpanPi.Start()
 			pl, pg := k.PiDaCeTile(in.GLess, in.GGtr, 0, p.NE, aLo, aHi)
+			spq.End()
 			// Σ tiles occupy disjoint atom slices of the output; copying
 			// block-wise avoids write overlap entirely.
 			for kz := 0; kz < p.Nkz; kz++ {

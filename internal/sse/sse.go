@@ -27,7 +27,18 @@ import (
 
 	"negfsim/internal/cmat"
 	"negfsim/internal/device"
+	"negfsim/internal/obs"
 	"negfsim/internal/tensor"
+)
+
+// Phase timers of the SSE phase, shared by the serial, shared-memory
+// parallel and distributed execution paths (core's distributed tiles record
+// on the same names). For parallel tiles the totals are cumulative across
+// workers, so they can exceed elapsed wall clock.
+var (
+	obsSpanPreprocess = obs.GetTimer("sse.preprocess")
+	obsSpanSigma      = obs.GetTimer("sse.sigma")
+	obsSpanPi         = obs.GetTimer("sse.pi")
 )
 
 // Variant selects the algorithmic formulation of the SSE kernels.
@@ -158,25 +169,36 @@ type PhaseOutput struct {
 // ComputePhase evaluates the full SSE phase (Σ^≷ and Π^≷) with the selected
 // variant.
 func (k *Kernel) ComputePhase(in PhaseInput, v Variant) PhaseOutput {
+	spp := obsSpanPreprocess.Start()
 	preLess := k.PreprocessD(in.DLess)
 	preGtr := k.PreprocessD(in.DGtr)
+	spp.End()
 	var out PhaseOutput
+	sps := obsSpanSigma.Start()
 	switch v {
 	case Reference:
 		out.SigmaLess = k.SigmaReference(in.GLess, preLess)
 		out.SigmaGtr = k.SigmaReference(in.GGtr, preGtr)
-		out.PiLess, out.PiGtr = k.PiReference(in.GLess, in.GGtr)
 	case OMEN:
 		out.SigmaLess = k.SigmaOMEN(in.GLess, preLess)
 		out.SigmaGtr = k.SigmaOMEN(in.GGtr, preGtr)
-		out.PiLess, out.PiGtr = k.PiOMEN(in.GLess, in.GGtr)
 	case DaCe:
 		out.SigmaLess = k.SigmaDaCe(in.GLess, preLess)
 		out.SigmaGtr = k.SigmaDaCe(in.GGtr, preGtr)
-		out.PiLess, out.PiGtr = k.PiDaCe(in.GLess, in.GGtr)
 	default:
 		panic("sse: unknown variant")
 	}
+	sps.End()
+	spq := obsSpanPi.Start()
+	switch v {
+	case Reference:
+		out.PiLess, out.PiGtr = k.PiReference(in.GLess, in.GGtr)
+	case OMEN:
+		out.PiLess, out.PiGtr = k.PiOMEN(in.GLess, in.GGtr)
+	case DaCe:
+		out.PiLess, out.PiGtr = k.PiDaCe(in.GLess, in.GGtr)
+	}
+	spq.End()
 	return out
 }
 
