@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check fmt build vet test race bench
+.PHONY: check fmt build vet test race race-ft bench
 
-check: fmt build vet test
+check: fmt build vet test race-ft
 
 # gofmt -l prints nothing (and exits 0) on a clean tree; any output fails
 # the gate via the grep.
@@ -24,6 +24,13 @@ test:
 # -short keeps the core suite tractable under the race runtime.
 race:
 	go test -race -short ./internal/cmat ./internal/pool ./internal/sse ./internal/core
+
+# Race pass over the fault-tolerance surface, gating `check`: the simulated
+# cluster's cancellation/deadline paths and core's recovery loop. -short
+# skips the long self-consistent physics runs, keeping the race gate on the
+# concurrency-heavy tests.
+race-ft:
+	go test -race -short ./internal/comm ./internal/core
 
 # Table/figure benchmarks plus the kernel-engine micro-benchmarks.
 bench:

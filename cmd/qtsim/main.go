@@ -11,6 +11,13 @@
 // one JSON line per outer Born iteration (a Table 7-style phase
 // breakdown). Either flag enables the observability layer and an
 // end-of-run summary table. See docs/OBSERVABILITY.md.
+//
+// With -dist TExTA the SSE phase runs on a simulated rank grid with fault
+// tolerance: -checkpoint persists a restartable snapshot every iteration,
+// -comm-timeout bounds failure detection, and -inject-fault ITER:RANK[:OP]
+// kills a rank mid-run to demonstrate checkpointed recovery (the run
+// rebuilds a smaller cluster and still converges to the fault-free
+// observables).
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"negfsim/internal/comm"
 	"negfsim/internal/core"
 	"negfsim/internal/device"
 	"negfsim/internal/obs"
@@ -123,6 +131,10 @@ func main() {
 	gate := flag.Float64("gate", math.NaN(), "gate voltage [V]; enables the coupled NEGF–Poisson solver")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 	traceOut := flag.String("trace-out", "", "write one JSON line per Born iteration to this file")
+	dist := flag.String("dist", "", "run the SSE phase on a simulated TExTA rank grid, e.g. 2x2 (fault-tolerant)")
+	commTimeout := flag.Duration("comm-timeout", 0, "per-operation deadline of the simulated cluster (default 10s)")
+	injectFault := flag.String("inject-fault", "", "kill a rank mid-run: ITER:RANK[:OP] (0-based Born iteration, rank id, comm op; requires -dist)")
+	checkpoint := flag.String("checkpoint", "", "gob checkpoint file: resumed from if present, written after every iteration (distributed) or at the end (serial)")
 	flag.Parse()
 
 	p := device.Params{
@@ -154,6 +166,48 @@ func main() {
 		log.Fatalf("unknown variant %q", *variant)
 	}
 
+	var distTE, distTA int
+	if *dist != "" {
+		if !math.IsNaN(*gate) {
+			log.Fatal("-dist and -gate are mutually exclusive (the Poisson loop runs serial)")
+		}
+		if _, err := fmt.Sscanf(*dist, "%dx%d", &distTE, &distTA); err != nil || distTE < 1 || distTA < 1 {
+			log.Fatalf("-dist must look like TExTA (e.g. 2x2), got %q", *dist)
+		}
+	}
+	var faultPlan *comm.FaultPlan
+	var faultIter int
+	if *injectFault != "" {
+		if *dist == "" {
+			log.Fatal("-inject-fault requires -dist")
+		}
+		var rank, op int
+		if _, err := fmt.Sscanf(*injectFault, "%d:%d:%d", &faultIter, &rank, &op); err != nil {
+			op = 0
+			if _, err := fmt.Sscanf(*injectFault, "%d:%d", &faultIter, &rank); err != nil {
+				log.Fatalf("-inject-fault must look like ITER:RANK or ITER:RANK:OP, got %q", *injectFault)
+			}
+		}
+		faultPlan = &comm.FaultPlan{Kill: true, KillRank: rank, KillAtOp: op}
+	}
+	var resume *core.Checkpoint
+	if *checkpoint != "" {
+		if f, err := os.Open(*checkpoint); err == nil {
+			ck, lerr := core.LoadCheckpoint(f)
+			f.Close()
+			if lerr != nil {
+				log.Fatal(lerr)
+			}
+			if cerr := ck.Compatible(p); cerr != nil {
+				log.Fatal(cerr)
+			}
+			resume = ck
+			fmt.Printf("resuming from %s (iteration %d)\n", *checkpoint, ck.Iterations)
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+
 	observing := *metricsAddr != "" || *traceOut != ""
 	if observing {
 		obs.Enable()
@@ -178,7 +232,25 @@ func main() {
 	start := time.Now()
 	sim := core.New(dev, opts)
 	var res *core.Result
-	if !math.IsNaN(*gate) {
+	switch {
+	case distTE > 0:
+		cfg := core.DistConfig{
+			TE: distTE, TA: distTA,
+			CommTimeout:    *commTimeout,
+			Fault:          faultPlan,
+			FaultIter:      faultIter,
+			CheckpointPath: *checkpoint,
+			Resume:         resume,
+		}
+		r, bytes, err := sim.RunDistributedFT(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ndistributed SSE on %dx%d ranks: %.2f MiB exchanged, %d recover%s\n",
+			distTE, distTA, float64(bytes)/(1<<20), r.Recoveries,
+			map[bool]string{true: "y", false: "ies"}[r.Recoveries == 1])
+		res = r
+	case !math.IsNaN(*gate):
 		g := core.DefaultGate(*gate, 0)
 		es, err := sim.RunWithPoisson(g)
 		if err != nil {
@@ -186,11 +258,28 @@ func main() {
 		}
 		fmt.Printf("\nGummel: %d outer iterations (converged: %v)\n", es.OuterIterations, es.GummelConverged)
 		res = es.Result
-	} else {
+	default:
 		var err error
-		res, err = sim.Run()
+		if resume != nil {
+			res, err = sim.RunFrom(resume)
+		} else {
+			res, err = sim.Run()
+		}
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *checkpoint != "" {
+			f, err := os.Create(*checkpoint)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := core.CheckpointOf(p, res).Save(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("checkpoint written to %s\n", *checkpoint)
 		}
 	}
 	wall := time.Since(start)

@@ -17,38 +17,69 @@ import (
 // registered per cluster (see NewCluster) plus the global counters and the
 // collective-latency timer below.
 var (
-	obsSends     = obs.GetCounter("comm.sends")
-	obsSentBytes = obs.GetCounter("comm.sent_bytes_total")
-	obsAlltoallv = obs.GetTimer("comm.alltoallv")
+	obsSends      = obs.GetCounter("comm.sends")
+	obsSentBytes  = obs.GetCounter("comm.sent_bytes_total")
+	obsRecvdBytes = obs.GetCounter("comm.recvd_bytes_total")
+	obsAlltoallv  = obs.GetTimer("comm.alltoallv")
 )
+
+// DefaultTimeout is the per-operation deadline of a fresh cluster: the
+// backstop that turns protocol mismatches and silent failures into errors
+// instead of hangs. Override with Cluster.SetTimeout.
+const DefaultTimeout = 10 * time.Second
 
 // Cluster is an in-process stand-in for an MPI communicator: one goroutine
 // per rank, channel links, and byte accounting on every transfer. It runs
 // the simulator's real exchange patterns at reduced scale so the measured
 // traffic can be checked against the closed-form models.
+//
+// Failures are first-class: a fault plan (InjectFaults) can kill a rank or
+// tamper with messages, and the death of any rank — injected, returned as
+// an error, or panicked — closes a per-cluster cancellation channel that
+// unblocks every pending operation with ErrRankDead, so survivors detect
+// the failure immediately rather than after the full deadline.
 type Cluster struct {
 	n       int
 	mailbox [][]chan []complex128 // mailbox[to][from]
 	sent    []atomic.Int64        // bytes sent per rank
-	recvd   []atomic.Int64        // bytes received per rank
+	recvd   []atomic.Int64        // bytes received per rank (credited at Recv)
 	timeout time.Duration
+
+	// Fault state (see fault.go).
+	plan      *FaultPlan
+	ops       []atomic.Int64 // per-rank operation counter for KillAtOp
+	dropsDone atomic.Int64   // drop budget spent
+	deadRank  atomic.Int64   // first dead rank id; -1 while healthy
+	down      chan struct{}  // closed on first death
 }
 
-// NewCluster creates a communicator with n ranks. A Recv that waits longer
-// than the deadlock timeout fails, so protocol mismatches surface as test
-// errors instead of hangs.
+// rankGauges tracks how many per-rank gauge funcs the most recent cluster
+// registered, so NewCluster can unregister the tail when a smaller cluster
+// replaces a larger one (otherwise comm.sent_bytes{rank="7"} would keep
+// scraping a dead instance forever).
+var rankGauges struct {
+	sync.Mutex
+	n int
+}
+
+// NewCluster creates a communicator with n ranks. A Send or Recv that waits
+// longer than the deadline (DefaultTimeout; configurable with SetTimeout)
+// fails, so protocol mismatches surface as test errors instead of hangs.
 //
 // The cluster's byte counters are exported on the observability registry as
 // per-rank gauges — comm.sent_bytes{rank="r"}, comm.recvd_bytes{rank="r"} —
 // plus comm.total_bytes. The gauges read the cluster's own atomics at
 // scrape time, so they agree with SentBytes/ReceivedBytes/TotalBytes by
-// construction; creating a new cluster re-points them at the new instance.
+// construction; creating a new cluster re-points them at the new instance
+// and unregisters any higher-rank gauges left by a larger predecessor.
 func NewCluster(n int) *Cluster {
 	if n < 1 {
 		panic("comm: cluster needs at least one rank")
 	}
-	c := &Cluster{n: n, timeout: 10 * time.Second,
-		sent: make([]atomic.Int64, n), recvd: make([]atomic.Int64, n)}
+	c := &Cluster{n: n, timeout: DefaultTimeout,
+		sent: make([]atomic.Int64, n), recvd: make([]atomic.Int64, n),
+		ops: make([]atomic.Int64, n), down: make(chan struct{})}
+	c.deadRank.Store(-1)
 	c.mailbox = make([][]chan []complex128, n)
 	for to := 0; to < n; to++ {
 		c.mailbox[to] = make([]chan []complex128, n)
@@ -57,12 +88,20 @@ func NewCluster(n int) *Cluster {
 		}
 	}
 	obs.RegisterGaugeFunc("comm.total_bytes", c.TotalBytes)
+	rankGauges.Lock()
 	for r := 0; r < n; r++ {
 		r := r
 		rank := strconv.Itoa(r)
 		obs.RegisterGaugeFunc(obs.Labeled("comm.sent_bytes", "rank", rank), func() int64 { return c.SentBytes(r) })
 		obs.RegisterGaugeFunc(obs.Labeled("comm.recvd_bytes", "rank", rank), func() int64 { return c.ReceivedBytes(r) })
 	}
+	for r := n; r < rankGauges.n; r++ {
+		rank := strconv.Itoa(r)
+		obs.UnregisterGaugeFunc(obs.Labeled("comm.sent_bytes", "rank", rank))
+		obs.UnregisterGaugeFunc(obs.Labeled("comm.recvd_bytes", "rank", rank))
+	}
+	rankGauges.n = n
+	rankGauges.Unlock()
 	return c
 }
 
@@ -81,11 +120,17 @@ func (c *Cluster) TotalBytes() int64 {
 // SentBytes returns the bytes rank r has sent to other ranks.
 func (c *Cluster) SentBytes(r int) int64 { return c.sent[r].Load() }
 
-// ReceivedBytes returns the bytes rank r has received from other ranks.
+// ReceivedBytes returns the bytes rank r has actually received from other
+// ranks. It is credited when Recv delivers, not when Send posts, so under
+// faults (dropped or in-flight messages) sent and received totals disagree
+// by exactly the undelivered volume; they match after a fault-free run
+// quiesces.
 func (c *Cluster) ReceivedBytes(r int) int64 { return c.recvd[r].Load() }
 
 // Run spawns one goroutine per rank executing fn and waits for all of them.
-// The first error (including simulated rank failures) is returned.
+// The first error (including simulated rank failures) is returned. A rank
+// that returns an error or panics marks the cluster failed, so ranks still
+// blocked on it fail promptly with ErrRankDead instead of timing out.
 func (c *Cluster) Run(fn func(r *Rank) error) error {
 	errs := make([]error, c.n)
 	var wg sync.WaitGroup
@@ -97,6 +142,9 @@ func (c *Cluster) Run(fn func(r *Rank) error) error {
 				if p := recover(); p != nil {
 					errs[id] = fmt.Errorf("comm: rank %d panicked: %v", id, p)
 				}
+				if errs[id] != nil {
+					c.markDead(id)
+				}
 			}()
 			errs[id] = fn(&Rank{ID: id, c: c})
 		}(id)
@@ -105,49 +153,120 @@ func (c *Cluster) Run(fn func(r *Rank) error) error {
 	return errors.Join(errs...)
 }
 
-// Rank is one process of the simulated cluster.
+// Rank is one process of the simulated cluster. Each rank lives on its own
+// goroutine and owns a reusable deadline timer, so blocking operations are
+// allocation-free after the first slow path.
 type Rank struct {
-	ID int
-	c  *Cluster
+	ID    int
+	c     *Cluster
+	timer *time.Timer
 }
 
 // Size returns the communicator size.
 func (r *Rank) Size() int { return r.c.n }
 
+// deadline arms the rank's reusable timer with the cluster deadline and
+// returns its channel. Every arm must be followed by disarm once the
+// owning select returns, whether or not the timer fired.
+func (r *Rank) deadline() <-chan time.Time {
+	if r.timer == nil {
+		r.timer = time.NewTimer(r.c.timeout)
+	} else {
+		r.timer.Reset(r.c.timeout)
+	}
+	return r.timer.C
+}
+
+// disarm stops the deadline timer and drains a pending tick, leaving the
+// timer ready for the next Reset.
+func (r *Rank) disarm() {
+	if !r.timer.Stop() {
+		select {
+		case <-r.timer.C:
+		default:
+		}
+	}
+}
+
 // Send transfers data to rank `to`. Self-sends are local copies and are not
 // counted as communication, mirroring how MPI implementations short-circuit
-// them in shared memory.
+// them in shared memory. Send fails with ErrRankDead as soon as any rank of
+// the cluster has died, and with a timeout error if the destination mailbox
+// stays full past the cluster deadline.
 func (r *Rank) Send(to int, data []complex128) error {
 	if to < 0 || to >= r.c.n {
 		return fmt.Errorf("comm: rank %d sent to invalid rank %d", r.ID, to)
 	}
-	buf := append([]complex128(nil), data...)
-	select {
-	case r.c.mailbox[to][r.ID] <- buf:
-	case <-time.After(r.c.timeout):
-		return fmt.Errorf("comm: rank %d send to %d timed out (mailbox full — protocol mismatch?)", r.ID, to)
+	if err := r.c.faultOp(r.ID); err != nil {
+		return err
 	}
-	if to != r.ID {
+	counted := to != r.ID
+	if counted {
 		n := int64(bytesPerComplex * len(data))
 		r.c.sent[r.ID].Add(n)
-		r.c.recvd[to].Add(n)
 		obsSends.Inc()
 		obsSentBytes.Add(n)
 	}
-	return nil
+	if r.c.dropMessage(r.ID, to) {
+		return nil
+	}
+	r.c.delayMessage(r.ID, to)
+	buf := append([]complex128(nil), data...)
+	select {
+	case r.c.mailbox[to][r.ID] <- buf: // fast path: mailbox has room
+		return nil
+	default:
+	}
+	dl := r.deadline()
+	select {
+	case r.c.mailbox[to][r.ID] <- buf:
+		r.disarm()
+		return nil
+	case <-r.c.down:
+		r.disarm()
+		return r.c.deadErr(r.ID)
+	case <-dl:
+		return fmt.Errorf("comm: rank %d send to %d timed out after %v (mailbox full — protocol mismatch?)", r.ID, to, r.c.timeout)
+	}
 }
 
-// Recv blocks until a message from rank `from` arrives.
+// Recv blocks until a message from rank `from` arrives, the cluster is
+// marked failed (ErrRankDead), or the deadline passes.
 func (r *Rank) Recv(from int) ([]complex128, error) {
 	if from < 0 || from >= r.c.n {
 		return nil, fmt.Errorf("comm: rank %d received from invalid rank %d", r.ID, from)
 	}
+	if err := r.c.faultOp(r.ID); err != nil {
+		return nil, err
+	}
+	select {
+	case data := <-r.c.mailbox[r.ID][from]: // fast path: already delivered
+		r.creditRecv(from, data)
+		return data, nil
+	default:
+	}
+	dl := r.deadline()
 	select {
 	case data := <-r.c.mailbox[r.ID][from]:
+		r.disarm()
+		r.creditRecv(from, data)
 		return data, nil
-	case <-time.After(r.c.timeout):
-		return nil, fmt.Errorf("comm: rank %d recv from %d timed out (deadlock or dead peer)", r.ID, from)
+	case <-r.c.down:
+		r.disarm()
+		return nil, r.c.deadErr(r.ID)
+	case <-dl:
+		return nil, fmt.Errorf("comm: rank %d recv from %d timed out after %v (deadlock or dead peer)", r.ID, from, r.c.timeout)
 	}
+}
+
+// creditRecv runs the receive-side byte accounting for a delivered message.
+func (r *Rank) creditRecv(from int, data []complex128) {
+	if from == r.ID {
+		return
+	}
+	n := int64(bytesPerComplex * len(data))
+	r.c.recvd[r.ID].Add(n)
+	obsRecvdBytes.Add(n)
 }
 
 // Bcast distributes root's data to every rank and returns each rank's copy.

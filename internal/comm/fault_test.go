@@ -1,0 +1,232 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"negfsim/internal/device"
+)
+
+// TestKillUnblocksSurvivorsPromptly kills one rank mid-collective and
+// checks that the survivors fail with ErrRankDead well before the deadline
+// — detection rides the cancellation channel, not the timeout.
+func TestKillUnblocksSurvivorsPromptly(t *testing.T) {
+	c := NewCluster(3)
+	c.SetTimeout(30 * time.Second) // detection must NOT need this
+	c.InjectFaults(&FaultPlan{Kill: true, KillRank: 2, KillAtOp: 0})
+	start := time.Now()
+	err := c.Run(func(r *Rank) error {
+		send := make([][]complex128, 3)
+		for to := range send {
+			send[to] = make([]complex128, 8)
+		}
+		_, err := r.Alltoallv(send)
+		return err
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrRankDead) {
+		t.Fatalf("err = %v, want ErrRankDead", err)
+	}
+	if c.DeadRank() != 2 {
+		t.Fatalf("DeadRank() = %d, want 2", c.DeadRank())
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("detection took %v with a 30 s deadline — survivors blocked instead of cancelling", elapsed)
+	}
+}
+
+// TestRankErrorCancelsPeers checks that an ordinary error return (not an
+// injected fault) also marks the cluster failed, so a peer blocked on the
+// dead rank gets ErrRankDead promptly instead of a timeout.
+func TestRankErrorCancelsPeers(t *testing.T) {
+	c := NewCluster(2)
+	c.SetTimeout(30 * time.Second)
+	boom := errors.New("application failure")
+	start := time.Now()
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			return boom
+		}
+		_, err := r.Recv(0) // rank 0 dies without sending
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the application failure", err)
+	}
+	if !errors.Is(err, ErrRankDead) {
+		t.Fatalf("err = %v, want ErrRankDead for the blocked peer", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("peer waited %v instead of cancelling promptly", elapsed)
+	}
+}
+
+// TestConfigurableDeadline checks that SetTimeout bounds the detection
+// latency of silent failures (nothing closes the cancellation channel here,
+// so the deadline is the only way out).
+func TestConfigurableDeadline(t *testing.T) {
+	c := NewCluster(2)
+	const deadline = 50 * time.Millisecond
+	c.SetTimeout(deadline)
+	start := time.Now()
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 1 {
+			_, err := r.Recv(0) // rank 0 never sends
+			return err
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if elapsed < deadline {
+		t.Fatalf("timed out after %v, before the %v deadline", elapsed, deadline)
+	}
+	if elapsed > 100*deadline {
+		t.Fatalf("timed out after %v, far beyond the %v deadline", elapsed, deadline)
+	}
+}
+
+// TestDroppedMessageBreaksAccounting drops one message and checks the
+// receive-side accounting: the sender's total includes the lost bytes, the
+// receiver's does not, and the difference is exactly the dropped payload.
+func TestDroppedMessageBreaksAccounting(t *testing.T) {
+	c := NewCluster(2)
+	c.SetTimeout(100 * time.Millisecond)
+	c.InjectFaults(&FaultPlan{Drop: true, DropFrom: 0, DropTo: 1, DropLimit: 1})
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			if err := r.Send(1, make([]complex128, 10)); err != nil { // dropped
+				return err
+			}
+			return r.Send(1, make([]complex128, 25)) // delivered
+		}
+		data, err := r.Recv(0)
+		if err != nil {
+			return err
+		}
+		if len(data) != 25 {
+			t.Errorf("received the dropped message? len=%d", len(data))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SentBytes(0); got != 16*(10+25) {
+		t.Fatalf("sender accounted %d bytes, want %d", got, 16*(10+25))
+	}
+	if got := c.ReceivedBytes(1); got != 16*25 {
+		t.Fatalf("receiver accounted %d bytes, want %d (the dropped payload must not be credited)", got, 16*25)
+	}
+}
+
+// TestSentEqualsRecvdAfterQuiescence checks the global invariant of a
+// fault-free run: once every message is delivered, total sent and total
+// received bytes agree (they only disagree transiently or under faults).
+func TestSentEqualsRecvdAfterQuiescence(t *testing.T) {
+	const n = 4
+	c := NewCluster(n)
+	err := c.Run(func(r *Rank) error {
+		send := make([][]complex128, n)
+		for to := 0; to < n; to++ {
+			send[to] = make([]complex128, r.ID+to+1) // asymmetric payloads
+		}
+		_, err := r.Alltoallv(send)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent, recvd int64
+	for r := 0; r < n; r++ {
+		sent += c.SentBytes(r)
+		recvd += c.ReceivedBytes(r)
+	}
+	if sent == 0 || sent != recvd {
+		t.Fatalf("after quiescence sent=%d recvd=%d, want equal and non-zero", sent, recvd)
+	}
+}
+
+// TestDelayedMessageStillDelivered checks that a delay fault slows a link
+// without losing the message.
+func TestDelayedMessageStillDelivered(t *testing.T) {
+	c := NewCluster(2)
+	const lag = 50 * time.Millisecond
+	c.InjectFaults(&FaultPlan{Delay: lag, DelayFrom: 0, DelayTo: 1})
+	start := time.Now()
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			return r.Send(1, make([]complex128, 4))
+		}
+		_, err := r.Recv(0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < lag {
+		t.Fatalf("run finished in %v, before the %v injected delay", elapsed, lag)
+	}
+}
+
+// TestHappyPathTimerGarbageFree is the benchmark guard of the deadline
+// mechanism: a Send/Recv round trip on the fast path allocates only the
+// payload copy — no per-call time.After timer (the old implementation left
+// a live timer + channel behind on every operation).
+func TestHappyPathTimerGarbageFree(t *testing.T) {
+	c := NewCluster(2)
+	r0 := &Rank{ID: 0, c: c}
+	r1 := &Rank{ID: 1, c: c}
+	payload := make([]complex128, 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := r0.Send(1, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r1.Recv(0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("happy-path Send+Recv allocates %.1f objects/op, want ≤ 1 (the payload copy)", allocs)
+	}
+}
+
+// BenchmarkSendRecv measures the happy-path round trip; -benchmem shows the
+// single payload-copy allocation the AllocsPerRun guard pins.
+func BenchmarkSendRecv(b *testing.B) {
+	c := NewCluster(2)
+	r0 := &Rank{ID: 0, c: c}
+	r1 := &Rank{ID: 1, c: c}
+	payload := make([]complex128, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r0.Send(1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r1.Recv(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestKilledRankDuringDaCeExchange runs the real communication-avoiding
+// exchange pattern with a mid-exchange kill: the collective must fail with
+// ErrRankDead on every surviving rank, promptly.
+func TestKilledRankDuringDaCeExchange(t *testing.T) {
+	p := device.Mini()
+	c := NewCluster(4)
+	c.SetTimeout(10 * time.Second)
+	c.InjectFaults(&FaultPlan{Kill: true, KillRank: 3, KillAtOp: 2})
+	start := time.Now()
+	err := c.Run(func(r *Rank) error { return DaCeExchangeSSE(r, p, 2, 2) })
+	if !errors.Is(err, ErrRankDead) {
+		t.Fatalf("err = %v, want ErrRankDead", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("exchange failure took %v to surface", elapsed)
+	}
+}

@@ -66,3 +66,60 @@ func TestClusterGaugesAgreeWithCounters(t *testing.T) {
 		t.Errorf("comm.sends = %d, want ≥ %d", v, n*(n-1))
 	}
 }
+
+// TestShrinkingClusterUnregistersRankGauges creates an 8-rank cluster and
+// replaces it with a 4-rank one: a scrape after the shrink must expose
+// per-rank gauges only for ranks 0–3 — ranks 4–7 would otherwise keep
+// reading the dead cluster forever.
+func TestShrinkingClusterUnregistersRankGauges(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+	})
+
+	big := NewCluster(8)
+	_ = big
+	small := NewCluster(4)
+
+	for r := 0; r < 4; r++ {
+		rank := strconv.Itoa(r)
+		if _, ok := obs.GaugeValue(obs.Labeled("comm.sent_bytes", "rank", rank)); !ok {
+			t.Errorf("rank %d: sent_bytes gauge missing after shrink", r)
+		}
+	}
+	for r := 4; r < 8; r++ {
+		rank := strconv.Itoa(r)
+		if _, ok := obs.GaugeValue(obs.Labeled("comm.sent_bytes", "rank", rank)); ok {
+			t.Errorf("rank %d: stale sent_bytes gauge survived the shrink", r)
+		}
+		if _, ok := obs.GaugeValue(obs.Labeled("comm.recvd_bytes", "rank", rank)); ok {
+			t.Errorf("rank %d: stale recvd_bytes gauge survived the shrink", r)
+		}
+	}
+	// A full scrape must agree: no series for ranks ≥ 4.
+	for _, st := range obs.GaugeStats() {
+		for r := 4; r < 8; r++ {
+			if st.Name == obs.Labeled("comm.sent_bytes", "rank", strconv.Itoa(r)) ||
+				st.Name == obs.Labeled("comm.recvd_bytes", "rank", strconv.Itoa(r)) {
+				t.Errorf("scrape still exports %s", st.Name)
+			}
+		}
+	}
+	// And the surviving gauges read the new cluster.
+	if err := small.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			return r.Send(1, make([]complex128, 3))
+		}
+		if r.ID == 1 {
+			_, err := r.Recv(0)
+			return err
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := obs.GaugeValue(obs.Labeled("comm.sent_bytes", "rank", "0")); g != small.SentBytes(0) {
+		t.Errorf("gauge reads %d, new cluster sent %d", g, small.SentBytes(0))
+	}
+}

@@ -8,6 +8,9 @@ import (
 )
 
 func TestCheckpointRoundTripAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long self-consistent run; skipped under -short (race gate)")
+	}
 	opts := DefaultOptions()
 	opts.MaxIter = 3
 	s1 := miniSim(t, opts)

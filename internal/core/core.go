@@ -142,6 +142,10 @@ type Timings struct {
 type Result struct {
 	Iterations int
 	Converged  bool
+	// Recoveries counts the rank failures a fault-tolerant distributed run
+	// survived by rebuilding the cluster and resuming from a checkpoint
+	// (always zero for serial runs; see RunDistributedFT).
+	Recoveries int
 	// Residuals[i] is the relative G change after iteration i.
 	Residuals []float64
 	// Timings is the accumulated per-phase wall time.

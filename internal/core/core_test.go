@@ -48,6 +48,9 @@ func TestBallisticFirstIteration(t *testing.T) {
 }
 
 func TestBornIterationConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long self-consistent run; skipped under -short (race gate)")
+	}
 	opts := DefaultOptions()
 	opts.MaxIter = 10
 	opts.Tol = 1e-4
@@ -82,6 +85,9 @@ func TestBornIterationConverges(t *testing.T) {
 }
 
 func TestVariantsGiveSameSelfConsistentResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long self-consistent run; skipped under -short (race gate)")
+	}
 	// The three SSE formulations must drive the Born loop to the same
 	// fixed point trajectory.
 	run := func(v sse.Variant) *Result {

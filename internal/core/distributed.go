@@ -186,19 +186,36 @@ func (s *Simulator) phononPointsOwnedBy(rank, procs int) [][2]int {
 	return out
 }
 
+// checkGrid validates a TE×TA decomposition against the device: the
+// distributed SSE phase needs at least two ranks and one energy point per
+// rank.
+func (s *Simulator) checkGrid(te, ta int) error {
+	procs := te * ta
+	if procs < 2 {
+		return fmt.Errorf("core: distributed SSE needs ≥ 2 ranks, got %d", procs)
+	}
+	if s.Dev.P.NE < procs {
+		return fmt.Errorf("core: %d energies cannot feed %d ranks", s.Dev.P.NE, procs)
+	}
+	return nil
+}
+
 // DistributedSSE runs one SSE phase on a te×ta rank grid over the
 // simulated cluster. The input tensors represent the GF phase's output in
 // its natural layout; each rank only touches its own chunk of them.
 func (s *Simulator) DistributedSSE(in sse.PhaseInput, te, ta int) (*DistributedResult, error) {
+	if err := s.checkGrid(te, ta); err != nil {
+		return nil, err
+	}
+	return s.distributedSSEOn(comm.NewCluster(te*ta), in, te, ta)
+}
+
+// distributedSSEOn is DistributedSSE on a caller-provided cluster, which
+// may carry a shorter deadline or an armed fault plan (the fault-tolerant
+// Born loop builds one per iteration). The grid must already be validated.
+func (s *Simulator) distributedSSEOn(cluster *comm.Cluster, in sse.PhaseInput, te, ta int) (*DistributedResult, error) {
 	p := s.Dev.P
 	procs := te * ta
-	if procs < 2 {
-		return nil, fmt.Errorf("core: distributed SSE needs ≥ 2 ranks, got %d", procs)
-	}
-	if p.NE < procs {
-		return nil, fmt.Errorf("core: %d energies cannot feed %d ranks", p.NE, procs)
-	}
-	cluster := comm.NewCluster(procs)
 	out := &DistributedResult{
 		SigmaLess:  tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb),
 		SigmaGtr:   tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb),

@@ -74,11 +74,17 @@ func shiftedPoints(kz, e, qz, shift, nkz, ne int) (down, up [2]int, downOK, upOK
 // DistributedSSEOMEN runs one SSE phase with the original decomposition on
 // `procs` ranks of the simulated cluster.
 func (s *Simulator) DistributedSSEOMEN(in sse.PhaseInput, procs int) (*DistributedResult, error) {
-	p := s.Dev.P
 	if procs < 2 {
 		return nil, fmt.Errorf("core: distributed SSE needs ≥ 2 ranks, got %d", procs)
 	}
-	cluster := comm.NewCluster(procs)
+	return s.distributedSSEOMENOn(comm.NewCluster(procs), in, procs)
+}
+
+// distributedSSEOMENOn is DistributedSSEOMEN on a caller-provided cluster,
+// so fault plans and deadlines configured by the caller apply to the
+// baseline exchange pattern too.
+func (s *Simulator) distributedSSEOMENOn(cluster *comm.Cluster, in sse.PhaseInput, procs int) (*DistributedResult, error) {
+	p := s.Dev.P
 	out := &DistributedResult{
 		SigmaLess:  tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb),
 		SigmaGtr:   tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb),

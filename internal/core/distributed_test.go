@@ -34,6 +34,9 @@ func TestDistributedOMENMatchesSerial(t *testing.T) {
 }
 
 func TestOMENDistributedMovesMoreThanCA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long self-consistent run; skipped under -short (race gate)")
+	}
 	// The headline of the paper, measured end-to-end with real data: the
 	// original decomposition transfers far more bytes than the CA one for
 	// the same result.

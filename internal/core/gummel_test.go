@@ -31,6 +31,9 @@ func TestGummelZeroBiasFlatPotential(t *testing.T) {
 }
 
 func TestGummelGateAttractsElectrons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long self-consistent run; skipped under -short (race gate)")
+	}
 	// A positive gate raises the interior potential, lowering electron
 	// onsite energies under the gate and pulling in charge.
 	s := miniSim(t, gummelOpts())
@@ -72,6 +75,9 @@ func TestGummelGateAttractsElectrons(t *testing.T) {
 }
 
 func TestGummelRestoresHamiltonian(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long self-consistent run; skipped under -short (race gate)")
+	}
 	s := miniSim(t, gummelOpts())
 	before := s.h[0].ToDense()
 	if _, err := s.RunWithPoisson(DefaultGate(0.2, 0.1)); err != nil {

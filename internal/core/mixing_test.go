@@ -3,6 +3,9 @@ package core
 import "testing"
 
 func TestAndersonAcceleratesConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long self-consistent run; skipped under -short (race gate)")
+	}
 	run := func(kind MixerKind) (int, bool) {
 		opts := DefaultOptions()
 		opts.MaxIter = 14
@@ -32,6 +35,9 @@ func TestAndersonAcceleratesConvergence(t *testing.T) {
 }
 
 func TestAndersonMatchesLinearFixedPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long self-consistent run; skipped under -short (race gate)")
+	}
 	// Both mixers must find the same physical fixed point.
 	res := map[MixerKind]*Result{}
 	for _, kind := range []MixerKind{Linear, Anderson} {

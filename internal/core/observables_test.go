@@ -6,6 +6,9 @@ import (
 )
 
 func TestEnergyCurrentBalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long self-consistent run; skipped under -short (race gate)")
+	}
 	// Per energy point, particle current balances against the bath
 	// (I_L(E) + I_R(E) + bath(E) = 0); weighting by E therefore balances
 	// the energy flows: the Joule heat delivered to the lattice equals the

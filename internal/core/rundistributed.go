@@ -2,13 +2,75 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"os"
 	"time"
 
+	"negfsim/internal/comm"
 	"negfsim/internal/obs"
 	"negfsim/internal/sse"
 	"negfsim/internal/tensor"
 )
+
+// Fault-tolerance telemetry of the distributed Born loop (see
+// docs/OBSERVABILITY.md): recovery events and latency, and checkpoint
+// traffic. The counters are global and cumulative, like every obs
+// instrument.
+var (
+	obsRecoveries   = obs.GetCounter("core.recoveries")
+	obsCkptSaves    = obs.GetCounter("core.checkpoint_saves")
+	obsCkptRestores = obs.GetCounter("core.checkpoint_restores")
+	obsSpanRecovery = obs.GetTimer("core.recovery")
+)
+
+// DistConfig configures a fault-tolerant distributed Born run
+// (RunDistributedFT). The zero value of every optional field keeps the
+// documented default, so DistConfig{TE: te, TA: ta} reproduces the plain
+// RunDistributed behavior.
+type DistConfig struct {
+	// TE, TA are the initial energy×atom rank grid of the SSE phase.
+	TE, TA int
+
+	// CommTimeout bounds every Send/Recv on the simulated cluster — the
+	// detection backstop for failures the cancellation channel cannot see.
+	// 0 keeps comm.DefaultTimeout. Prompt detection does not depend on it:
+	// a rank death cancels the cluster and unblocks survivors immediately.
+	CommTimeout time.Duration
+
+	// MaxRecoveries bounds how many rank failures the run survives before
+	// giving up and returning the failure (default 2).
+	MaxRecoveries int
+
+	// RetryBackoff is the pause before a recovery attempt, scaled linearly
+	// with the attempt number (default 10ms).
+	RetryBackoff time.Duration
+
+	// Fault, when non-nil, is armed on the cluster of Born iteration
+	// FaultIter (0-based) and fires exactly once — the hook behind qtsim
+	// -inject-fault and the recovery tests.
+	Fault     *comm.FaultPlan
+	FaultIter int
+
+	// CheckpointPath, when non-empty, additionally persists the in-memory
+	// checkpoint to this gob file after every completed iteration (the file
+	// qtsim -checkpoint writes and LoadCheckpoint reads).
+	CheckpointPath string
+
+	// Resume, when non-nil, seeds the run with a checkpoint's self-energies
+	// instead of starting from Σ = Π = 0.
+	Resume *Checkpoint
+}
+
+// memCheckpoint is the in-memory restart state the fault-tolerant loop
+// snapshots after every completed iteration: deep copies of the mixed
+// self-energies plus enough bookkeeping to rewind the result.
+type memCheckpoint struct {
+	iterations int
+	nResiduals int
+	sigL, sigG *tensor.GTensor
+	piL, piG   *tensor.DTensor
+}
 
 // RunDistributed executes the full self-consistent Born loop with the SSE
 // phase running under the communication-avoiding decomposition on the
@@ -19,11 +81,49 @@ import (
 // traffic, so the communication cost of a full simulation can be measured
 // rather than modeled.
 func (s *Simulator) RunDistributed(te, ta int) (*Result, int64, error) {
+	return s.RunDistributedFT(DistConfig{TE: te, TA: ta})
+}
+
+// RunDistributedFT is RunDistributed with fault tolerance: it checkpoints
+// the mixed self-energies after every iteration, and when a rank dies
+// mid-SSE (promptly surfaced as comm.ErrRankDead by the cluster's
+// cancellation channel) it rebuilds a cluster over the surviving rank
+// count, re-derives the volume-minimizing TE×TA decomposition for it, and
+// resumes the Born loop from the last checkpoint — bounded by
+// MaxRecoveries attempts with linear backoff. When the survivors can no
+// longer feed a ≥2-rank grid, the loop degrades to the shared-memory SSE
+// kernels instead of dying, so a run always either completes or reports a
+// non-transient error.
+func (s *Simulator) RunDistributedFT(cfg DistConfig) (*Result, int64, error) {
+	te, ta := cfg.TE, cfg.TA
+	if err := s.checkGrid(te, ta); err != nil {
+		return nil, 0, err
+	}
+	maxRec := cfg.MaxRecoveries
+	if maxRec == 0 {
+		maxRec = 2
+	}
+	backoff := cfg.RetryBackoff
+	if backoff == 0 {
+		backoff = 10 * time.Millisecond
+	}
+
 	res := &Result{}
 	var sigR, sigL, sigG *tensor.GTensor
 	var piR, piL, piG *tensor.DTensor
 	var prevL, prevG *tensor.GTensor
 	var totalBytes int64
+	var ck *memCheckpoint
+	faultArmed := cfg.Fault != nil
+	if cfg.Resume != nil {
+		if err := cfg.Resume.Compatible(s.Dev.P); err != nil {
+			return nil, 0, err
+		}
+		sigL, sigG = cfg.Resume.SigmaLess.Clone(), cfg.Resume.SigmaGtr.Clone()
+		piL, piG = cfg.Resume.PiLess.Clone(), cfg.Resume.PiGtr.Clone()
+		sigR = sse.Retarded(sigL, sigG)
+		piR = sse.RetardedD(piL, piG)
+	}
 
 	for iter := 0; iter < s.Opts.MaxIter; iter++ {
 		st := IterStats{Iter: iter + 1, Residual: math.NaN()}
@@ -63,9 +163,46 @@ func (s *Simulator) RunDistributed(te, ta int) (*Result, int64, error) {
 		prevL, prevG = gl, gg
 
 		t1 := time.Now()
-		dist, err := s.DistributedSSE(sse.PhaseInput{GLess: gl, GGtr: gg, DLess: dl, DGtr: dg}, te, ta)
-		if err != nil {
-			return nil, totalBytes, err
+		in := sse.PhaseInput{GLess: gl, GGtr: gg, DLess: dl, DGtr: dg}
+		var dist *DistributedResult
+		if te > 0 {
+			var plan *comm.FaultPlan
+			if faultArmed && iter == cfg.FaultIter {
+				plan = cfg.Fault
+				faultArmed = false
+			}
+			cluster := comm.NewCluster(te * ta)
+			if cfg.CommTimeout > 0 {
+				cluster.SetTimeout(cfg.CommTimeout)
+			}
+			if plan != nil {
+				cluster.InjectFaults(plan)
+			}
+			dist, err = s.distributedSSEOn(cluster, in, te, ta)
+			if err != nil {
+				if !errors.Is(err, comm.ErrRankDead) {
+					return nil, totalBytes, err
+				}
+				totalBytes += cluster.TotalBytes() // traffic of the failed attempt
+				if res.Recoveries >= maxRec {
+					return nil, totalBytes, fmt.Errorf("core: giving up after %d recoveries: %w", res.Recoveries, err)
+				}
+				res.Recoveries++
+				obsRecoveries.Inc()
+				sp := obsSpanRecovery.Start()
+				time.Sleep(backoff * time.Duration(res.Recoveries))
+				te, ta = s.deriveGrid(te*ta - 1)
+				iter = s.restoreCheckpoint(ck, res, &sigR, &sigL, &sigG, &piR, &piL, &piG)
+				prevL, prevG = nil, nil
+				sp.End()
+				continue
+			}
+		} else {
+			// Degraded mode: too few survivors for a distributed grid; the
+			// SSE phase runs on the shared-memory kernels (zero traffic).
+			out := s.Kernel.ComputePhaseParallel(in, sse.DaCe, s.Opts.Workers)
+			dist = &DistributedResult{SigmaLess: out.SigmaLess, SigmaGtr: out.SigmaGtr,
+				PiLess: out.PiLess, PiGtr: out.PiGtr}
 		}
 		st.SSE = time.Since(t1)
 		res.Timings.SSE += st.SSE
@@ -89,8 +226,87 @@ func (s *Simulator) RunDistributed(te, ta int) (*Result, int64, error) {
 		obsSpanMix.Observe(st.Mix)
 		res.SigmaLess, res.SigmaGtr = sigL, sigG
 		res.PiLess, res.PiGtr = piL, piG
+
+		ck = &memCheckpoint{
+			iterations: iter + 1, nResiduals: len(res.Residuals),
+			sigL: sigL.Clone(), sigG: sigG.Clone(),
+			piL: piL.Clone(), piG: piG.Clone(),
+		}
+		obsCkptSaves.Inc()
+		if cfg.CheckpointPath != "" {
+			if err := s.saveCheckpointFile(cfg.CheckpointPath, ck); err != nil {
+				return nil, totalBytes, err
+			}
+		}
 		s.emitIterStats(&st, t0, snap)
 	}
 	res.Obs.DissipationPerAtom, res.Obs.EnergyDissipationPerAtom = s.dissipationPerAtom(res)
 	return res, totalBytes, nil
+}
+
+// deriveGrid picks the TE×TA decomposition for a surviving rank count: the
+// volume-minimizing feasible factorization (the §4.1 exhaustive search).
+// When no ≥2-rank grid fits the device, it returns (0, 0), the degraded
+// shared-memory marker.
+func (s *Simulator) deriveGrid(procs int) (te, ta int) {
+	if procs < 2 || s.Dev.P.NE < procs {
+		return 0, 0
+	}
+	best, feasible := comm.SearchTiles(s.Dev.P, procs, 0)
+	if len(feasible) == 0 {
+		return 0, 0
+	}
+	return best.TE, best.TA
+}
+
+// restoreCheckpoint rewinds the loop state to the last completed iteration:
+// it re-points the self-energy tensors at deep copies of the checkpoint
+// (nil when the failure predates the first checkpoint — the run restarts
+// from Σ = Π = 0), truncates the residual history, and returns the loop
+// index to continue from (the for-loop increment lands on the first
+// unfinished iteration).
+func (s *Simulator) restoreCheckpoint(ck *memCheckpoint, res *Result,
+	sigR, sigL, sigG **tensor.GTensor, piR, piL, piG **tensor.DTensor) int {
+	obsCkptRestores.Inc()
+	if ck == nil {
+		*sigR, *sigL, *sigG = nil, nil, nil
+		*piR, *piL, *piG = nil, nil, nil
+		res.Residuals = res.Residuals[:0]
+		return -1
+	}
+	*sigL, *sigG = ck.sigL.Clone(), ck.sigG.Clone()
+	*piL, *piG = ck.piL.Clone(), ck.piG.Clone()
+	*sigR = sse.Retarded(*sigL, *sigG)
+	*piR = sse.RetardedD(*piL, *piG)
+	res.Residuals = res.Residuals[:ck.nResiduals]
+	return ck.iterations - 1
+}
+
+// saveCheckpointFile persists an in-memory checkpoint as a gob file,
+// written atomically (temp file + rename) so a crash mid-write never
+// corrupts the previous checkpoint.
+func (s *Simulator) saveCheckpointFile(path string, ck *memCheckpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	full := &Checkpoint{
+		Params: s.Dev.P, Iterations: ck.iterations,
+		SigmaLess: ck.sigL, SigmaGtr: ck.sigG,
+		PiLess: ck.piL, PiGtr: ck.piG,
+	}
+	if err := full.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
 }

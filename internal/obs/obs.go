@@ -147,6 +147,17 @@ func RegisterGaugeFunc(name string, fn func() int64) {
 	registry.gaugeFuncs[name] = fn
 }
 
+// UnregisterGaugeFunc removes the gauge func registered under name, if any.
+// Use it when the structure a func reads is being retired and no successor
+// replaces the series — e.g. the per-rank byte gauges of a comm.Cluster
+// whose replacement has fewer ranks — so scrapes don't keep reporting a
+// dead instance.
+func UnregisterGaugeFunc(name string) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	delete(registry.gaugeFuncs, name)
+}
+
 // GaugeValue returns the current value of the named gauge or gauge func,
 // and whether it exists. Plain gauges shadow gauge funcs of the same name.
 func GaugeValue(name string) (int64, bool) {
