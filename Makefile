@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check fmt build vet test race race-ft bench
+.PHONY: check fmt build vet test race race-ft serve-test bench
 
-check: fmt build vet test race-ft
+check: fmt build vet test race-ft serve-test
 
 # gofmt -l prints nothing (and exits 0) on a clean tree; any output fails
 # the gate via the grep.
@@ -30,7 +30,14 @@ race:
 # skips the long self-consistent physics runs, keeping the race gate on the
 # concurrency-heavy tests.
 race-ft:
-	go test -race -short ./internal/comm ./internal/core
+	go test -race -short ./internal/comm ./internal/core ./internal/serve
+
+# End-to-end smoke test of the qtsimd daemon: builds the real binary,
+# starts it on an ephemeral port, submits a job over HTTP, streams its
+# iterations, cancels it, runs a second job to completion, and checks the
+# SIGTERM drain exits clean.
+serve-test:
+	go test -count=1 -run TestServeSmoke ./cmd/qtsimd
 
 # Table/figure benchmarks plus the kernel-engine micro-benchmarks.
 bench:

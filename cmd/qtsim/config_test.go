@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"negfsim/internal/core"
+)
+
+// TestFlagsOverrideConfigFile pins the -config contract: values from the
+// file win over built-in defaults, and explicitly-set flags win over the
+// file — while file values for flags the user did not set survive.
+func TestFlagsOverrideConfigFile(t *testing.T) {
+	fileCfg := core.DefaultRunConfig()
+	fileCfg.Device.NA = 48
+	fileCfg.Device.Rows = 4
+	fileCfg.Device.Bnum = 4
+	fileCfg.MaxIter = 9
+	fileCfg.Variant = "omen"
+	raw, err := fileCfg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := flag.NewFlagSet("qtsim", flag.ContinueOnError)
+	f := registerConfigFlags(fs)
+	if err := fs.Parse([]string{"-iters", "3", "-nkz", "2", "-dist", "2x2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := core.LoadRunConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyConfigFlags(fs, f, cfg)
+
+	if cfg.MaxIter != 3 {
+		t.Errorf("MaxIter = %d, want flag value 3 over file value 9", cfg.MaxIter)
+	}
+	if cfg.Device.Nkz != 2 || cfg.Device.Nqz != 2 {
+		t.Errorf("Nkz/Nqz = %d/%d, want 2/2 (flag overrides both momentum grids)", cfg.Device.Nkz, cfg.Device.Nqz)
+	}
+	if cfg.Dist != "2x2" {
+		t.Errorf("Dist = %q, want flag value 2x2", cfg.Dist)
+	}
+	if cfg.Device.NA != 48 || cfg.Variant != "omen" {
+		t.Errorf("unset flags must keep file values: NA=%d variant=%q", cfg.Device.NA, cfg.Variant)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("merged config invalid: %v", err)
+	}
+}
+
+// TestUnsetFlagsKeepDefaults guards the zero-flag invocation: with nothing
+// parsed, applyConfigFlags must not touch the config at all.
+func TestUnsetFlagsKeepDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("qtsim", flag.ContinueOnError)
+	f := registerConfigFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultRunConfig()
+	applyConfigFlags(fs, f, &cfg)
+	if cfg != core.DefaultRunConfig() {
+		t.Fatalf("config mutated by unset flags: %+v", cfg)
+	}
+}

@@ -6,18 +6,25 @@
 //
 //	qtsim -na 48 -rows 4 -bnum 4 -nkz 3 -ne 24 -variant dace -iters 6
 //
+// A run is described by a versioned core.RunConfig: -config loads one from
+// a JSON file (see examples/run.json), and any device/solver flags given on
+// the command line override the file's values. The same config document,
+// unchanged, can be submitted to the qtsimd service. Without -config the
+// built-in default config is used, so the flag-only invocation behaves as
+// it always has.
+//
 // With -metrics-addr the process serves Prometheus-style metrics, expvar
 // and net/http/pprof while the simulation runs; with -trace-out it writes
 // one JSON line per outer Born iteration (a Table 7-style phase
 // breakdown). Either flag enables the observability layer and an
 // end-of-run summary table. See docs/OBSERVABILITY.md.
 //
-// With -dist TExTA the SSE phase runs on a simulated rank grid with fault
-// tolerance: -checkpoint persists a restartable snapshot every iteration,
-// -comm-timeout bounds failure detection, and -inject-fault ITER:RANK[:OP]
-// kills a rank mid-run to demonstrate checkpointed recovery (the run
-// rebuilds a smaller cluster and still converges to the fault-free
-// observables).
+// With -dist TExTA (or "dist" in the config) the SSE phase runs on a
+// simulated rank grid with fault tolerance: -checkpoint persists a
+// restartable snapshot every iteration, -comm-timeout bounds failure
+// detection, and -inject-fault ITER:RANK[:OP] kills a rank mid-run to
+// demonstrate checkpointed recovery (the run rebuilds a smaller cluster and
+// still converges to the fault-free observables).
 package main
 
 import (
@@ -30,14 +37,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
-	"strings"
 	"time"
 
 	"negfsim/internal/comm"
 	"negfsim/internal/core"
-	"negfsim/internal/device"
 	"negfsim/internal/obs"
-	"negfsim/internal/sse"
 )
 
 // traceLine is the JSON schema of one -trace-out record. The four phase
@@ -109,77 +113,129 @@ func serveMetrics(addr string) {
 	}()
 }
 
+// configFlags holds the flags that override RunConfig fields. The defaults
+// never matter — a flag is only copied into the config when the user set it
+// explicitly (flag.Visit), so file values survive unset flags.
+type configFlags struct {
+	na, rows, bnum, nkz, ne, nw, nb, norb int
+	seed                                  uint64
+	variant                               string
+	iters                                 int
+	tol, mix, bias, kt                    float64
+	gate                                  float64
+	dist                                  string
+	commTimeout                           time.Duration
+}
+
+// registerConfigFlags declares the config-overriding flags on fs. The
+// defaults mirror DefaultRunConfig so `qtsim -help` shows the effective
+// zero-flag run.
+func registerConfigFlags(fs *flag.FlagSet) *configFlags {
+	def := core.DefaultRunConfig()
+	f := &configFlags{}
+	fs.IntVar(&f.na, "na", def.Device.NA, "number of atoms")
+	fs.IntVar(&f.rows, "rows", def.Device.Rows, "atoms per column (fin height)")
+	fs.IntVar(&f.bnum, "bnum", def.Device.Bnum, "RGF blocks")
+	fs.IntVar(&f.nkz, "nkz", def.Device.Nkz, "electron/phonon momentum points")
+	fs.IntVar(&f.ne, "ne", def.Device.NE, "energy grid points")
+	fs.IntVar(&f.nw, "nw", def.Device.Nw, "phonon frequencies")
+	fs.IntVar(&f.nb, "nb", def.Device.NB, "neighbors per atom")
+	fs.IntVar(&f.norb, "norb", def.Device.Norb, "orbitals per atom")
+	fs.Uint64Var(&f.seed, "seed", def.Device.Seed, "structure seed")
+	fs.StringVar(&f.variant, "variant", def.Variant, "SSE kernel: reference | omen | dace")
+	fs.IntVar(&f.iters, "iters", def.MaxIter, "max Born iterations")
+	fs.Float64Var(&f.tol, "tol", def.Tol, "convergence tolerance on G")
+	fs.Float64Var(&f.mix, "mix", def.Mixing, "self-energy mixing factor")
+	fs.Float64Var(&f.bias, "bias", def.Bias, "source-drain bias (MuL−MuR) [eV]")
+	fs.Float64Var(&f.kt, "kt", def.KT, "electron thermal energy [eV]")
+	fs.Float64Var(&f.gate, "gate", math.NaN(), "gate voltage [V]; enables the coupled NEGF–Poisson solver")
+	fs.StringVar(&f.dist, "dist", def.Dist, "run the SSE phase on a simulated TExTA rank grid, e.g. 2x2 (fault-tolerant)")
+	fs.DurationVar(&f.commTimeout, "comm-timeout", 0, "per-operation deadline of the simulated cluster (default 10s)")
+	return f
+}
+
+// applyConfigFlags copies every explicitly-set flag of fs over cfg — the
+// "flags override file values" half of the -config contract. fs must
+// already be parsed.
+func applyConfigFlags(fs *flag.FlagSet, f *configFlags, cfg *core.RunConfig) {
+	fs.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "na":
+			cfg.Device.NA = f.na
+		case "rows":
+			cfg.Device.Rows = f.rows
+		case "bnum":
+			cfg.Device.Bnum = f.bnum
+		case "nkz":
+			cfg.Device.Nkz = f.nkz
+			cfg.Device.Nqz = f.nkz
+		case "ne":
+			cfg.Device.NE = f.ne
+		case "nw":
+			cfg.Device.Nw = f.nw
+		case "nb":
+			cfg.Device.NB = f.nb
+		case "norb":
+			cfg.Device.Norb = f.norb
+		case "seed":
+			cfg.Device.Seed = f.seed
+		case "variant":
+			cfg.Variant = f.variant
+		case "iters":
+			cfg.MaxIter = f.iters
+		case "tol":
+			cfg.Tol = f.tol
+		case "mix":
+			cfg.Mixing = f.mix
+		case "bias":
+			cfg.Bias = f.bias
+		case "kt":
+			cfg.KT = f.kt
+		case "gate":
+			g := core.DefaultGate(f.gate, 0)
+			cfg.Gate = &g
+		case "dist":
+			cfg.Dist = f.dist
+		case "comm-timeout":
+			cfg.CommTimeoutMs = int(f.commTimeout / time.Millisecond)
+		}
+	})
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("qtsim: ")
 
-	na := flag.Int("na", 24, "number of atoms")
-	rows := flag.Int("rows", 4, "atoms per column (fin height)")
-	bnum := flag.Int("bnum", 3, "RGF blocks")
-	nkz := flag.Int("nkz", 3, "electron/phonon momentum points")
-	ne := flag.Int("ne", 16, "energy grid points")
-	nw := flag.Int("nw", 4, "phonon frequencies")
-	nb := flag.Int("nb", 4, "neighbors per atom")
-	norb := flag.Int("norb", 2, "orbitals per atom")
-	variant := flag.String("variant", "dace", "SSE kernel: reference | omen | dace")
-	iters := flag.Int("iters", 6, "max Born iterations")
-	tol := flag.Float64("tol", 1e-4, "convergence tolerance on G")
-	mix := flag.Float64("mix", 0.5, "self-energy mixing factor")
-	bias := flag.Float64("bias", 0.4, "source-drain bias (MuL−MuR) [eV]")
-	kt := flag.Float64("kt", 0.025, "electron thermal energy [eV]")
-	seed := flag.Uint64("seed", 7, "structure seed")
-	gate := flag.Float64("gate", math.NaN(), "gate voltage [V]; enables the coupled NEGF–Poisson solver")
+	f := registerConfigFlags(flag.CommandLine)
+	configPath := flag.String("config", "", "run config JSON file (see examples/run.json); flags override file values")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 	traceOut := flag.String("trace-out", "", "write one JSON line per Born iteration to this file")
-	dist := flag.String("dist", "", "run the SSE phase on a simulated TExTA rank grid, e.g. 2x2 (fault-tolerant)")
-	commTimeout := flag.Duration("comm-timeout", 0, "per-operation deadline of the simulated cluster (default 10s)")
-	injectFault := flag.String("inject-fault", "", "kill a rank mid-run: ITER:RANK[:OP] (0-based Born iteration, rank id, comm op; requires -dist)")
+	injectFault := flag.String("inject-fault", "", "kill a rank mid-run: ITER:RANK[:OP] (0-based Born iteration, rank id, comm op; requires a distributed run)")
 	checkpoint := flag.String("checkpoint", "", "gob checkpoint file: resumed from if present, written after every iteration (distributed) or at the end (serial)")
 	flag.Parse()
 
-	p := device.Params{
-		Nkz: *nkz, Nqz: *nkz, NE: *ne, Nw: *nw,
-		NA: *na, NB: *nb, Norb: *norb, N3D: 3,
-		Rows: *rows, Bnum: *bnum,
-		Emin: -1, Emax: 1, Seed: *seed,
+	cfg := core.DefaultRunConfig()
+	if *configPath != "" {
+		loaded, err := core.LoadRunConfig(*configPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = *loaded
 	}
-	dev, err := device.New(p)
-	if err != nil {
+	applyConfigFlags(flag.CommandLine, f, &cfg)
+	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
 
-	opts := core.DefaultOptions()
-	opts.MaxIter = *iters
-	opts.Tol = *tol
-	opts.Mixing = *mix
-	opts.Contacts.MuL = *bias / 2
-	opts.Contacts.MuR = -*bias / 2
-	opts.Contacts.KT = *kt
-	switch strings.ToLower(*variant) {
-	case "reference":
-		opts.Variant = sse.Reference
-	case "omen":
-		opts.Variant = sse.OMEN
-	case "dace":
-		opts.Variant = sse.DaCe
-	default:
-		log.Fatalf("unknown variant %q", *variant)
-	}
-
-	var distTE, distTA int
-	if *dist != "" {
-		if !math.IsNaN(*gate) {
-			log.Fatal("-dist and -gate are mutually exclusive (the Poisson loop runs serial)")
-		}
-		if _, err := fmt.Sscanf(*dist, "%dx%d", &distTE, &distTA); err != nil || distTE < 1 || distTA < 1 {
-			log.Fatalf("-dist must look like TExTA (e.g. 2x2), got %q", *dist)
-		}
+	distCfg, distributed, err := cfg.DistConfig()
+	if err != nil {
+		log.Fatal(err)
 	}
 	var faultPlan *comm.FaultPlan
 	var faultIter int
 	if *injectFault != "" {
-		if *dist == "" {
-			log.Fatal("-inject-fault requires -dist")
+		if !distributed {
+			log.Fatal("-inject-fault requires a distributed run (-dist or \"dist\" in the config)")
 		}
 		var rank, op int
 		if _, err := fmt.Sscanf(*injectFault, "%d:%d:%d", &faultIter, &rank, &op); err != nil {
@@ -198,7 +254,7 @@ func main() {
 			if lerr != nil {
 				log.Fatal(lerr)
 			}
-			if cerr := ck.Compatible(p); cerr != nil {
+			if cerr := ck.Compatible(cfg.Device); cerr != nil {
 				log.Fatal(cerr)
 			}
 			resume = ck
@@ -215,6 +271,11 @@ func main() {
 	if *metricsAddr != "" {
 		serveMetrics(*metricsAddr)
 	}
+
+	opts, err := cfg.Options()
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -224,35 +285,36 @@ func main() {
 		opts.OnIteration = traceWriter(f)
 	}
 
+	p := cfg.Device
+	sim, err := cfg.NewSimulatorWith(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := sim.Dev
+
 	fmt.Printf("structure: NA=%d (%d×%d), Nkz=%d, NE=%d, Nω=%d, NB=%d, Norb=%d\n",
 		p.NA, p.Cols(), p.Rows, p.Nkz, p.NE, p.Nw, p.NB, p.Norb)
 	fmt.Printf("solver: %s kernel, ≤%d iterations, mixing %.2f, bias %.2f eV\n",
-		opts.Variant, opts.MaxIter, opts.Mixing, *bias)
+		opts.Variant, opts.MaxIter, opts.Mixing, cfg.Bias)
 
 	start := time.Now()
-	sim := core.New(dev, opts)
 	var res *core.Result
 	switch {
-	case distTE > 0:
-		cfg := core.DistConfig{
-			TE: distTE, TA: distTA,
-			CommTimeout:    *commTimeout,
-			Fault:          faultPlan,
-			FaultIter:      faultIter,
-			CheckpointPath: *checkpoint,
-			Resume:         resume,
-		}
-		r, bytes, err := sim.RunDistributedFT(cfg)
+	case distributed:
+		distCfg.Fault = faultPlan
+		distCfg.FaultIter = faultIter
+		distCfg.CheckpointPath = *checkpoint
+		distCfg.Resume = resume
+		r, bytes, err := sim.RunDistributedFT(distCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\ndistributed SSE on %dx%d ranks: %.2f MiB exchanged, %d recover%s\n",
-			distTE, distTA, float64(bytes)/(1<<20), r.Recoveries,
+			distCfg.TE, distCfg.TA, float64(bytes)/(1<<20), r.Recoveries,
 			map[bool]string{true: "y", false: "ies"}[r.Recoveries == 1])
 		res = r
-	case !math.IsNaN(*gate):
-		g := core.DefaultGate(*gate, 0)
-		es, err := sim.RunWithPoisson(g)
+	case cfg.Gate != nil:
+		es, err := sim.RunWithPoisson(*cfg.Gate)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"negfsim/internal/core"
+)
+
+// TestServeSmoke is the end-to-end daemon exercise behind `make serve-test`:
+// it builds the real qtsimd binary, starts it on an ephemeral port, submits
+// a job over HTTP, streams its iterations, cancels it, runs a second job to
+// completion, and shuts the daemon down cleanly with SIGTERM.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test builds and execs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "qtsimd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building qtsimd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-max-concurrent", "2", "-drain-timeout", "30s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var exitErr error
+	exited := make(chan struct{})
+	go func() { exitErr = cmd.Wait(); close(exited) }()
+	defer func() {
+		select {
+		case <-exited:
+		default:
+			cmd.Process.Kill()
+			<-exited
+		}
+	}()
+
+	// The daemon announces its bound address on stdout; -addr :0 means the
+	// port is only knowable from that line.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("daemon produced no output; stderr:\n%s", stderr.String())
+	}
+	m := regexp.MustCompile(`listening on (\S+)`).FindStringSubmatch(sc.Text())
+	if m == nil {
+		t.Fatalf("unexpected startup line %q", sc.Text())
+	}
+	base := "http://" + m[1]
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	// A job that cannot finish on its own: the cancel below must stop it.
+	long := core.DefaultRunConfig()
+	long.MaxIter = 100_000
+	long.Tol = 1e-300
+	longID := submit(t, base, long)
+
+	// Stream until the first iteration record proves the job is running.
+	streamResp, err := http.Get(base + "/v1/jobs/" + longID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineSc := bufio.NewScanner(streamResp.Body)
+	if !lineSc.Scan() {
+		streamResp.Body.Close()
+		t.Fatalf("stream of %s delivered no records", longID)
+	}
+	var rec struct {
+		Iter int `json:"iter"`
+	}
+	if err := json.Unmarshal(lineSc.Bytes(), &rec); err != nil || rec.Iter != 1 {
+		streamResp.Body.Close()
+		t.Fatalf("first stream record %q (err %v), want iter 1", lineSc.Text(), err)
+	}
+	streamResp.Body.Close()
+
+	resp, err := http.Post(base+"/v1/jobs/"+longID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	waitJobState(t, base, longID, "cancelled")
+
+	// A short job must run to completion and serve a result after the
+	// cancel freed the slot.
+	short := core.DefaultRunConfig()
+	short.MaxIter = 2
+	shortID := submit(t, base, short)
+	waitJobState(t, base, shortID, "succeeded")
+	resp, err = http.Get(base + "/v1/jobs/" + shortID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "observables") {
+		t.Fatalf("result: status %d body %s", resp.StatusCode, body)
+	}
+
+	// Clean shutdown: SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited:
+		if exitErr != nil {
+			t.Fatalf("daemon exited dirty: %v\nstderr:\n%s", exitErr, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Errorf("daemon log does not report a drained shutdown:\n%s", stderr.String())
+	}
+}
+
+// submit POSTs a config and returns the accepted job id.
+func submit(t *testing.T, base string, cfg core.RunConfig) string {
+	t.Helper()
+	raw, err := cfg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d body %s", resp.StatusCode, body)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil || st.ID == "" {
+		t.Fatalf("submit response %s (err %v)", body, err)
+	}
+	return st.ID
+}
+
+// waitJobState polls a job until it reports the wanted state.
+func waitJobState(t *testing.T, base, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return
+		}
+		if st.State == "failed" || (st.State == "succeeded" && want != "succeeded") || (st.State == "cancelled" && want != "cancelled") {
+			t.Fatalf("job %s reached %q (err %q), want %q", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %q", id, st.State, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

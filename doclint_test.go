@@ -10,12 +10,14 @@ import (
 )
 
 // The packages whose exported API the doc-comment lint enforces — the
-// observability layer and the two packages an operator reads first when
-// interpreting its output.
+// observability layer, the two packages an operator reads first when
+// interpreting its output, and the service API that clients program
+// against.
 var doclintPackages = []string{
 	"internal/obs",
 	"internal/comm",
 	"internal/core",
+	"internal/serve",
 }
 
 // exportedRecv reports whether a method receiver names an exported type

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -40,6 +41,7 @@ const DefaultTimeout = 10 * time.Second
 // the failure immediately rather than after the full deadline.
 type Cluster struct {
 	n       int
+	ctx     context.Context       // caller cancellation (never nil)
 	mailbox [][]chan []complex128 // mailbox[to][from]
 	sent    []atomic.Int64        // bytes sent per rank
 	recvd   []atomic.Int64        // bytes received per rank (credited at Recv)
@@ -54,12 +56,15 @@ type Cluster struct {
 }
 
 // rankGauges tracks how many per-rank gauge funcs the most recent cluster
-// registered, so NewCluster can unregister the tail when a smaller cluster
-// replaces a larger one (otherwise comm.sent_bytes{rank="7"} would keep
-// scraping a dead instance forever).
+// registered — and which cluster owns them — so NewCluster can unregister
+// the tail when a smaller cluster replaces a larger one (otherwise
+// comm.sent_bytes{rank="7"} would keep scraping a dead instance forever),
+// and Unregister can retire the whole family when a cancelled run abandons
+// its cluster with no successor.
 var rankGauges struct {
 	sync.Mutex
-	n int
+	n     int
+	owner *Cluster
 }
 
 // NewCluster creates a communicator with n ranks. A Send or Recv that waits
@@ -72,11 +77,21 @@ var rankGauges struct {
 // scrape time, so they agree with SentBytes/ReceivedBytes/TotalBytes by
 // construction; creating a new cluster re-points them at the new instance
 // and unregisters any higher-rank gauges left by a larger predecessor.
-func NewCluster(n int) *Cluster {
+func NewCluster(n int) *Cluster { return NewClusterCtx(context.Background(), n) }
+
+// NewClusterCtx is NewCluster bound to a context: when ctx is cancelled,
+// every pending Send/Recv on the cluster unblocks with the context's error
+// (wrapped, so errors.Is(err, context.Canceled) holds) instead of waiting
+// out the deadline. This is how a cancelled simulation releases all of its
+// rank goroutines promptly.
+func NewClusterCtx(ctx context.Context, n int) *Cluster {
 	if n < 1 {
 		panic("comm: cluster needs at least one rank")
 	}
-	c := &Cluster{n: n, timeout: DefaultTimeout,
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := &Cluster{n: n, ctx: ctx, timeout: DefaultTimeout,
 		sent: make([]atomic.Int64, n), recvd: make([]atomic.Int64, n),
 		ops: make([]atomic.Int64, n), down: make(chan struct{})}
 	c.deadRank.Store(-1)
@@ -101,8 +116,32 @@ func NewCluster(n int) *Cluster {
 		obs.UnregisterGaugeFunc(obs.Labeled("comm.recvd_bytes", "rank", rank))
 	}
 	rankGauges.n = n
+	rankGauges.owner = c
 	rankGauges.Unlock()
 	return c
+}
+
+// Unregister retires the cluster's gauge funcs (comm.total_bytes and the
+// per-rank comm.sent_bytes/comm.recvd_bytes series) if this cluster is still
+// the instance behind them. Normally a successor cluster re-points the
+// series and nothing needs retiring; call Unregister when a run abandons its
+// cluster with no successor — a cancelled distributed job — so scrapes stop
+// reporting a dead instance. Safe to call more than once and safe to call on
+// a cluster that was already replaced (both are no-ops).
+func (c *Cluster) Unregister() {
+	rankGauges.Lock()
+	defer rankGauges.Unlock()
+	if rankGauges.owner != c {
+		return
+	}
+	obs.UnregisterGaugeFunc("comm.total_bytes")
+	for r := 0; r < rankGauges.n; r++ {
+		rank := strconv.Itoa(r)
+		obs.UnregisterGaugeFunc(obs.Labeled("comm.sent_bytes", "rank", rank))
+		obs.UnregisterGaugeFunc(obs.Labeled("comm.recvd_bytes", "rank", rank))
+	}
+	rankGauges.n = 0
+	rankGauges.owner = nil
 }
 
 // Size returns the number of ranks.
@@ -188,14 +227,28 @@ func (r *Rank) disarm() {
 	}
 }
 
+// ctxErr reports the cluster context's cancellation as the error a rank
+// operation returns, or nil while the context is live. The context error is
+// wrapped, so callers can match it with errors.Is(err, context.Canceled).
+func (c *Cluster) ctxErr(rank int) error {
+	if err := c.ctx.Err(); err != nil {
+		return fmt.Errorf("comm: rank %d cancelled: %w", rank, err)
+	}
+	return nil
+}
+
 // Send transfers data to rank `to`. Self-sends are local copies and are not
 // counted as communication, mirroring how MPI implementations short-circuit
 // them in shared memory. Send fails with ErrRankDead as soon as any rank of
-// the cluster has died, and with a timeout error if the destination mailbox
-// stays full past the cluster deadline.
+// the cluster has died, with the context error when the cluster's context is
+// cancelled, and with a timeout error if the destination mailbox stays full
+// past the cluster deadline.
 func (r *Rank) Send(to int, data []complex128) error {
 	if to < 0 || to >= r.c.n {
 		return fmt.Errorf("comm: rank %d sent to invalid rank %d", r.ID, to)
+	}
+	if err := r.c.ctxErr(r.ID); err != nil {
+		return err
 	}
 	if err := r.c.faultOp(r.ID); err != nil {
 		return err
@@ -225,16 +278,23 @@ func (r *Rank) Send(to int, data []complex128) error {
 	case <-r.c.down:
 		r.disarm()
 		return r.c.deadErr(r.ID)
+	case <-r.c.ctx.Done():
+		r.disarm()
+		return r.c.ctxErr(r.ID)
 	case <-dl:
 		return fmt.Errorf("comm: rank %d send to %d timed out after %v (mailbox full — protocol mismatch?)", r.ID, to, r.c.timeout)
 	}
 }
 
 // Recv blocks until a message from rank `from` arrives, the cluster is
-// marked failed (ErrRankDead), or the deadline passes.
+// marked failed (ErrRankDead), the cluster's context is cancelled, or the
+// deadline passes.
 func (r *Rank) Recv(from int) ([]complex128, error) {
 	if from < 0 || from >= r.c.n {
 		return nil, fmt.Errorf("comm: rank %d received from invalid rank %d", r.ID, from)
+	}
+	if err := r.c.ctxErr(r.ID); err != nil {
+		return nil, err
 	}
 	if err := r.c.faultOp(r.ID); err != nil {
 		return nil, err
@@ -254,6 +314,9 @@ func (r *Rank) Recv(from int) ([]complex128, error) {
 	case <-r.c.down:
 		r.disarm()
 		return nil, r.c.deadErr(r.ID)
+	case <-r.c.ctx.Done():
+		r.disarm()
+		return nil, r.c.ctxErr(r.ID)
 	case <-dl:
 		return nil, fmt.Errorf("comm: rank %d recv from %d timed out after %v (deadlock or dead peer)", r.ID, from, r.c.timeout)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -61,8 +62,14 @@ func (c *Checkpoint) Compatible(p device.Params) error {
 // first GF phase immediately uses the saved Σ/Π, so a resumed run continues
 // where the saved one stopped (up to the mixing state, which restarts).
 func (s *Simulator) RunFrom(ck *Checkpoint) (*Result, error) {
+	return s.RunFromCtx(context.Background(), ck)
+}
+
+// RunFromCtx is RunFrom bound to a context, with RunCtx's cancellation
+// semantics (checked at iteration boundaries and per GF grid point).
+func (s *Simulator) RunFromCtx(ctx context.Context, ck *Checkpoint) (*Result, error) {
 	if err := ck.Compatible(s.Dev.P); err != nil {
 		return nil, err
 	}
-	return s.run(ck)
+	return s.run(ctx, ck)
 }

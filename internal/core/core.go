@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -321,7 +322,7 @@ func (s *Simulator) extractPhonon(qz, w int, res *rgf.PhononResult, dl, dg *tens
 // (qz, ω) phonon points, dynamically scheduled over the persistent worker
 // pool (at most Workers concurrent points). It returns fresh Green's
 // function tensors and accumulated contact observables.
-func (s *Simulator) gfPhase(sigR, sigL, sigG *tensor.GTensor, piR, piL, piG *tensor.DTensor) (
+func (s *Simulator) gfPhase(ctx context.Context, sigR, sigL, sigG *tensor.GTensor, piR, piL, piG *tensor.DTensor) (
 	gl, gg *tensor.GTensor, dl, dg *tensor.DTensor, o Observables, err error) {
 	p := s.Dev.P
 	gl = tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb)
@@ -402,6 +403,16 @@ func (s *Simulator) gfPhase(sigR, sigL, sigG *tensor.GTensor, piR, piL, piG *ten
 				if idx >= len(jobs) {
 					return
 				}
+				// Cancellation is checked per grid point, so a cancelled run
+				// drains within one RGF solve rather than one full phase.
+				if cerr := ctx.Err(); cerr != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: GF phase cancelled: %w", cerr)
+					}
+					mu.Unlock()
+					return
+				}
 				run(jobs[idx])
 			}
 		}
@@ -414,11 +425,20 @@ func (s *Simulator) gfPhase(sigR, sigL, sigG *tensor.GTensor, piR, piL, piG *ten
 }
 
 // Run executes the self-consistent Born loop: Σ = Π = 0, GF phase, SSE
-// phase, mix, repeat until the Green's functions stop changing (§2).
-func (s *Simulator) Run() (*Result, error) { return s.run(nil) }
+// phase, mix, repeat until the Green's functions stop changing (§2). It is
+// RunCtx under context.Background() — uncancellable, for batch callers.
+func (s *Simulator) Run() (*Result, error) { return s.RunCtx(context.Background()) }
+
+// RunCtx is Run bound to a context. Cancellation is observed at every Born
+// iteration boundary and inside the GF phase's per-grid-point loop, so a
+// cancelled run returns (with an error wrapping ctx.Err()) well within one
+// Born iteration. The partially computed result is discarded; callers that
+// need restartability should checkpoint via OnIteration or use the
+// fault-tolerant distributed runner.
+func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) { return s.run(ctx, nil) }
 
 // run is the Born loop, optionally seeded with checkpointed self-energies.
-func (s *Simulator) run(ck *Checkpoint) (*Result, error) {
+func (s *Simulator) run(ctx context.Context, ck *Checkpoint) (*Result, error) {
 	res := &Result{}
 	var sigR, sigL, sigG *tensor.GTensor
 	var piR, piL, piG *tensor.DTensor
@@ -439,13 +459,16 @@ func (s *Simulator) run(ck *Checkpoint) (*Result, error) {
 	}
 
 	for iter := 0; iter < s.Opts.MaxIter; iter++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: run cancelled before iteration %d: %w", iter+1, cerr)
+		}
 		st := IterStats{Iter: iter + 1, Residual: math.NaN()}
 		var snap []obs.TimerStat
 		if s.Opts.OnIteration != nil && obs.Enabled() {
 			snap = obs.TimerStats()
 		}
 		t0 := time.Now()
-		gl, gg, dl, dg, o, err := s.gfPhase(sigR, sigL, sigG, piR, piL, piG)
+		gl, gg, dl, dg, o, err := s.gfPhase(ctx, sigR, sigL, sigG, piR, piL, piG)
 		if err != nil {
 			return nil, err
 		}

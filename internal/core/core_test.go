@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -134,7 +135,7 @@ func TestHeatCurrentsFlowFromHotContact(t *testing.T) {
 func TestDistributedSSEMatchesSerial(t *testing.T) {
 	opts := DefaultOptions()
 	s := miniSim(t, opts)
-	gl, gg, dl, dg, _, err := s.gfPhase(nil, nil, nil, nil, nil, nil)
+	gl, gg, dl, dg, _, err := s.gfPhase(context.Background(), nil, nil, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestDistributedSSEMatchesSerial(t *testing.T) {
 func TestDistributedSSETrafficNearModel(t *testing.T) {
 	opts := DefaultOptions()
 	s := miniSim(t, opts)
-	gl, gg, dl, dg, _, err := s.gfPhase(nil, nil, nil, nil, nil, nil)
+	gl, gg, dl, dg, _, err := s.gfPhase(context.Background(), nil, nil, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestDistributedSSETrafficNearModel(t *testing.T) {
 
 func TestDistributedSSEErrors(t *testing.T) {
 	s := miniSim(t, DefaultOptions())
-	gl, gg, dl, dg, _, err := s.gfPhase(nil, nil, nil, nil, nil, nil)
+	gl, gg, dl, dg, _, err := s.gfPhase(context.Background(), nil, nil, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestSearchTilesIntegration(t *testing.T) {
 	if best.TE*best.TA != 4 {
 		t.Fatalf("search returned %d×%d", best.TE, best.TA)
 	}
-	gl, gg, dl, dg, _, err := s.gfPhase(nil, nil, nil, nil, nil, nil)
+	gl, gg, dl, dg, _, err := s.gfPhase(context.Background(), nil, nil, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -31,20 +32,24 @@ var (
 // device is charge-neutral by construction and the first potential is the
 // pure Laplace (geometry) solution.
 
-// GateSpec drives the electrostatic boundary and the Gummel iteration.
+// GateSpec drives the electrostatic boundary and the Gummel iteration. The
+// JSON tags are the schema of the optional "gate" section of RunConfig.
 type GateSpec struct {
-	VG     float64 // gate voltage (top row between the contacts)
-	VS, VD float64 // source/drain contact potentials
+	// VG is the gate voltage (top row between the contacts).
+	VG float64 `json:"vg"`
+	// VS, VD are the source/drain contact potentials.
+	VS float64 `json:"vs"`
+	VD float64 `json:"vd"`
 
 	// Coupling converts charge imbalance to Poisson source strength
 	// (absorbs q²/ε into one synthetic constant).
-	Coupling float64
+	Coupling float64 `json:"coupling"`
 	// Damping is the Gummel potential update factor in (0, 1].
-	Damping float64
+	Damping float64 `json:"damping"`
 	// MaxOuter bounds the Gummel iterations.
-	MaxOuter int
+	MaxOuter int `json:"max_outer"`
 	// Tol is the convergence threshold on max |Δφ| (volts).
-	Tol float64
+	Tol float64 `json:"tol"`
 }
 
 // DefaultGate returns a stable Gummel configuration.
@@ -105,6 +110,14 @@ func (s *Simulator) applyPotential(phi []float64) {
 // contact chemical potentials are shifted by the applied source/drain
 // potentials so the electrochemical picture stays consistent.
 func (s *Simulator) RunWithPoisson(g GateSpec) (*ElectrostaticResult, error) {
+	return s.RunWithPoissonCtx(context.Background(), g)
+}
+
+// RunWithPoissonCtx is RunWithPoisson bound to a context: cancellation is
+// observed at every Gummel outer iteration boundary and, through RunCtx,
+// inside the NEGF run of each outer iteration, so cancel latency stays
+// bounded by one Born iteration even mid-Gummel.
+func (s *Simulator) RunWithPoissonCtx(ctx context.Context, g GateSpec) (*ElectrostaticResult, error) {
 	p := s.Dev.P
 	if g.MaxOuter <= 0 {
 		return nil, errors.New("core: GateSpec.MaxOuter must be positive")
@@ -118,9 +131,12 @@ func (s *Simulator) RunWithPoisson(g GateSpec) (*ElectrostaticResult, error) {
 	out := &ElectrostaticResult{Potential: phi}
 
 	for outer := 0; outer < g.MaxOuter; outer++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: Gummel loop cancelled before outer %d: %w", outer, cerr)
+		}
 		outerStart := time.Now()
 		s.applyPotential(phi)
-		res, err := s.Run()
+		res, err := s.RunCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("core: Gummel outer %d: %w", outer, err)
 		}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"negfsim/internal/device"
+	"negfsim/internal/sse"
+)
+
+// RunConfig is the one versioned description of a simulation run, shared by
+// every frontend: cmd/qtsim consumes it from -config (with flags overriding
+// individual fields) and cmd/qtsimd accepts it as the body of a job
+// submission. It replaces the ad-hoc flag soup as the single way to say
+// "run this device under these solver settings", so a config that produced
+// a result on the command line can be POSTed to the service unchanged.
+//
+// The schema is flat JSON with snake_case keys (see examples/run.json).
+// Unknown fields are rejected, so typos fail at parse time instead of
+// silently running defaults.
+type RunConfig struct {
+	// Version is the config schema version; this build writes and accepts
+	// RunConfigVersion. Zero means "current" so hand-written configs may
+	// omit it, but persisted configs always carry it explicitly.
+	Version int `json:"version"`
+
+	// Device is the structure to simulate (Table 1 parameters).
+	Device device.Params `json:"device"`
+
+	// Variant selects the SSE kernel: "reference", "omen" or "dace".
+	Variant string `json:"variant"`
+	// MaxIter bounds the Born iteration count.
+	MaxIter int `json:"max_iter"`
+	// Tol is the convergence threshold on the relative change of G^≷.
+	Tol float64 `json:"tol"`
+	// Mixing is the self-energy mixing factor in (0, 1].
+	Mixing float64 `json:"mixing"`
+	// Mixer selects the update rule: "linear" (default) or "anderson".
+	Mixer string `json:"mixer,omitempty"`
+	// AndersonHistory is the Anderson mixer's history depth (0 = default).
+	AndersonHistory int `json:"anderson_history,omitempty"`
+	// Bias is the source-drain bias MuL−MuR in eV (split symmetrically).
+	Bias float64 `json:"bias"`
+	// KT is the electron thermal energy in eV.
+	KT float64 `json:"kt"`
+	// Workers bounds the shared-memory parallelism of this run; 0 lets the
+	// runner choose (GOMAXPROCS for qtsim, the per-job share for qtsimd).
+	Workers int `json:"workers,omitempty"`
+
+	// Dist, when non-empty, runs the SSE phase on a simulated TExTA rank
+	// grid ("2x2") with fault tolerance.
+	Dist string `json:"dist,omitempty"`
+	// CommTimeoutMs bounds every Send/Recv of the simulated cluster in
+	// milliseconds; 0 keeps comm.DefaultTimeout.
+	CommTimeoutMs int `json:"comm_timeout_ms,omitempty"`
+
+	// Gate, when non-nil, wraps the run in the coupled NEGF–Poisson
+	// (Gummel) loop. Mutually exclusive with Dist.
+	Gate *GateSpec `json:"gate,omitempty"`
+}
+
+// RunConfigVersion is the RunConfig schema version this build writes and
+// accepts.
+const RunConfigVersion = 1
+
+// DefaultRunConfig returns the laptop-scale baseline configuration — the
+// same run the zero-flag qtsim invocation has always performed.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Version: RunConfigVersion,
+		Device: device.Params{
+			Nkz: 3, Nqz: 3, NE: 16, Nw: 4,
+			NA: 24, NB: 4, Norb: 2, N3D: 3,
+			Rows: 4, Bnum: 3,
+			Emin: -1, Emax: 1, Seed: 7,
+		},
+		Variant: "dace",
+		MaxIter: 6,
+		Tol:     1e-4,
+		Mixing:  0.5,
+		Bias:    0.4,
+		KT:      0.025,
+	}
+}
+
+// ParseRunConfig decodes a RunConfig from JSON. Decoding is strict (unknown
+// fields are errors), a missing version is normalized to the current one,
+// and the result is validated.
+func ParseRunConfig(data []byte) (*RunConfig, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c RunConfig
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("core: parsing run config: %w", err)
+	}
+	if c.Version == 0 {
+		c.Version = RunConfigVersion
+	}
+	if c.Version != RunConfigVersion {
+		return nil, fmt.Errorf("core: run config version %d not supported (this build speaks version %d)",
+			c.Version, RunConfigVersion)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// LoadRunConfig reads and parses a RunConfig file.
+func LoadRunConfig(path string) (*RunConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading run config: %w", err)
+	}
+	c, err := ParseRunConfig(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Marshal renders the config as indented JSON (the format LoadRunConfig
+// reads back and the golden file in examples/ pins).
+func (c *RunConfig) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Validate checks the config: device parameters, solver ranges, variant and
+// mixer names, and the distributed grid shape.
+func (c *RunConfig) Validate() error {
+	if err := c.Device.Validate(); err != nil {
+		return err
+	}
+	if _, err := c.SSEVariant(); err != nil {
+		return err
+	}
+	if _, err := c.mixerKind(); err != nil {
+		return err
+	}
+	if c.MaxIter <= 0 {
+		return fmt.Errorf("core: run config: max_iter must be positive, got %d", c.MaxIter)
+	}
+	if c.Tol <= 0 {
+		return fmt.Errorf("core: run config: tol must be positive, got %g", c.Tol)
+	}
+	if c.Mixing <= 0 || c.Mixing > 1 {
+		return fmt.Errorf("core: run config: mixing %g outside (0, 1]", c.Mixing)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: run config: workers must be non-negative, got %d", c.Workers)
+	}
+	if c.CommTimeoutMs < 0 {
+		return fmt.Errorf("core: run config: comm_timeout_ms must be non-negative, got %d", c.CommTimeoutMs)
+	}
+	if c.Dist != "" {
+		te, ta, err := c.DistGrid()
+		if err != nil {
+			return err
+		}
+		if c.Gate != nil {
+			return fmt.Errorf("core: run config: dist and gate are mutually exclusive (the Poisson loop runs serial)")
+		}
+		if procs := te * ta; c.Device.NE < procs {
+			return fmt.Errorf("core: run config: %d energies cannot feed %d ranks", c.Device.NE, procs)
+		}
+	}
+	if c.Gate != nil {
+		if c.Gate.MaxOuter <= 0 {
+			return fmt.Errorf("core: run config: gate.max_outer must be positive, got %d", c.Gate.MaxOuter)
+		}
+		if c.Gate.Damping <= 0 || c.Gate.Damping > 1 {
+			return fmt.Errorf("core: run config: gate.damping %g outside (0, 1]", c.Gate.Damping)
+		}
+	}
+	return nil
+}
+
+// SSEVariant parses the config's variant name.
+func (c *RunConfig) SSEVariant() (sse.Variant, error) {
+	switch strings.ToLower(c.Variant) {
+	case "reference":
+		return sse.Reference, nil
+	case "omen":
+		return sse.OMEN, nil
+	case "", "dace":
+		return sse.DaCe, nil
+	}
+	return 0, fmt.Errorf("core: run config: unknown variant %q (want reference, omen or dace)", c.Variant)
+}
+
+// mixerKind parses the config's mixer name.
+func (c *RunConfig) mixerKind() (MixerKind, error) {
+	switch strings.ToLower(c.Mixer) {
+	case "", "linear":
+		return Linear, nil
+	case "anderson":
+		return Anderson, nil
+	}
+	return 0, fmt.Errorf("core: run config: unknown mixer %q (want linear or anderson)", c.Mixer)
+}
+
+// DistGrid parses the "TExTA" distributed grid spec; (0, 0) when the config
+// does not request a distributed run.
+func (c *RunConfig) DistGrid() (te, ta int, err error) {
+	if c.Dist == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(c.Dist, "%dx%d", &te, &ta); err != nil || te < 1 || ta < 1 {
+		return 0, 0, fmt.Errorf("core: run config: dist must look like TExTA (e.g. 2x2), got %q", c.Dist)
+	}
+	return te, ta, nil
+}
+
+// Options translates the config into solver Options. The config is assumed
+// validated; defaults fill the fields RunConfig does not cover (broadening,
+// phonon contact temperatures).
+func (c *RunConfig) Options() (Options, error) {
+	variant, err := c.SSEVariant()
+	if err != nil {
+		return Options{}, err
+	}
+	mixer, err := c.mixerKind()
+	if err != nil {
+		return Options{}, err
+	}
+	opts := DefaultOptions()
+	opts.Variant = variant
+	opts.MaxIter = c.MaxIter
+	opts.Tol = c.Tol
+	opts.Mixing = c.Mixing
+	opts.Mixer = mixer
+	opts.AndersonHistory = c.AndersonHistory
+	opts.Contacts.MuL = c.Bias / 2
+	opts.Contacts.MuR = -c.Bias / 2
+	opts.Contacts.KT = c.KT
+	opts.Workers = c.Workers
+	return opts, nil
+}
+
+// DistConfig translates the config's distributed section into the
+// fault-tolerant runner's configuration; the zero DistConfig (and false)
+// when the config does not request a distributed run.
+func (c *RunConfig) DistConfig() (DistConfig, bool, error) {
+	te, ta, err := c.DistGrid()
+	if err != nil || te == 0 {
+		return DistConfig{}, false, err
+	}
+	return DistConfig{
+		TE: te, TA: ta,
+		CommTimeout: time.Duration(c.CommTimeoutMs) * time.Millisecond,
+	}, true, nil
+}
+
+// NewSimulator builds the device and simulator the config describes.
+func (c *RunConfig) NewSimulator() (*Simulator, error) {
+	opts, err := c.Options()
+	if err != nil {
+		return nil, err
+	}
+	return c.NewSimulatorWith(opts)
+}
+
+// NewSimulatorWith builds the configured device and a simulator over it
+// using caller-prepared options — for frontends that decorate the config's
+// Options (iteration hooks, per-job worker budgets) before construction.
+func (c *RunConfig) NewSimulatorWith(opts Options) (*Simulator, error) {
+	dev, err := device.New(c.Device)
+	if err != nil {
+		return nil, err
+	}
+	return New(dev, opts), nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"negfsim/internal/sse"
+)
+
+// TestRunConfigGoldenRoundTrip pins the config wire format: the checked-in
+// examples/run.json must be byte-identical to the marshalled default config,
+// and parsing it back must reproduce the default exactly. A failure here
+// means the schema changed — bump RunConfigVersion and regenerate the
+// example deliberately, never by accident.
+func TestRunConfigGoldenRoundTrip(t *testing.T) {
+	golden, err := os.ReadFile("../../examples/run.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultRunConfig()
+	out, err := def.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(golden) {
+		t.Fatalf("marshalled default config differs from examples/run.json:\n--- marshalled\n%s\n--- golden\n%s", out, golden)
+	}
+	parsed, err := ParseRunConfig(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *parsed != def {
+		t.Fatalf("round-tripped config differs:\n got %+v\nwant %+v", *parsed, def)
+	}
+	// And the round trip of the round trip is stable.
+	again, err := parsed.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(golden) {
+		t.Fatal("second marshal differs from golden")
+	}
+}
+
+func TestParseRunConfigRejectsUnknownFieldsAndVersions(t *testing.T) {
+	if _, err := ParseRunConfig([]byte(`{"version": 1, "variannt": "dace"}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseRunConfig([]byte(`{"version": 99}`)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+func TestParseRunConfigNormalizesMissingVersion(t *testing.T) {
+	def := DefaultRunConfig()
+	def.Version = 0
+	raw, err := def.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseRunConfig(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version != RunConfigVersion {
+		t.Fatalf("Version = %d, want %d", c.Version, RunConfigVersion)
+	}
+}
+
+func TestRunConfigValidate(t *testing.T) {
+	bad := func(mut func(*RunConfig)) error {
+		c := DefaultRunConfig()
+		mut(&c)
+		return c.Validate()
+	}
+	for name, mut := range map[string]func(*RunConfig){
+		"zero device":      func(c *RunConfig) { c.Device.NA = 0 },
+		"bad variant":      func(c *RunConfig) { c.Variant = "cuda" },
+		"bad mixer":        func(c *RunConfig) { c.Mixer = "broyden" },
+		"zero iters":       func(c *RunConfig) { c.MaxIter = 0 },
+		"zero tol":         func(c *RunConfig) { c.Tol = 0 },
+		"mixing too big":   func(c *RunConfig) { c.Mixing = 1.5 },
+		"bad dist":         func(c *RunConfig) { c.Dist = "2by2" },
+		"dist too wide":    func(c *RunConfig) { c.Dist = "8x8" },
+		"dist plus gate":   func(c *RunConfig) { c.Dist = "2x2"; g := DefaultGate(0.2, 0); c.Gate = &g },
+		"gate no outer":    func(c *RunConfig) { g := DefaultGate(0.2, 0); g.MaxOuter = 0; c.Gate = &g },
+		"negative workers": func(c *RunConfig) { c.Workers = -1 },
+	} {
+		if err := bad(mut); err == nil {
+			t.Errorf("%s: Validate accepted an invalid config", name)
+		}
+	}
+	c := DefaultRunConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestRunConfigOptionsMapping(t *testing.T) {
+	c := DefaultRunConfig()
+	c.Variant = "omen"
+	c.Mixer = "anderson"
+	c.AndersonHistory = 5
+	c.Bias = 0.6
+	c.KT = 0.03
+	c.Workers = 2
+	opts, err := c.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Variant != sse.OMEN || opts.Mixer != Anderson || opts.AndersonHistory != 5 {
+		t.Fatalf("solver selection not mapped: %+v", opts)
+	}
+	if opts.Contacts.MuL != 0.3 || opts.Contacts.MuR != -0.3 || opts.Contacts.KT != 0.03 {
+		t.Fatalf("contacts not mapped: %+v", opts.Contacts)
+	}
+	if opts.Workers != 2 {
+		t.Fatalf("Workers = %d, want 2", opts.Workers)
+	}
+	// Defaults the config does not cover come from DefaultOptions.
+	if opts.Eta != DefaultOptions().Eta {
+		t.Fatalf("Eta = %g, want default %g", opts.Eta, DefaultOptions().Eta)
+	}
+}
+
+func TestRunConfigDistConfig(t *testing.T) {
+	c := DefaultRunConfig()
+	if _, ok, err := c.DistConfig(); ok || err != nil {
+		t.Fatalf("serial config reported a distributed run (ok=%v, err=%v)", ok, err)
+	}
+	c.Dist = "2x2"
+	c.CommTimeoutMs = 1500
+	dc, ok, err := c.DistConfig()
+	if err != nil || !ok {
+		t.Fatalf("DistConfig: ok=%v, err=%v", ok, err)
+	}
+	if dc.TE != 2 || dc.TA != 2 || dc.CommTimeout != 1500*time.Millisecond {
+		t.Fatalf("DistConfig = %+v", dc)
+	}
+}
+
+// TestRunConfigRunMatchesHandBuiltRun pins the contract behind config-driven
+// frontends: a run assembled through RunConfig must be digit-for-digit the
+// run assembled by hand from the same numbers.
+func TestRunConfigRunMatchesHandBuiltRun(t *testing.T) {
+	c := DefaultRunConfig()
+	c.MaxIter = 3
+	sim, err := c.NewSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := DefaultOptions()
+	opts.MaxIter = 3
+	opts.Tol = c.Tol
+	opts.Mixing = c.Mixing
+	opts.Contacts.MuL = c.Bias / 2
+	opts.Contacts.MuR = -c.Bias / 2
+	opts.Contacts.KT = c.KT
+	want, err := miniSim(t, opts).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := want.GLess.MaxAbsDiff(got.GLess); d != 0 {
+		t.Fatalf("config-built run diverged from hand-built run: %g", d)
+	}
+	if got.Obs.CurrentL != want.Obs.CurrentL {
+		t.Fatalf("currents differ: %g vs %g", got.Obs.CurrentL, want.Obs.CurrentL)
+	}
+}

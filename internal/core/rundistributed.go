@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -95,6 +96,18 @@ func (s *Simulator) RunDistributed(te, ta int) (*Result, int64, error) {
 // kernels instead of dying, so a run always either completes or reports a
 // non-transient error.
 func (s *Simulator) RunDistributedFT(cfg DistConfig) (*Result, int64, error) {
+	return s.RunDistributedFTCtx(context.Background(), cfg)
+}
+
+// RunDistributedFTCtx is RunDistributedFT bound to a context. Cancellation
+// is observed at Born iteration boundaries, per GF grid point, and inside
+// every blocked Send/Recv of the simulated cluster (the per-iteration
+// cluster is built with NewClusterCtx), so a cancelled run releases all of
+// its rank goroutines within microseconds of the cancel. A cancelled run is
+// terminal — it is never treated as a rank failure to recover from — and it
+// unregisters the abandoned cluster's per-rank byte gauges so scrapes do not
+// keep reporting a dead instance.
+func (s *Simulator) RunDistributedFTCtx(ctx context.Context, cfg DistConfig) (*Result, int64, error) {
 	te, ta := cfg.TE, cfg.TA
 	if err := s.checkGrid(te, ta); err != nil {
 		return nil, 0, err
@@ -115,6 +128,16 @@ func (s *Simulator) RunDistributedFT(cfg DistConfig) (*Result, int64, error) {
 	var totalBytes int64
 	var ck *memCheckpoint
 	faultArmed := cfg.Fault != nil
+	// lastCluster is the most recent per-iteration cluster, the current
+	// owner of the per-rank byte gauges. Every cancelled return unregisters
+	// it so scrapes stop reporting the abandoned run; normal completions
+	// keep the series live for post-run scraping.
+	var lastCluster *comm.Cluster
+	unregister := func() {
+		if lastCluster != nil {
+			lastCluster.Unregister()
+		}
+	}
 	if cfg.Resume != nil {
 		if err := cfg.Resume.Compatible(s.Dev.P); err != nil {
 			return nil, 0, err
@@ -126,14 +149,21 @@ func (s *Simulator) RunDistributedFT(cfg DistConfig) (*Result, int64, error) {
 	}
 
 	for iter := 0; iter < s.Opts.MaxIter; iter++ {
+		if cerr := ctx.Err(); cerr != nil {
+			unregister()
+			return nil, totalBytes, fmt.Errorf("core: distributed run cancelled before iteration %d: %w", iter+1, cerr)
+		}
 		st := IterStats{Iter: iter + 1, Residual: math.NaN()}
 		var snap []obs.TimerStat
 		if s.Opts.OnIteration != nil && obs.Enabled() {
 			snap = obs.TimerStats()
 		}
 		t0 := time.Now()
-		gl, gg, dl, dg, o, err := s.gfPhase(sigR, sigL, sigG, piR, piL, piG)
+		gl, gg, dl, dg, o, err := s.gfPhase(ctx, sigR, sigL, sigG, piR, piL, piG)
 		if err != nil {
+			if ctx.Err() != nil {
+				unregister()
+			}
 			return nil, totalBytes, err
 		}
 		st.GF = time.Since(t0)
@@ -171,7 +201,8 @@ func (s *Simulator) RunDistributedFT(cfg DistConfig) (*Result, int64, error) {
 				plan = cfg.Fault
 				faultArmed = false
 			}
-			cluster := comm.NewCluster(te * ta)
+			cluster := comm.NewClusterCtx(ctx, te*ta)
+			lastCluster = cluster
 			if cfg.CommTimeout > 0 {
 				cluster.SetTimeout(cfg.CommTimeout)
 			}
@@ -180,6 +211,13 @@ func (s *Simulator) RunDistributedFT(cfg DistConfig) (*Result, int64, error) {
 			}
 			dist, err = s.distributedSSEOn(cluster, in, te, ta)
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					// Cancellation, not a rank failure: release the abandoned
+					// cluster's gauge series and return without recovering.
+					cluster.Unregister()
+					return nil, totalBytes + cluster.TotalBytes(),
+						fmt.Errorf("core: distributed run cancelled during iteration %d: %w", iter+1, cerr)
+				}
 				if !errors.Is(err, comm.ErrRankDead) {
 					return nil, totalBytes, err
 				}

@@ -16,22 +16,27 @@ import (
 	"fmt"
 )
 
-// Params collects the simulation parameters of Table 1 of the paper.
+// Params collects the simulation parameters of Table 1 of the paper. The
+// JSON tags are the schema of the "device" section of core.RunConfig, so
+// renaming one is a config-format change (bump core.RunConfigVersion).
 type Params struct {
-	Nkz  int // electron momentum points            [1, 21]
-	Nqz  int // phonon momentum points               [1, 21]
-	NE   int // energy points                        [700, 1500]
-	Nw   int // phonon frequencies                   [10, 100]
-	NA   int // total atoms in the structure
-	NB   int // neighbors considered per atom        [4, 50]
-	Norb int // orbitals per atom                    [1, 30]
-	N3D  int // crystal vibration directions (always 3)
-	Bnum int // RGF blocks (block tri-diagonal split)
+	Nkz  int `json:"nkz"`  // electron momentum points            [1, 21]
+	Nqz  int `json:"nqz"`  // phonon momentum points               [1, 21]
+	NE   int `json:"ne"`   // energy points                        [700, 1500]
+	Nw   int `json:"nw"`   // phonon frequencies                   [10, 100]
+	NA   int `json:"na"`   // total atoms in the structure
+	NB   int `json:"nb"`   // neighbors considered per atom        [4, 50]
+	Norb int `json:"norb"` // orbitals per atom                    [1, 30]
+	N3D  int `json:"n3d"`  // crystal vibration directions (always 3)
+	Bnum int `json:"bnum"` // RGF blocks (block tri-diagonal split)
 
-	Rows int // atoms per column in the 2-D slice (fin height direction)
+	Rows int `json:"rows"` // atoms per column in the 2-D slice (fin height direction)
 
-	Emin, Emax float64 // electron energy window [eV]
-	Seed       uint64  // deterministic structure seed
+	// Emin, Emax bound the electron energy window [eV].
+	Emin float64 `json:"emin"`
+	Emax float64 `json:"emax"`
+	// Seed is the deterministic structure seed.
+	Seed uint64 `json:"seed"`
 }
 
 // Validate checks internal consistency of the parameters.

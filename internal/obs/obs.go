@@ -147,6 +147,21 @@ func RegisterGaugeFunc(name string, fn func() int64) {
 	registry.gaugeFuncs[name] = fn
 }
 
+// Unregister removes whatever instrument is registered under name —
+// counter, gauge, gauge func and timer alike. Producers holding a cached
+// pointer can keep recording into it harmlessly; the series simply stops
+// being scraped. Use it to retire per-instance labelled series whose
+// instance is gone for good — e.g. the per-job counters of an evicted
+// qtsimd job — so a long-lived process's registry stays bounded.
+func Unregister(name string) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	delete(registry.counters, name)
+	delete(registry.gauges, name)
+	delete(registry.gaugeFuncs, name)
+	delete(registry.timers, name)
+}
+
 // UnregisterGaugeFunc removes the gauge func registered under name, if any.
 // Use it when the structure a func reads is being retired and no successor
 // replaces the series — e.g. the per-rank byte gauges of a comm.Cluster

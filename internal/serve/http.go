@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"negfsim/internal/core"
+	"negfsim/internal/obs"
+)
+
+// API is the HTTP/JSON face of a Scheduler. All endpoints are under /v1:
+//
+//	POST /v1/jobs               submit a core.RunConfig → 202 + Status
+//	GET  /v1/jobs               list jobs in submission order
+//	GET  /v1/jobs/{id}          one job's Status
+//	POST /v1/jobs/{id}/cancel   request cancellation → Status after
+//	GET  /v1/jobs/{id}/stream   NDJSON IterRecords, live until terminal
+//	GET  /v1/jobs/{id}/result   converged observables of a succeeded job
+//	GET  /v1/jobs/{id}/checkpoint  gob checkpoint of a succeeded job
+//	GET  /healthz               liveness + queue snapshot
+//	GET  /metrics               obs exposition (Prometheus text format)
+//
+// Admission failures map to the HTTP status codes clients expect from a
+// bounded service: a full queue is 429 Too Many Requests, a draining
+// scheduler is 503 Service Unavailable.
+type API struct {
+	s   *Scheduler
+	mux *http.ServeMux
+}
+
+// NewAPI wraps a scheduler in its HTTP handler.
+func NewAPI(s *Scheduler) *API {
+	a := &API{s: s, mux: http.NewServeMux()}
+	a.mux.HandleFunc("POST /v1/jobs", a.submit)
+	a.mux.HandleFunc("GET /v1/jobs", a.list)
+	a.mux.HandleFunc("GET /v1/jobs/{id}", a.status)
+	a.mux.HandleFunc("POST /v1/jobs/{id}/cancel", a.cancel)
+	a.mux.HandleFunc("GET /v1/jobs/{id}/stream", a.stream)
+	a.mux.HandleFunc("GET /v1/jobs/{id}/result", a.result)
+	a.mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", a.checkpoint)
+	a.mux.HandleFunc("GET /healthz", a.healthz)
+	a.mux.Handle("GET /metrics", obs.Handler())
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// job resolves the {id} path value, writing a 404 when it is gone (never
+// submitted, or evicted by retention).
+func (a *API) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := a.s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (a *API) submit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	var cfg core.RunConfig
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding run config: %v", err)
+		return
+	}
+	if cfg.Version == 0 {
+		cfg.Version = core.RunConfigVersion
+	}
+	if cfg.Version != core.RunConfigVersion {
+		writeError(w, http.StatusBadRequest,
+			"run config version %d not supported (this build speaks version %d)",
+			cfg.Version, core.RunConfigVersion)
+		return
+	}
+	j, err := a.s.Submit(cfg)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, j.Status())
+	}
+}
+
+func (a *API) list(w http.ResponseWriter, r *http.Request) {
+	jobs := a.s.Jobs()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) status(w http.ResponseWriter, r *http.Request) {
+	if j, ok := a.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (a *API) cancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := a.job(w, r)
+	if !ok {
+		return
+	}
+	if _, err := a.s.Cancel(j.ID()); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// stream writes the job's iteration records as NDJSON, one object per
+// line, starting at ?from= (default 0) and following live until the job
+// reaches a terminal state or the client disconnects. Records are replayed
+// from the job's log, so a client connecting late sees every iteration —
+// there is no subscription window to miss.
+func (a *API) stream(w http.ResponseWriter, r *http.Request) {
+	j, ok := a.job(w, r)
+	if !ok {
+		return
+	}
+	from := 0
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "from must be a non-negative integer, got %q", s)
+			return
+		}
+		from = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := from; ; i++ {
+		rec, more := j.WaitIter(r.Context(), i)
+		if !more {
+			return
+		}
+		if err := enc.Encode(rec); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// ResultDoc is the JSON body of the result endpoint: the scalar run
+// outcome plus the physical observables — the same quantities qtsim
+// prints, so service and CLI runs can be diffed field by field.
+type ResultDoc struct {
+	// ID is the job; Iterations/Converged/Recoveries summarize the run.
+	ID         string `json:"id"`
+	Iterations int    `json:"iterations"`
+	Converged  bool   `json:"converged"`
+	Recoveries int    `json:"recoveries"`
+	// Residuals is the per-iteration relative G change.
+	Residuals []float64 `json:"residuals"`
+	// Observables are the physical outputs (currents, heat, dissipation).
+	Observables core.Observables `json:"observables"`
+	// Bytes is the simulated exchange traffic of a distributed run.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+func (a *API) result(w http.ResponseWriter, r *http.Request) {
+	j, ok := a.job(w, r)
+	if !ok {
+		return
+	}
+	res, ok := j.Result()
+	if !ok {
+		writeError(w, http.StatusConflict, "job %q has no result (state %q)", j.ID(), j.Status().State)
+		return
+	}
+	writeJSON(w, http.StatusOK, ResultDoc{
+		ID:          j.ID(),
+		Iterations:  res.Iterations,
+		Converged:   res.Converged,
+		Recoveries:  res.Recoveries,
+		Residuals:   res.Residuals,
+		Observables: res.Obs,
+		Bytes:       j.Bytes(),
+	})
+}
+
+// checkpoint serves the succeeded job's converged self-energies as a gob
+// checkpoint — the same format qtsim's -checkpoint flag writes, so a
+// service result can seed a local RunFrom continuation.
+func (a *API) checkpoint(w http.ResponseWriter, r *http.Request) {
+	j, ok := a.job(w, r)
+	if !ok {
+		return
+	}
+	res, ok := j.Result()
+	if !ok {
+		writeError(w, http.StatusConflict, "job %q has no result (state %q)", j.ID(), j.Status().State)
+		return
+	}
+	ck := core.CheckpointOf(j.Config().Device, res)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := ck.Save(w); err != nil {
+		// Headers are out; the broken body is the best signal left.
+		return
+	}
+}
+
+// healthDoc is the healthz body: liveness plus a queue snapshot.
+type healthDoc struct {
+	// OK is always true when the handler answers.
+	OK bool `json:"ok"`
+	// Queued and Running are the scheduler's current load.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+func (a *API) healthz(w http.ResponseWriter, r *http.Request) {
+	a.s.mu.Lock()
+	doc := healthDoc{OK: true, Queued: len(a.s.pending), Running: a.s.running}
+	a.s.mu.Unlock()
+	writeJSON(w, http.StatusOK, doc)
+}
