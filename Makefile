@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check fmt build vet test race race-ft serve-test bench
+.PHONY: check fmt build vet test race race-ft serve-test transport-test peer-test bench bench-json
 
-check: fmt build vet test race-ft serve-test
+check: fmt build vet test race-ft serve-test transport-test peer-test
 
 # gofmt -l prints nothing (and exits 0) on a clean tree; any output fails
 # the gate via the grep.
@@ -39,7 +39,28 @@ race-ft:
 serve-test:
 	go test -count=1 -run TestServeSmoke ./cmd/qtsimd
 
+# Transport conformance under the race detector: both the inproc and the
+# loopback-TCP fabrics through the full behavioural suite (ordering,
+# cancellation, deadline backstop, dead-peer → ErrRankDead, §4.1 byte
+# accounting), plus the transport package's own tests.
+transport-test:
+	go test -race -count=1 ./internal/transport ./internal/comm
+
+# Multi-process acceptance drill: two qtsimd peer processes run a distributed
+# fault-tolerant job over TCP loopback, once cleanly and once with a peer
+# SIGKILLed mid-run, and must reproduce the single-process observables.
+peer-test:
+	go test -count=1 -run TestPeerModeEndToEnd ./cmd/qtsimd
+
 # Table/figure benchmarks plus the kernel-engine micro-benchmarks.
 bench:
 	go test -bench . -benchtime 3x -run '^$$' .
 	go test -bench 'BenchmarkGEMM' -benchtime 20x -run '^$$' ./internal/cmat
+
+# Machine-readable benchmark snapshot for this PR: the SSE communication
+# volume tables and the inproc-vs-TCP exchange timing, rendered to JSON.
+bench-json:
+	{ go test -bench 'BenchmarkTable[45]Comm' -benchtime 3x -run '^$$' . ; \
+	  go test -bench 'BenchmarkExchange' -benchtime 5x -run '^$$' ./internal/comm ; } \
+	  | go run ./cmd/benchjson -out BENCH_5.json
+	@echo wrote BENCH_5.json

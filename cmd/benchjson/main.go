@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON benchmark record, so each PR can commit a machine-readable snapshot
+// (BENCH_<n>.json) of the numbers it claims:
+//
+//	go test -bench 'BenchmarkExchange' -benchtime 5x -run '^$' ./internal/comm |
+//	    go run ./cmd/benchjson -out BENCH_5.json
+//
+// Input from several packages can be concatenated; environment header lines
+// (goos/goarch/cpu) are captured once, benchmark lines are parsed into
+// {name, iterations, metrics} entries, and everything else is ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record is the emitted document.
+type record struct {
+	GoOS    string      `json:"goos,omitempty"`
+	GoArch  string      `json:"goarch,omitempty"`
+	CPU     string      `json:"cpu,omitempty"`
+	Benches []benchLine `json:"benchmarks"`
+}
+
+// benchLine is one parsed benchmark result.
+type benchLine struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	rec, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rec.Benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes go test -bench output. A benchmark line is
+//
+//	BenchmarkName-8   100   123456 ns/op   512 B/op   3 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parse(sc *bufio.Scanner) (*record, error) {
+	rec := &record{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rec.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rec.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // a Benchmark… log line, not a result row
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := benchLine{
+			Name:       strings.TrimPrefix(trimProcSuffix(fields[0]), "Benchmark"),
+			Package:    pkg,
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad metric value %q", line, fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rec.Benches = append(rec.Benches, b)
+	}
+	return rec, sc.Err()
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix go test appends to names.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
@@ -37,6 +38,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"negfsim/internal/comm"
@@ -212,6 +214,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write one JSON line per Born iteration to this file")
 	injectFault := flag.String("inject-fault", "", "kill a rank mid-run: ITER:RANK[:OP] (0-based Born iteration, rank id, comm op; requires a distributed run)")
 	checkpoint := flag.String("checkpoint", "", "gob checkpoint file: resumed from if present, written after every iteration (distributed) or at the end (serial)")
+	peers := flag.String("peers", "", "comma-separated peer addresses (index = rank): carry the distributed SSE over TCP across real processes, this one hosting -peer-rank")
+	peerRank := flag.Int("peer-rank", 0, "rank this process hosts when -peers is set")
 	flag.Parse()
 
 	cfg := core.DefaultRunConfig()
@@ -297,6 +301,10 @@ func main() {
 	fmt.Printf("solver: %s kernel, ≤%d iterations, mixing %.2f, bias %.2f eV\n",
 		opts.Variant, opts.MaxIter, opts.Mixing, cfg.Bias)
 
+	if *peers != "" && !distributed {
+		log.Fatal("-peers requires a distributed run (-dist or \"dist\" in the config)")
+	}
+
 	start := time.Now()
 	var res *core.Result
 	switch {
@@ -305,6 +313,19 @@ func main() {
 		distCfg.FaultIter = faultIter
 		distCfg.CheckpointPath = *checkpoint
 		distCfg.Resume = resume
+		if *peers != "" {
+			list := strings.Split(*peers, ",")
+			if procs := distCfg.TE * distCfg.TA; procs != len(list) {
+				log.Fatalf("dist grid %dx%d needs %d peers, got %d", distCfg.TE, distCfg.TA, procs, len(list))
+			}
+			cl, err := comm.NewClusterTCP(context.Background(), *peerRank, list)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer cl.Close()
+			distCfg.Cluster = cl
+			fmt.Printf("peer %d of %d, TCP cluster over %s\n", *peerRank, len(list), *peers)
+		}
 		r, bytes, err := sim.RunDistributedFT(distCfg)
 		if err != nil {
 			log.Fatal(err)

@@ -17,6 +17,11 @@
 // /healthz reports the queue snapshot. SIGINT/SIGTERM drain gracefully:
 // the listener closes, queued jobs are cancelled, running jobs get their
 // contexts cancelled and stop within one Born iteration.
+//
+// With -peers the daemon instead becomes one rank of a multi-process TCP
+// cluster and executes a single distributed run end-to-end (see peer.go):
+//
+//	qtsimd -peer-rank 0 -peers 127.0.0.1:9000,127.0.0.1:9001 -peer-config run.json -result-out r0.json
 package main
 
 import (
@@ -44,9 +49,20 @@ func main() {
 	workerBudget := flag.Int("worker-budget", runtime.GOMAXPROCS(0), "total grid-point parallelism shared by all running jobs")
 	retain := flag.Int("retain", 64, "finished jobs kept queryable before eviction")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	peers := flag.String("peers", "", "comma-separated peer addresses (index = rank); runs ONE distributed job SPMD-style instead of serving")
+	peerRank := flag.Int("peer-rank", -1, "rank this process hosts when -peers is set")
+	peerConfig := flag.String("peer-config", "", "run config JSON for peer mode (must carry a \"dist\" grid matching the peer count)")
+	resultOut := flag.String("result-out", "", "peer mode: write the run's result JSON here (default stdout)")
+	dieAfterIter := flag.Int("die-after-iter", 0, "peer mode fault drill: SIGKILL self after N completed Born iterations")
 	flag.Parse()
 
 	obs.Enable()
+	if *peers != "" {
+		if err := runPeer(*peerRank, *peers, *peerConfig, *resultOut, *dieAfterIter); err != nil {
+			log.Fatalf("qtsimd: peer: %v", err)
+		}
+		return
+	}
 	sched := serve.New(serve.Config{
 		MaxConcurrent: *maxConcurrent,
 		QueueDepth:    *queueDepth,

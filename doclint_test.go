@@ -18,6 +18,8 @@ var doclintPackages = []string{
 	"internal/comm",
 	"internal/core",
 	"internal/serve",
+	"internal/transport",
+	"internal/num",
 }
 
 // exportedRecv reports whether a method receiver names an exported type

@@ -1,6 +1,9 @@
 package cmat
 
-import "negfsim/internal/obs"
+import (
+	"negfsim/internal/num"
+	"negfsim/internal/obs"
+)
 
 // Blocked GEMM engine. The paper wins its single-node speedups by turning
 // myriads of tiny Norb×Norb multiplications into large, well-scheduled GEMMs
@@ -113,7 +116,7 @@ func (m *Dense) mulBlocked(out, n *Dense, accumulate bool) {
 	if C < ncMax {
 		ncMax = C
 	}
-	stripsMax := (ncMax + gemmNR - 1) / gemmNR
+	stripsMax := num.CeilDiv(ncMax, gemmNR)
 	pack := getDenseNoZero(1, gemmKC*stripsMax*gemmNR)
 	pb := pack.Data
 	for kb := 0; kb < K; kb += gemmKC {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"negfsim/internal/obs"
+	"negfsim/internal/transport"
 )
 
 // Exchange telemetry. The per-transfer byte accounting lives in the
@@ -29,23 +30,35 @@ var (
 // instead of hangs. Override with Cluster.SetTimeout.
 const DefaultTimeout = 10 * time.Second
 
-// Cluster is an in-process stand-in for an MPI communicator: one goroutine
-// per rank, channel links, and byte accounting on every transfer. It runs
-// the simulator's real exchange patterns at reduced scale so the measured
+// Cluster is an MPI-communicator stand-in: ranks exchanging ordered
+// []complex128 messages with byte accounting on every transfer, running the
+// simulator's real exchange patterns at reduced scale so the measured
 // traffic can be checked against the closed-form models.
+//
+// The message plumbing is pluggable (internal/transport): the default
+// in-process transport hosts every rank as a goroutine of this process over
+// channel mailboxes, while NewClusterTCP hosts ONE rank per OS process and
+// carries the links over real sockets. All policy — deadlines, fault
+// injection, cancellation, accounting — lives here, identically for both.
 //
 // Failures are first-class: a fault plan (InjectFaults) can kill a rank or
 // tamper with messages, and the death of any rank — injected, returned as
-// an error, or panicked — closes a per-cluster cancellation channel that
-// unblocks every pending operation with ErrRankDead, so survivors detect
-// the failure immediately rather than after the full deadline.
+// an error, panicked, or (over TCP) a peer process dying — closes a
+// per-cluster cancellation channel that unblocks every pending operation
+// with ErrRankDead, so survivors detect the failure immediately rather than
+// after the full deadline.
 type Cluster struct {
-	n       int
-	ctx     context.Context       // caller cancellation (never nil)
-	mailbox [][]chan []complex128 // mailbox[to][from]
-	sent    []atomic.Int64        // bytes sent per rank
-	recvd   []atomic.Int64        // bytes received per rank (credited at Recv)
-	timeout time.Duration
+	n     int
+	ctx   context.Context     // caller cancellation (never nil)
+	tr    transport.Transport // the message plumbing (inproc or TCP)
+	id    string              // gauge-family identity; "" is the legacy unlabeled family
+	local []int               // ranks hosted by this process, ascending
+	sent  []atomic.Int64      // bytes sent per rank
+	recvd []atomic.Int64      // bytes received per rank (credited at Recv)
+
+	timeout   time.Duration
+	quit      chan struct{} // closed by Close; stops the transport watcher
+	closeOnce sync.Once
 
 	// Fault state (see fault.go).
 	plan      *FaultPlan
@@ -55,21 +68,73 @@ type Cluster struct {
 	down      chan struct{}  // closed on first death
 }
 
-// rankGauges tracks how many per-rank gauge funcs the most recent cluster
-// registered — and which cluster owns them — so NewCluster can unregister
-// the tail when a smaller cluster replaces a larger one (otherwise
-// comm.sent_bytes{rank="7"} would keep scraping a dead instance forever),
-// and Unregister can retire the whole family when a cancelled run abandons
-// its cluster with no successor.
-var rankGauges struct {
-	sync.Mutex
+// gaugeFamily records how many per-rank gauge funcs the most recent cluster
+// of one identity registered, and which cluster owns them.
+type gaugeFamily struct {
 	n     int
 	owner *Cluster
 }
 
-// NewCluster creates a communicator with n ranks. A Send or Recv that waits
-// longer than the deadline (DefaultTimeout; configurable with SetTimeout)
-// fails, so protocol mismatches surface as test errors instead of hangs.
+// rankGauges tracks the registered per-rank gauge families, keyed by cluster
+// identity, so a successor cluster of the same identity can unregister the
+// tail when a smaller cluster replaces a larger one (otherwise
+// comm.sent_bytes{rank="7"} would keep scraping a dead instance forever)
+// while clusters of different identities — say the default in-process family
+// and a TCP peer's family — never clobber each other's series.
+var rankGauges struct {
+	sync.Mutex
+	families map[string]*gaugeFamily
+}
+
+// gaugeName builds the per-rank gauge series name for a cluster identity:
+// the legacy comm.sent_bytes{rank="r"} when id is empty, and
+// comm.sent_bytes{cluster="id",rank="r"} otherwise.
+func gaugeName(id, base string, rank int) string {
+	if id == "" {
+		return obs.Labeled(base, "rank", strconv.Itoa(rank))
+	}
+	return obs.Labeled(base, "cluster", id, "rank", strconv.Itoa(rank))
+}
+
+// totalGaugeName builds the cluster-total gauge name for an identity.
+func totalGaugeName(id string) string {
+	if id == "" {
+		return "comm.total_bytes"
+	}
+	return obs.Labeled("comm.total_bytes", "cluster", id)
+}
+
+// registerGauges points the cluster's gauge family at c and retires any
+// higher-rank series left by a larger predecessor of the same identity.
+func registerGauges(c *Cluster) {
+	obs.RegisterGaugeFunc(totalGaugeName(c.id), c.TotalBytes)
+	rankGauges.Lock()
+	defer rankGauges.Unlock()
+	if rankGauges.families == nil {
+		rankGauges.families = make(map[string]*gaugeFamily)
+	}
+	for r := 0; r < c.n; r++ {
+		r := r
+		obs.RegisterGaugeFunc(gaugeName(c.id, "comm.sent_bytes", r), func() int64 { return c.SentBytes(r) })
+		obs.RegisterGaugeFunc(gaugeName(c.id, "comm.recvd_bytes", r), func() int64 { return c.ReceivedBytes(r) })
+	}
+	fam := rankGauges.families[c.id]
+	if fam == nil {
+		fam = &gaugeFamily{}
+		rankGauges.families[c.id] = fam
+	}
+	for r := c.n; r < fam.n; r++ {
+		obs.UnregisterGaugeFunc(gaugeName(c.id, "comm.sent_bytes", r))
+		obs.UnregisterGaugeFunc(gaugeName(c.id, "comm.recvd_bytes", r))
+	}
+	fam.n = c.n
+	fam.owner = c
+}
+
+// NewCluster creates an in-process communicator with n ranks. A Send or Recv
+// that waits longer than the deadline (DefaultTimeout; configurable with
+// SetTimeout) fails, so protocol mismatches surface as test errors instead
+// of hangs.
 //
 // The cluster's byte counters are exported on the observability registry as
 // per-rank gauges — comm.sent_bytes{rank="r"}, comm.recvd_bytes{rank="r"} —
@@ -77,6 +142,8 @@ var rankGauges struct {
 // scrape time, so they agree with SentBytes/ReceivedBytes/TotalBytes by
 // construction; creating a new cluster re-points them at the new instance
 // and unregisters any higher-rank gauges left by a larger predecessor.
+// Clusters with a non-empty identity (TCP peers) export under their own
+// {cluster=...} label and never collide with this default family.
 func NewCluster(n int) *Cluster { return NewClusterCtx(context.Background(), n) }
 
 // NewClusterCtx is NewCluster bound to a context: when ctx is cancelled,
@@ -88,66 +155,129 @@ func NewClusterCtx(ctx context.Context, n int) *Cluster {
 	if n < 1 {
 		panic("comm: cluster needs at least one rank")
 	}
+	return newCluster(ctx, transport.NewInproc(n), "")
+}
+
+// NewClusterTCP creates one peer of a multi-process communicator: this
+// process hosts exactly rank `rank`, and the other ranks are peer processes
+// reachable at peers[i] (host:port, index = rank). Links are dialed lazily
+// on first use; a peer process dying mid-exchange is detected by the
+// transport and surfaces to every pending operation as ErrRankDead, exactly
+// like an injected in-process rank death, so the failure-recovery paths
+// built on the in-process cluster work unchanged across processes.
+//
+// The peer's byte gauges export under the cluster identity "tcp-r<rank>"
+// (comm.sent_bytes{cluster="tcp-r0",rank="0"}, ...), so two live clusters
+// in one process never clobber each other's series. Call Close when done:
+// it tears down the sockets and retires the gauges.
+func NewClusterTCP(ctx context.Context, rank int, peers []string) (*Cluster, error) {
+	return NewClusterTCPWith(ctx, rank, peers, transport.TCPConfig{})
+}
+
+// NewClusterTCPWith is NewClusterTCP with explicit transport configuration
+// (injected listener, dial timeout) — tests bind ephemeral loopback
+// listeners up front this way to avoid port races.
+func NewClusterTCPWith(ctx context.Context, rank int, peers []string, cfg transport.TCPConfig) (*Cluster, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c := &Cluster{n: n, ctx: ctx, timeout: DefaultTimeout,
+	tr, err := transport.NewTCPWith(ctx, rank, peers, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newCluster(ctx, tr, "tcp-r"+strconv.Itoa(rank)), nil
+}
+
+// newCluster assembles a cluster on an established transport. When the
+// transport has a failure mode (TCP), a watcher goroutine maps its death
+// signal onto the cluster's own down channel, so transport-level peer loss
+// and simulated rank death are indistinguishable to blocked operations.
+func newCluster(ctx context.Context, tr transport.Transport, id string) *Cluster {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := tr.Size()
+	c := &Cluster{n: n, ctx: ctx, tr: tr, id: id, timeout: DefaultTimeout,
 		sent: make([]atomic.Int64, n), recvd: make([]atomic.Int64, n),
-		ops: make([]atomic.Int64, n), down: make(chan struct{})}
+		ops: make([]atomic.Int64, n), down: make(chan struct{}), quit: make(chan struct{})}
 	c.deadRank.Store(-1)
-	c.mailbox = make([][]chan []complex128, n)
-	for to := 0; to < n; to++ {
-		c.mailbox[to] = make([]chan []complex128, n)
-		for from := 0; from < n; from++ {
-			c.mailbox[to][from] = make(chan []complex128, 64)
+	for r := 0; r < n; r++ {
+		if tr.Local(r) {
+			c.local = append(c.local, r)
 		}
 	}
-	obs.RegisterGaugeFunc("comm.total_bytes", c.TotalBytes)
-	rankGauges.Lock()
-	for r := 0; r < n; r++ {
-		r := r
-		rank := strconv.Itoa(r)
-		obs.RegisterGaugeFunc(obs.Labeled("comm.sent_bytes", "rank", rank), func() int64 { return c.SentBytes(r) })
-		obs.RegisterGaugeFunc(obs.Labeled("comm.recvd_bytes", "rank", rank), func() int64 { return c.ReceivedBytes(r) })
+	registerGauges(c)
+	if dead := tr.Dead(); dead != nil {
+		go func() {
+			select {
+			case <-dead:
+				c.markDead(tr.DeadRank())
+			case <-c.down: // a local death got there first
+			case <-c.quit:
+			case <-ctx.Done():
+			}
+		}()
 	}
-	for r := n; r < rankGauges.n; r++ {
-		rank := strconv.Itoa(r)
-		obs.UnregisterGaugeFunc(obs.Labeled("comm.sent_bytes", "rank", rank))
-		obs.UnregisterGaugeFunc(obs.Labeled("comm.recvd_bytes", "rank", rank))
-	}
-	rankGauges.n = n
-	rankGauges.owner = c
-	rankGauges.Unlock()
 	return c
 }
 
-// Unregister retires the cluster's gauge funcs (comm.total_bytes and the
-// per-rank comm.sent_bytes/comm.recvd_bytes series) if this cluster is still
-// the instance behind them. Normally a successor cluster re-points the
-// series and nothing needs retiring; call Unregister when a run abandons its
-// cluster with no successor — a cancelled distributed job — so scrapes stop
-// reporting a dead instance. Safe to call more than once and safe to call on
-// a cluster that was already replaced (both are no-ops).
+// Close tears the cluster down: the transport's connections and goroutines
+// stop (no-op for the in-process transport) and the cluster's gauge series
+// are retired. Safe to call more than once. In-process clusters need no
+// Close — their transport holds no resources — but calling it is harmless.
+func (c *Cluster) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.quit)
+		err = c.tr.Close()
+		c.Unregister()
+	})
+	return err
+}
+
+// Unregister retires the cluster's gauge funcs (the total and the per-rank
+// comm.sent_bytes/comm.recvd_bytes series of its identity) if this cluster
+// is still the instance behind them. Normally a successor cluster of the
+// same identity re-points the series and nothing needs retiring; call
+// Unregister when a run abandons its cluster with no successor — a
+// cancelled distributed job — so scrapes stop reporting a dead instance.
+// Safe to call more than once and safe to call on a cluster that was
+// already replaced (both are no-ops).
 func (c *Cluster) Unregister() {
 	rankGauges.Lock()
 	defer rankGauges.Unlock()
-	if rankGauges.owner != c {
+	fam := rankGauges.families[c.id]
+	if fam == nil || fam.owner != c {
 		return
 	}
-	obs.UnregisterGaugeFunc("comm.total_bytes")
-	for r := 0; r < rankGauges.n; r++ {
-		rank := strconv.Itoa(r)
-		obs.UnregisterGaugeFunc(obs.Labeled("comm.sent_bytes", "rank", rank))
-		obs.UnregisterGaugeFunc(obs.Labeled("comm.recvd_bytes", "rank", rank))
+	obs.UnregisterGaugeFunc(totalGaugeName(c.id))
+	for r := 0; r < fam.n; r++ {
+		obs.UnregisterGaugeFunc(gaugeName(c.id, "comm.sent_bytes", r))
+		obs.UnregisterGaugeFunc(gaugeName(c.id, "comm.recvd_bytes", r))
 	}
-	rankGauges.n = 0
-	rankGauges.owner = nil
+	delete(rankGauges.families, c.id)
 }
 
 // Size returns the number of ranks.
 func (c *Cluster) Size() int { return c.n }
 
-// TotalBytes returns all bytes moved between distinct ranks so far.
+// Local reports whether rank r executes in this process. Every rank of an
+// in-process cluster is local; a TCP cluster hosts exactly one.
+func (c *Cluster) Local(r int) bool { return c.tr.Local(r) }
+
+// LocalRanks returns the ranks this process hosts, ascending. Run spawns one
+// goroutine per local rank.
+func (c *Cluster) LocalRanks() []int { return append([]int(nil), c.local...) }
+
+// MultiProcess reports whether some ranks of the cluster live in other OS
+// processes (a TCP cluster). Exchange patterns that rely on shared memory
+// between ranks must take their message-passing path when this is true.
+func (c *Cluster) MultiProcess() bool { return len(c.local) < c.n }
+
+// TotalBytes returns all bytes moved between distinct ranks so far, as
+// accounted by this process: for an in-process cluster that is the whole
+// cluster's traffic; for a TCP peer it is the local rank's sent bytes, and
+// the cluster-wide total is the sum over peer processes.
 func (c *Cluster) TotalBytes() int64 {
 	var t int64
 	for i := range c.sent {
@@ -166,27 +296,28 @@ func (c *Cluster) SentBytes(r int) int64 { return c.sent[r].Load() }
 // quiesces.
 func (c *Cluster) ReceivedBytes(r int) int64 { return c.recvd[r].Load() }
 
-// Run spawns one goroutine per rank executing fn and waits for all of them.
+// Run spawns one goroutine per local rank executing fn and waits for all of
+// them (an in-process cluster runs every rank; a TCP peer runs its one).
 // The first error (including simulated rank failures) is returned. A rank
 // that returns an error or panics marks the cluster failed, so ranks still
 // blocked on it fail promptly with ErrRankDead instead of timing out.
 func (c *Cluster) Run(fn func(r *Rank) error) error {
-	errs := make([]error, c.n)
+	errs := make([]error, len(c.local))
 	var wg sync.WaitGroup
-	for id := 0; id < c.n; id++ {
+	for i, id := range c.local {
 		wg.Add(1)
-		go func(id int) {
+		go func(i, id int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[id] = fmt.Errorf("comm: rank %d panicked: %v", id, p)
+					errs[i] = fmt.Errorf("comm: rank %d panicked: %v", id, p)
 				}
-				if errs[id] != nil {
+				if errs[i] != nil {
 					c.markDead(id)
 				}
 			}()
-			errs[id] = fn(&Rank{ID: id, c: c})
-		}(id)
+			errs[i] = fn(&Rank{ID: id, c: c})
+		}(i, id)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
@@ -241,7 +372,7 @@ func (c *Cluster) ctxErr(rank int) error {
 // counted as communication, mirroring how MPI implementations short-circuit
 // them in shared memory. Send fails with ErrRankDead as soon as any rank of
 // the cluster has died, with the context error when the cluster's context is
-// cancelled, and with a timeout error if the destination mailbox stays full
+// cancelled, and with a timeout error if the destination link stays full
 // past the cluster deadline.
 func (r *Rank) Send(to int, data []complex128) error {
 	if to < 0 || to >= r.c.n {
@@ -265,14 +396,15 @@ func (r *Rank) Send(to int, data []complex128) error {
 	}
 	r.c.delayMessage(r.ID, to)
 	buf := append([]complex128(nil), data...)
+	ch := r.c.tr.SendCh(r.ID, to)
 	select {
-	case r.c.mailbox[to][r.ID] <- buf: // fast path: mailbox has room
+	case ch <- buf: // fast path: link has room
 		return nil
 	default:
 	}
 	dl := r.deadline()
 	select {
-	case r.c.mailbox[to][r.ID] <- buf:
+	case ch <- buf:
 		r.disarm()
 		return nil
 	case <-r.c.down:
@@ -282,7 +414,7 @@ func (r *Rank) Send(to int, data []complex128) error {
 		r.disarm()
 		return r.c.ctxErr(r.ID)
 	case <-dl:
-		return fmt.Errorf("comm: rank %d send to %d timed out after %v (mailbox full — protocol mismatch?)", r.ID, to, r.c.timeout)
+		return fmt.Errorf("comm: rank %d send to %d timed out after %v (link full — protocol mismatch?)", r.ID, to, r.c.timeout)
 	}
 }
 
@@ -299,20 +431,32 @@ func (r *Rank) Recv(from int) ([]complex128, error) {
 	if err := r.c.faultOp(r.ID); err != nil {
 		return nil, err
 	}
+	ch := r.c.tr.RecvCh(r.ID, from)
 	select {
-	case data := <-r.c.mailbox[r.ID][from]: // fast path: already delivered
+	case data := <-ch: // fast path: already delivered
 		r.creditRecv(from, data)
 		return data, nil
 	default:
 	}
 	dl := r.deadline()
 	select {
-	case data := <-r.c.mailbox[r.ID][from]:
+	case data := <-ch:
 		r.disarm()
 		r.creditRecv(from, data)
 		return data, nil
 	case <-r.c.down:
 		r.disarm()
+		// Delivered-before-death beats the death signal: a peer that
+		// finished its run and tore down may race its last in-flight
+		// messages against the connection-loss notification, and a select
+		// with both ready picks randomly. Drain first, so an exchange whose
+		// data fully arrived completes instead of spuriously aborting.
+		select {
+		case data := <-ch:
+			r.creditRecv(from, data)
+			return data, nil
+		default:
+		}
 		return nil, r.c.deadErr(r.ID)
 	case <-r.c.ctx.Done():
 		r.disarm()
@@ -391,7 +535,7 @@ func (r *Rank) Alltoallv(send [][]complex128) ([][]complex128, error) {
 	}
 	sp := obsAlltoallv.Start()
 	defer sp.End()
-	// Post all sends first (buffered mailboxes decouple the phases), then
+	// Post all sends first (buffered links decouple the phases), then
 	// collect.
 	for to, buf := range send {
 		if err := r.Send(to, buf); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"negfsim/internal/device"
+	"negfsim/internal/num"
 )
 
 // This file implements the two SSE exchange patterns on the simulated
@@ -13,8 +14,9 @@ import (
 // the same collectives (see internal/core); here the buffers carry the
 // correctly-sized slices.
 
-// ceilDiv returns ⌈a/b⌉.
-func ceilDiv(a, b int) int { return (a + b - 1) / b }
+// ceilDiv is the shared ⌈a/b⌉ helper; the alias keeps the §4.1 formulas
+// below readable.
+var ceilDiv = num.CeilDiv
 
 // OMENExchangeSSE runs OMEN's original Nqz·Nω-round pattern on rank r:
 // for every (qz, ω) round, the owner broadcasts the D^≷ slice, every rank

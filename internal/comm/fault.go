@@ -87,11 +87,18 @@ func (c *Cluster) DeadRank() int { return int(c.deadRank.Load()) }
 
 // markDead records the death of a rank and cancels the cluster: the first
 // call publishes the rank id and closes the down channel, unblocking every
-// pending operation with ErrRankDead.
+// pending operation with ErrRankDead. On a multi-process cluster, the death
+// of a locally-hosted rank additionally tears the transport down, so peer
+// processes observe the failure as a connection loss immediately — the same
+// prompt detection the in-process down channel gives local ranks — instead
+// of waiting out their deadline backstop.
 func (c *Cluster) markDead(rank int) {
 	if c.deadRank.CompareAndSwap(-1, int64(rank)) {
 		obsRankDeaths.Inc()
 		close(c.down)
+		if c.MultiProcess() && rank >= 0 && c.Local(rank) {
+			go c.tr.Close() // async: Close waits for link goroutines
+		}
 	}
 }
 

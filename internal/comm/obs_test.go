@@ -1,10 +1,16 @@
 package comm
 
 import (
+	"context"
+	"errors"
+	"net"
 	"strconv"
+	"sync"
 	"testing"
+	"time"
 
 	"negfsim/internal/obs"
+	"negfsim/internal/transport"
 )
 
 // TestClusterGaugesAgreeWithCounters runs an alltoallv exchange with
@@ -121,5 +127,112 @@ func TestShrinkingClusterUnregistersRankGauges(t *testing.T) {
 	}
 	if g, _ := obs.GaugeValue(obs.Labeled("comm.sent_bytes", "rank", "0")); g != small.SentBytes(0) {
 		t.Errorf("gauge reads %d, new cluster sent %d", g, small.SentBytes(0))
+	}
+}
+
+// TestClusterIdentitiesDoNotClobber runs a legacy in-process cluster and a
+// two-peer TCP cluster side by side: each cluster identity must export its
+// own gauge family — the unlabeled legacy names for the in-process cluster,
+// {cluster="tcp-r<rank>"} series for each TCP peer — with neither family
+// reading the other's counters, and closing the TCP peers must retire only
+// their families.
+func TestClusterIdentitiesDoNotClobber(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+	})
+
+	local := NewCluster(2)
+	if err := local.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			return r.Send(1, make([]complex128, 5))
+		}
+		_, err := r.Recv(0)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A live TCP pair in the same process (exactly what a test harness or a
+	// daemon hosting several jobs produces).
+	const n = 2
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i], addrs[i] = ln, ln.Addr().String()
+	}
+	peers := make([]*Cluster, n)
+	for r := 0; r < n; r++ {
+		cl, err := NewClusterTCPWith(context.Background(), r, addrs, transport.TCPConfig{
+			Listener: lns[r], RetryInterval: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[r] = cl
+		defer cl.Close()
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r, cl := range peers {
+		wg.Add(1)
+		go func(r int, cl *Cluster) {
+			defer wg.Done()
+			errs[r] = cl.Run(func(rk *Rank) error {
+				if rk.ID == 0 {
+					return rk.Send(1, make([]complex128, 7))
+				}
+				_, err := rk.Recv(0)
+				return err
+			})
+		}(r, cl)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+
+	// The legacy family still reads the in-process cluster, untouched by the
+	// TCP traffic that flowed meanwhile.
+	if g, ok := obs.GaugeValue(obs.Labeled("comm.sent_bytes", "rank", "0")); !ok || g != local.SentBytes(0) {
+		t.Errorf("legacy sent_bytes{rank=0} = %d (ok=%v), in-process cluster sent %d", g, ok, local.SentBytes(0))
+	}
+	if g, ok := obs.GaugeValue("comm.total_bytes"); !ok || g != local.TotalBytes() {
+		t.Errorf("legacy total_bytes = %d (ok=%v), in-process cluster reports %d", g, ok, local.TotalBytes())
+	}
+	// Each TCP peer exports its own family keyed by identity, reading its
+	// own instance.
+	for r, cl := range peers {
+		id := "tcp-r" + strconv.Itoa(r)
+		name := obs.Labeled("comm.sent_bytes", "cluster", id, "rank", strconv.Itoa(r))
+		if g, ok := obs.GaugeValue(name); !ok || g != cl.SentBytes(r) {
+			t.Errorf("%s = %d (ok=%v), peer instance sent %d", name, g, ok, cl.SentBytes(r))
+		}
+		total := obs.Labeled("comm.total_bytes", "cluster", id)
+		if g, ok := obs.GaugeValue(total); !ok || g != cl.TotalBytes() {
+			t.Errorf("%s = %d (ok=%v), peer instance reports %d", total, g, ok, cl.TotalBytes())
+		}
+	}
+	if local.TotalBytes() == peers[0].TotalBytes() {
+		t.Fatal("test payloads must differ so a clobbered gauge cannot pass by luck")
+	}
+
+	// Closing the TCP peers retires their families and leaves the legacy one.
+	for _, cl := range peers {
+		cl.Close()
+	}
+	for r := range peers {
+		id := "tcp-r" + strconv.Itoa(r)
+		if _, ok := obs.GaugeValue(obs.Labeled("comm.total_bytes", "cluster", id)); ok {
+			t.Errorf("closed peer %d still exports its total gauge", r)
+		}
+	}
+	if _, ok := obs.GaugeValue("comm.total_bytes"); !ok {
+		t.Error("closing the TCP peers retired the legacy family too")
 	}
 }

@@ -212,10 +212,16 @@ func (s *Simulator) DistributedSSE(in sse.PhaseInput, te, ta int) (*DistributedR
 
 // distributedSSEOn is DistributedSSE on a caller-provided cluster, which
 // may carry a shorter deadline or an armed fault plan (the fault-tolerant
-// Born loop builds one per iteration). The grid must already be validated.
+// Born loop builds one per iteration), or host only one rank of a
+// multi-process TCP cluster. The grid must already be validated.
+//
+// MeasuredBytes reports the traffic of THIS call (the cluster's byte total
+// is snapshotted on entry), so persistent clusters reused across Born
+// iterations account identically to the historical per-iteration ones.
 func (s *Simulator) distributedSSEOn(cluster *comm.Cluster, in sse.PhaseInput, te, ta int) (*DistributedResult, error) {
 	p := s.Dev.P
 	procs := te * ta
+	startBytes := cluster.TotalBytes()
 	out := &DistributedResult{
 		SigmaLess:  tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb),
 		SigmaGtr:   tensor.NewGTensor(p.Nkz, p.NE, p.NA, p.Norb),
@@ -285,6 +291,14 @@ func (s *Simulator) distributedSSEOn(cluster *comm.Cluster, in sse.PhaseInput, t
 
 		// --- Exchange 2: Σ tiles to energy owners, Π partials to point
 		// owners ------------------------------------------------------------
+		if cluster.MultiProcess() {
+			// Ranks in other OS processes cannot assemble into this process's
+			// shared tensors; replicate instead — every rank sends its full
+			// tile everywhere, and each process assembles the complete result
+			// locally, so the next (replicated) GF phase starts from identical
+			// inputs on every peer.
+			return s.assembleReplicated(r, out, sigL, sigG, piL, piG, eLo, eHi, aLo, aHi, te, ta)
+		}
 		tileAtoms := intersect(aLo, aHi, 0, p.NA)
 		send2 := make([][]complex128, procs)
 		for d := 0; d < procs; d++ {
@@ -327,6 +341,55 @@ func (s *Simulator) distributedSSEOn(cluster *comm.Cluster, in sse.PhaseInput, t
 	if err != nil {
 		return nil, err
 	}
-	out.MeasuredBytes = cluster.TotalBytes()
+	out.MeasuredBytes = cluster.TotalBytes() - startBytes
 	return out, nil
+}
+
+// assembleReplicated is the multi-process variant of exchange 2: one
+// alltoallv in which every rank contributes its full Σ^≷ tile and Π^≷
+// partial to every peer. Receivers overwrite Σ by tile coordinates (tiles
+// are disjoint across the TE×TA grid) and accumulate the Π partials (each
+// covers a disjoint energy window), so every process — not just the owners
+// of an energy chunk or a phonon point — ends with the complete
+// self-energies. That replication costs more traffic than the
+// owner-directed exchange (ModelBytes still reports the §4.1 prediction for
+// the owner-directed pattern), but it is what lets the replicated GF phase
+// of the SPMD peers proceed without a further broadcast.
+func (s *Simulator) assembleReplicated(r *comm.Rank, out *DistributedResult,
+	sigL, sigG *tensor.GTensor, piL, piG *tensor.DTensor,
+	eLo, eHi, aLo, aHi, te, ta int) error {
+	p := s.Dev.P
+	procs := te * ta
+	allPts := s.phononPointsOwnedBy(0, 1) // every (qz, ω) point
+	tileAtoms := intersect(aLo, aHi, 0, p.NA)
+	tileEnergies := intersect(eLo, eHi, 0, p.NE)
+	var buf []complex128
+	buf = append(buf, packG(sigL, tileEnergies, tileAtoms)...)
+	buf = append(buf, packG(sigG, tileEnergies, tileAtoms)...)
+	buf = append(buf, packD(piL, allPts, tileAtoms)...)
+	buf = append(buf, packD(piG, allPts, tileAtoms)...)
+	send := make([][]complex128, procs)
+	for d := range send {
+		send[d] = buf // Send copies; sharing one payload across peers is safe
+	}
+	recv, err := r.Alltoallv(send)
+	if err != nil {
+		return fmt.Errorf("rank %d replicated exchange 2: %w", r.ID, err)
+	}
+	n2 := p.Norb * p.Norb
+	for from := 0; from < procs; from++ {
+		ftE, ftA := rankGrid(from, ta)
+		faLo, faHi := split(p.NA, ta, ftA)
+		fAtoms := intersect(faLo, faHi, 0, p.NA)
+		fELo, fEHi := split(p.NE, te, ftE)
+		fEnergies := intersect(fELo, fEHi, 0, p.NE)
+		gLen := len(fEnergies) * len(fAtoms) * p.Nkz * n2
+		fbuf := recv[from]
+		unpackG(out.SigmaLess, fbuf[:gLen], fEnergies, fAtoms)
+		unpackG(out.SigmaGtr, fbuf[gLen:2*gLen], fEnergies, fAtoms)
+		dLen := len(allPts) * len(fAtoms) * (p.NB + 1) * p.N3D * p.N3D
+		unpackD(out.PiLess, fbuf[2*gLen:2*gLen+dLen], allPts, fAtoms, true)
+		unpackD(out.PiGtr, fbuf[2*gLen+dLen:], allPts, fAtoms, true)
+	}
+	return nil
 }

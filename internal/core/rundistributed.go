@@ -61,6 +61,18 @@ type DistConfig struct {
 	// Resume, when non-nil, seeds the run with a checkpoint's self-energies
 	// instead of starting from Σ = Π = 0.
 	Resume *Checkpoint
+
+	// Cluster, when non-nil, is a caller-provided persistent communicator —
+	// typically one peer of a multi-process TCP cluster
+	// (comm.NewClusterTCP) — used for every Born iteration instead of the
+	// per-iteration in-process clusters. Its size must equal TE·TA. The
+	// caller owns its lifecycle (Close); the run never unregisters it.
+	// When a peer process dies mid-run, the survivors restore the last
+	// checkpoint and degrade to the local shared-memory SSE kernels — a
+	// multi-process grid cannot be re-derived over the survivors the way an
+	// in-process one can — so the run still completes with the same
+	// observables.
+	Cluster *comm.Cluster
 }
 
 // memCheckpoint is the in-memory restart state the fault-tolerant loop
@@ -111,6 +123,10 @@ func (s *Simulator) RunDistributedFTCtx(ctx context.Context, cfg DistConfig) (*R
 	te, ta := cfg.TE, cfg.TA
 	if err := s.checkGrid(te, ta); err != nil {
 		return nil, 0, err
+	}
+	if cfg.Cluster != nil && cfg.Cluster.Size() != te*ta {
+		return nil, 0, fmt.Errorf("core: cluster of %d ranks cannot carry a %d×%d grid",
+			cfg.Cluster.Size(), te, ta)
 	}
 	maxRec := cfg.MaxRecoveries
 	if maxRec == 0 {
@@ -201,27 +217,35 @@ func (s *Simulator) RunDistributedFTCtx(ctx context.Context, cfg DistConfig) (*R
 				plan = cfg.Fault
 				faultArmed = false
 			}
-			cluster := comm.NewClusterCtx(ctx, te*ta)
-			lastCluster = cluster
+			cluster := cfg.Cluster
+			persistent := cluster != nil
+			if !persistent {
+				cluster = comm.NewClusterCtx(ctx, te*ta)
+				lastCluster = cluster
+			}
 			if cfg.CommTimeout > 0 {
 				cluster.SetTimeout(cfg.CommTimeout)
 			}
 			if plan != nil {
 				cluster.InjectFaults(plan)
 			}
+			before := cluster.TotalBytes()
 			dist, err = s.distributedSSEOn(cluster, in, te, ta)
 			if err != nil {
 				if cerr := ctx.Err(); cerr != nil {
 					// Cancellation, not a rank failure: release the abandoned
-					// cluster's gauge series and return without recovering.
-					cluster.Unregister()
-					return nil, totalBytes + cluster.TotalBytes(),
+					// cluster's gauge series (the caller owns a persistent
+					// one) and return without recovering.
+					if !persistent {
+						cluster.Unregister()
+					}
+					return nil, totalBytes + cluster.TotalBytes() - before,
 						fmt.Errorf("core: distributed run cancelled during iteration %d: %w", iter+1, cerr)
 				}
 				if !errors.Is(err, comm.ErrRankDead) {
 					return nil, totalBytes, err
 				}
-				totalBytes += cluster.TotalBytes() // traffic of the failed attempt
+				totalBytes += cluster.TotalBytes() - before // traffic of the failed attempt
 				if res.Recoveries >= maxRec {
 					return nil, totalBytes, fmt.Errorf("core: giving up after %d recoveries: %w", res.Recoveries, err)
 				}
@@ -229,7 +253,13 @@ func (s *Simulator) RunDistributedFTCtx(ctx context.Context, cfg DistConfig) (*R
 				obsRecoveries.Inc()
 				sp := obsSpanRecovery.Start()
 				time.Sleep(backoff * time.Duration(res.Recoveries))
-				te, ta = s.deriveGrid(te*ta - 1)
+				if persistent {
+					// A dead peer process cannot be re-gridded from here:
+					// finish on the local shared-memory kernels instead.
+					te, ta = 0, 0
+				} else {
+					te, ta = s.deriveGrid(te*ta - 1)
+				}
 				iter = s.restoreCheckpoint(ck, res, &sigR, &sigL, &sigG, &piR, &piL, &piG)
 				prevL, prevG = nil, nil
 				sp.End()

@@ -1,0 +1,10 @@
+// Package num holds the tiny integer arithmetic helpers shared across the
+// simulator's packages — previously re-implemented privately wherever a tile
+// count or slice size needed rounding up.
+package num
+
+// CeilDiv returns ⌈a/b⌉ for non-negative a and positive b: the number of
+// size-b tiles covering a items. It is the rounding used by every
+// decomposition formula (§4.1 slice sizes, GEMM panel strips), so the copies
+// agree by construction.
+func CeilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,34 @@
+package num
+
+import "testing"
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0},
+		{0, 7, 0},
+		{1, 1, 1},
+		{1, 2, 1},
+		{2, 2, 1},
+		{3, 2, 2},
+		{6, 3, 2},
+		{7, 3, 3},
+		{705, 256, 3},
+		{706, 256, 3},
+		{768, 256, 3},
+		{769, 256, 4},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	// Exactness: CeilDiv(a, b)·b is the smallest multiple of b covering a.
+	for a := 0; a < 100; a++ {
+		for b := 1; b < 12; b++ {
+			n := CeilDiv(a, b)
+			if n*b < a || (n-1)*b >= a {
+				t.Fatalf("CeilDiv(%d, %d) = %d is not the minimal cover", a, b, n)
+			}
+		}
+	}
+}

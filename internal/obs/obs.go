@@ -27,6 +27,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -189,12 +190,24 @@ func GaugeValue(name string) (int64, bool) {
 	return 0, false
 }
 
-// Labeled appends a Prometheus-style label to a metric name:
-// Labeled("comm.sent_bytes", "rank", "3") → `comm.sent_bytes{rank="3"}`.
-// The exposition handler splits the suffix back out, so labeled series
-// group under one metric family when scraped.
-func Labeled(name, key, value string) string {
-	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+// Labeled appends Prometheus-style labels to a metric name from key/value
+// pairs: Labeled("comm.sent_bytes", "rank", "3") →
+// `comm.sent_bytes{rank="3"}`, and additional pairs extend the label set
+// (`comm.sent_bytes{cluster="tcp-r0",rank="3"}`). The exposition handler
+// splits the suffix back out, so labeled series group under one metric
+// family when scraped. An odd trailing key is ignored.
+func Labeled(name string, kv ...string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // Stat is one named int64 reading (a counter, gauge or gauge-func value).

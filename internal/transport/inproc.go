@@ -1,0 +1,52 @@
+package transport
+
+// Inproc is the in-process transport: the mailbox matrix the simulated
+// cluster has always run on, extracted behind the Transport interface. Every
+// rank is local, a link is a buffered channel shared directly between sender
+// and receiver (so SendCh and RecvCh return the same channel), and there is
+// no failure mode — the only ways an in-process exchange ends early are the
+// cluster-level fault plan, cancellation and deadline, none of which live in
+// the transport.
+type Inproc struct {
+	n       int
+	mailbox [][]chan []complex128 // mailbox[to][from]
+}
+
+// NewInproc builds the mailbox transport for n ranks.
+func NewInproc(n int) *Inproc {
+	t := &Inproc{n: n, mailbox: make([][]chan []complex128, n)}
+	for to := 0; to < n; to++ {
+		t.mailbox[to] = make([]chan []complex128, n)
+		for from := 0; from < n; from++ {
+			t.mailbox[to][from] = make(chan []complex128, LinkDepth)
+		}
+	}
+	return t
+}
+
+// Size returns the number of ranks.
+func (t *Inproc) Size() int { return t.n }
+
+// Local reports true for every rank: the whole cluster shares this process.
+func (t *Inproc) Local(int) bool { return true }
+
+// SendCh returns the mailbox channel of the from→to link.
+func (t *Inproc) SendCh(from, to int) chan<- []complex128 { return t.mailbox[to][from] }
+
+// RecvCh returns the same mailbox channel the sender posts on — delivery is
+// the channel receive itself.
+func (t *Inproc) RecvCh(to, from int) <-chan []complex128 { return t.mailbox[to][from] }
+
+// Dead returns nil: the in-process transport has no failure mode. A nil
+// channel blocks forever in a select, so callers need no special casing.
+func (t *Inproc) Dead() <-chan struct{} { return nil }
+
+// DeadRank returns -1: no peer can die.
+func (t *Inproc) DeadRank() int { return -1 }
+
+// DeadErr returns nil: no link can fail.
+func (t *Inproc) DeadErr() error { return nil }
+
+// Close is a no-op: mailbox channels are garbage-collected with the
+// transport, and closing them would panic concurrent senders.
+func (t *Inproc) Close() error { return nil }

@@ -1,0 +1,72 @@
+// Package transport carries the simulated cluster's messages between ranks:
+// ordered []complex128 payloads moving over directed rank→rank links. Two
+// implementations share one interface — Inproc, the channel mailboxes the
+// in-process cluster has always used, and TCP, which frames the same payloads
+// onto one duplex loopback-or-network connection per rank pair — so
+// comm.Cluster runs the same exchange patterns whether its ranks are
+// goroutines in one process or peers spread across machines.
+//
+// The interface is deliberately channel-shaped: links are exposed as Go
+// channels, so the cluster composes them in a select with its cancellation,
+// failure and deadline channels without the transport knowing any of those
+// policies. A transport only moves bytes; timeouts, fault injection and byte
+// accounting stay in comm.
+package transport
+
+// Transport moves ordered messages over directed rank→rank links.
+//
+// Contract, shared by every implementation and pinned by the conformance
+// suite in internal/comm:
+//
+//   - Per-link FIFO: messages posted on SendCh(i, j) are delivered on the
+//     peer's RecvCh(j, i) in post order. No ordering holds across links.
+//   - Bounded buffering: a link absorbs a bounded number of in-flight
+//     messages (LinkDepth); past that, posting blocks until the receiver
+//     drains, which is how backpressure propagates to senders.
+//   - Payload isolation: a delivered slice is owned by the receiver; the
+//     transport never aliases it with a sender's buffer.
+//   - Failure: a transport that can lose a peer (TCP) closes Dead() on the
+//     first unrecoverable link error and reports the peer and cause through
+//     DeadRank/DeadErr. In-process transports cannot lose a peer and return
+//     a nil Dead channel (which blocks forever in a select, by design).
+type Transport interface {
+	// Size returns the number of ranks the transport connects.
+	Size() int
+
+	// Local reports whether rank r executes in this process. The in-process
+	// transport hosts every rank; the TCP transport hosts exactly one.
+	Local(r int) bool
+
+	// SendCh returns the channel on which local rank `from` posts messages
+	// bound for rank `to`. Posting may block when the link is congested;
+	// callers select on it together with their own cancellation channels.
+	SendCh(from, to int) chan<- []complex128
+
+	// RecvCh returns the channel delivering messages from rank `from` to
+	// local rank `to`, in send order.
+	RecvCh(to, from int) <-chan []complex128
+
+	// Dead returns a channel closed when the transport detects an
+	// unrecoverable peer failure (connection reset, EOF, handshake
+	// mismatch), or nil when the transport has no failure mode.
+	Dead() <-chan struct{}
+
+	// DeadRank returns the peer whose link failed first, or -1 while every
+	// link is healthy.
+	DeadRank() int
+
+	// DeadErr returns the cause of the first link failure, or nil.
+	DeadErr() error
+
+	// Close tears the transport down: connections, listeners and goroutines.
+	// Pending and future link operations on a closed TCP transport fail as
+	// peer death on the remote side, which is how a graceful process exit
+	// mid-exchange surfaces to survivors. Safe to call more than once.
+	Close() error
+}
+
+// LinkDepth is the number of in-flight messages a link buffers before
+// posting blocks. It is the historical mailbox depth of the in-process
+// cluster, kept identical across transports so exchange patterns tuned
+// against one backpressure profile behave the same on the other.
+const LinkDepth = 64
