@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check fmt build vet test race race-ft serve-test transport-test peer-test bench bench-json
+.PHONY: check fmt build vet test race race-ft serve-test transport-test peer-test tune-test bench bench-json
 
-check: fmt build vet test race-ft serve-test transport-test peer-test
+check: fmt build vet test race-ft serve-test transport-test peer-test tune-test
 
 # gofmt -l prints nothing (and exits 0) on a clean tree; any output fails
 # the gate via the grep.
@@ -52,15 +52,23 @@ transport-test:
 peer-test:
 	go test -count=1 -run TestPeerModeEndToEnd ./cmd/qtsimd
 
+# Autotuner gate under the race detector: the search over a fixed probe
+# table must be deterministic (same schedule, same probe count, twice), and
+# the schedule cache must fall back cleanly on corrupt/stale files. A short
+# genuinely-measured search runs too (TestTunerRealProbesSmall) to keep the
+# probe kernels honest.
+tune-test:
+	go test -race -count=1 ./internal/tune
+
 # Table/figure benchmarks plus the kernel-engine micro-benchmarks.
 bench:
 	go test -bench . -benchtime 3x -run '^$$' .
 	go test -bench 'BenchmarkGEMM' -benchtime 20x -run '^$$' ./internal/cmat
 
-# Machine-readable benchmark snapshot for this PR: the SSE communication
-# volume tables and the inproc-vs-TCP exchange timing, rendered to JSON.
+# Machine-readable benchmark snapshot for this PR: the tuned-vs-default
+# schedule deltas (GEMM, SSE phase, end-to-end iteration; a short measured
+# tuner search runs once inside the benchmark binary), rendered to JSON.
 bench-json:
-	{ go test -bench 'BenchmarkTable[45]Comm' -benchtime 3x -run '^$$' . ; \
-	  go test -bench 'BenchmarkExchange' -benchtime 5x -run '^$$' ./internal/comm ; } \
-	  | go run ./cmd/benchjson -out BENCH_5.json
-	@echo wrote BENCH_5.json
+	go test -bench 'BenchmarkSched' -benchtime 10x -run '^$$' . \
+	  | go run ./cmd/benchjson -out BENCH_6.json
+	@echo wrote BENCH_6.json

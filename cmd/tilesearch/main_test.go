@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"negfsim/internal/comm"
+	"negfsim/internal/device"
+	"negfsim/internal/tune"
+)
+
+// TestScheduleFragmentGolden pins the -json output byte-for-byte for the
+// paper's 4864-atom structure at 1792 processes. The fragment must stay
+// host-independent (no host key, compile-time blocking), or this golden
+// would differ between machines.
+func TestScheduleFragmentGolden(t *testing.T) {
+	p := device.Paper4864(7)
+	got, err := scheduleFragment(p, 1792, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "schedule_4864_1792.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden: %v (regenerate by writing the fragment output)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("-json fragment drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestScheduleFragmentConsumable checks the fragment round-trips through
+// the same parser qtsim -schedule uses and carries the search's optimum.
+func TestScheduleFragmentConsumable(t *testing.T) {
+	p := device.Paper4864(7)
+	const procs = 1792
+	out, err := scheduleFragment(p, procs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tune.ParseSchedule(out)
+	if err != nil {
+		t.Fatalf("qtsim -schedule would reject the fragment: %v", err)
+	}
+	if s.HostKey != "" {
+		t.Fatalf("fragment leaked a host key: %q", s.HostKey)
+	}
+	tl, ok := s.TileFor(p, procs)
+	if !ok {
+		t.Fatal("fragment carries no tile for the searched shape")
+	}
+	best, _ := comm.SearchTiles(p, procs, 0)
+	if tl.TE != best.TE || tl.TA != best.TA {
+		t.Fatalf("fragment tile %dx%d is not the search optimum %dx%d", tl.TE, tl.TA, best.TE, best.TA)
+	}
+	if _, err := scheduleFragment(p, procs, 1); err == nil {
+		t.Fatal("impossible memory limit must fail")
+	}
+}

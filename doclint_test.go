@@ -11,8 +11,8 @@ import (
 
 // The packages whose exported API the doc-comment lint enforces — the
 // observability layer, the two packages an operator reads first when
-// interpreting its output, and the service API that clients program
-// against.
+// interpreting its output, the service API that clients program against,
+// and the autotuner whose schedule files operators hand-edit.
 var doclintPackages = []string{
 	"internal/obs",
 	"internal/comm",
@@ -20,6 +20,7 @@ var doclintPackages = []string{
 	"internal/serve",
 	"internal/transport",
 	"internal/num",
+	"internal/tune",
 }
 
 // exportedRecv reports whether a method receiver names an exported type

@@ -8,9 +8,10 @@ type Triple struct {
 	Out, A, B *Dense
 }
 
-// batchSerialWork is the total R·K·C volume below which a batch runs
-// serially: scheduling a handful of Norb³ products over the pool costs more
-// than the products themselves.
+// batchSerialWork is the default total R·K·C volume below which a batch
+// runs serially: scheduling a handful of Norb³ products over the pool costs
+// more than the products themselves. The live threshold is
+// Blocking.BatchWork of the installed configuration.
 const batchSerialWork = 64 * 1024
 
 // BatchMulAddInto performs every product of the batch, accumulating into the
@@ -34,7 +35,7 @@ func BatchMulAddInto(batch []Triple) {
 		}
 		work += t.A.Rows * t.A.Cols * t.B.Cols
 	}
-	if len(batch) <= 1 || work < batchSerialWork {
+	if len(batch) <= 1 || work < active.Load().BatchWork {
 		for _, t := range batch {
 			t.A.MulAddInto(t.Out, t.B)
 		}

@@ -1,0 +1,202 @@
+package cmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// restoreBlocking resets the installed configuration after a test that
+// swaps it.
+func restoreBlocking(t *testing.T) {
+	t.Helper()
+	saved := CurrentBlocking()
+	t.Cleanup(func() {
+		if err := SetBlocking(saved); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestDefaultBlockingEqualsConstants pins DefaultBlocking to the
+// compile-time constants, so a constant edit cannot silently diverge from
+// the schedule defaults.
+func TestDefaultBlockingEqualsConstants(t *testing.T) {
+	b := DefaultBlocking()
+	if b.KC != gemmKC || b.NC != gemmNC {
+		t.Fatalf("DefaultBlocking panels (%d, %d) != constants (%d, %d)", b.KC, b.NC, gemmKC, gemmNC)
+	}
+	if b.MinWork != blockedMinWork {
+		t.Fatalf("DefaultBlocking.MinWork %d != constant %d", b.MinWork, blockedMinWork)
+	}
+	if b.MinDensity != blockedMinDensity {
+		t.Fatalf("DefaultBlocking.MinDensity %g != constant %g", b.MinDensity, blockedMinDensity)
+	}
+	if b.BatchWork != batchSerialWork {
+		t.Fatalf("DefaultBlocking.BatchWork %d != constant %d", b.BatchWork, batchSerialWork)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefaultConfigMatchesConstantPathBitwise pins byte-for-byte result
+// equality between the configurable path under DefaultBlocking and the
+// kernel invoked with the compile-time constants directly, across shapes
+// spanning panel boundaries. The two must be the same summation order, so
+// equality is exact, not within tolerance.
+func TestDefaultConfigMatchesConstantPathBitwise(t *testing.T) {
+	restoreBlocking(t)
+	if err := SetBlocking(DefaultBlocking()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	shapes := [][3]int{
+		{33, 33, 33}, {64, 64, 64}, {65, gemmKC + 3, gemmNC + 5},
+		{128, 2*gemmKC + 1, 96}, {256, 256, 256},
+	}
+	for _, s := range shapes {
+		r, k, c := s[0], s[1], s[2]
+		m := RandomDense(rng, r, k)
+		n := RandomDense(rng, k, c)
+		viaConfig := NewDense(r, c)
+		m.MulInto(viaConfig, n) // dispatches through the installed Blocking
+		viaConsts := NewDense(r, c)
+		m.mulBlocked(viaConsts, n, false, gemmKC, gemmNC)
+		for i := range viaConfig.Data {
+			if viaConfig.Data[i] != viaConsts.Data[i] {
+				t.Fatalf("%d×%d·%d×%d: element %d differs: config %v, constants %v",
+					r, k, k, c, i, viaConfig.Data[i], viaConsts.Data[i])
+			}
+		}
+	}
+}
+
+// TestNonDefaultBlockingMatchesOracle checks every candidate panel
+// geometry the tuner may install against the naive oracle (within
+// float tolerance — different panel sizes reorder the summation).
+func TestNonDefaultBlockingMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const size = 100
+	m := RandomDense(rng, size, size)
+	n := RandomDense(rng, size, size)
+	want := NewDense(size, size)
+	m.mulAddNaive(want, n)
+	for _, b := range []Blocking{
+		{KC: 64, NC: 32, MinWork: 1, MinDensity: 0, BatchWork: 1},
+		{KC: 128, NC: 48, MinWork: 1, MinDensity: 0, BatchWork: 1},
+		{KC: 256, NC: 96, MinWork: 1, MinDensity: 0, BatchWork: 1},
+		{KC: 384, NC: 128, MinWork: 1, MinDensity: 0, BatchWork: 1},
+		{KC: 7, NC: 5, MinWork: 1, MinDensity: 0, BatchWork: 1},
+	} {
+		got := NewDense(size, size)
+		m.MulBlockedInto(got, n, false, b)
+		if !got.Equalish(want, 1e-9*size) {
+			t.Fatalf("blocking %+v: max diff %g", b, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+// TestSetBlockingRejectsInvalid checks validation and that a rejected
+// configuration leaves the installed one untouched.
+func TestSetBlockingRejectsInvalid(t *testing.T) {
+	restoreBlocking(t)
+	before := CurrentBlocking()
+	for _, b := range []Blocking{
+		{KC: 0, NC: 64, MinWork: 1, MinDensity: 0.2, BatchWork: 1},
+		{KC: 192, NC: 2, MinWork: 1, MinDensity: 0.2, BatchWork: 1},
+		{KC: 192, NC: 64, MinWork: 0, MinDensity: 0.2, BatchWork: 1},
+		{KC: 192, NC: 64, MinWork: 1, MinDensity: 1.5, BatchWork: 1},
+		{KC: 192, NC: 64, MinWork: 1, MinDensity: 0.2, BatchWork: -1},
+	} {
+		if err := SetBlocking(b); err == nil {
+			t.Fatalf("SetBlocking(%+v) accepted an invalid configuration", b)
+		}
+	}
+	if CurrentBlocking() != before {
+		t.Fatal("rejected SetBlocking changed the installed configuration")
+	}
+}
+
+// TestInstalledBlockingDrivesDispatch checks the dispatch actually reads
+// the installed thresholds: an absurdly high MinWork forces every product
+// onto the naive path, and results stay correct either way.
+func TestInstalledBlockingDrivesDispatch(t *testing.T) {
+	restoreBlocking(t)
+	rng := rand.New(rand.NewSource(23))
+	const size = 64
+	m := RandomDense(rng, size, size)
+	n := RandomDense(rng, size, size)
+	want := NewDense(size, size)
+	m.mulAddNaive(want, n)
+
+	forceNaive := DefaultBlocking()
+	forceNaive.MinWork = 1 << 30
+	if err := SetBlocking(forceNaive); err != nil {
+		t.Fatal(err)
+	}
+	got := NewDense(size, size)
+	m.MulInto(got, n)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatal("forced-naive dispatch did not take the naive path bitwise")
+		}
+	}
+
+	forceBlocked := DefaultBlocking()
+	forceBlocked.MinWork = 1
+	forceBlocked.MinDensity = 0
+	if err := SetBlocking(forceBlocked); err != nil {
+		t.Fatal(err)
+	}
+	got2 := NewDense(size, size)
+	m.MulInto(got2, n)
+	if !got2.Equalish(want, 1e-9*size) {
+		t.Fatalf("forced-blocked dispatch wrong: max diff %g", got2.MaxAbsDiff(want))
+	}
+}
+
+// TestProbeOperandsDeterministic pins the probe generator: same inputs,
+// same matrices, and the density knob thins the left operand only.
+func TestProbeOperandsDeterministic(t *testing.T) {
+	m1, n1, _ := probeOperands(32, 0.3)
+	m2, n2, _ := probeOperands(32, 0.3)
+	for i := range m1.Data {
+		if m1.Data[i] != m2.Data[i] || n1.Data[i] != n2.Data[i] {
+			t.Fatal("probe operands differ across identical calls")
+		}
+	}
+	nz := 0
+	for _, v := range m1.Data {
+		if v != 0 {
+			nz++
+		}
+	}
+	frac := float64(nz) / float64(len(m1.Data))
+	if frac < 0.15 || frac > 0.45 {
+		t.Fatalf("probe density %.2f far from requested 0.30", frac)
+	}
+	for _, v := range n1.Data {
+		if v == 0 {
+			t.Fatal("right probe operand has zero entries")
+		}
+	}
+}
+
+// TestGEMMProbesAgree sanity-checks the probe entries: they run, take
+// nonzero time, and the kernels they time produce identical math to the
+// dispatching entry points (spot-checked via MulBlockedInto above).
+func TestGEMMProbesAgree(t *testing.T) {
+	b := DefaultBlocking()
+	if GEMMProbe(48, 2, b) <= 0 {
+		t.Fatal("GEMMProbe returned non-positive duration")
+	}
+	if GEMMProbeNaive(48, 2, 0.1) <= 0 {
+		t.Fatal("GEMMProbeNaive returned non-positive duration")
+	}
+	if GEMMProbeBlockedDense(48, 2, 0.1, b) <= 0 {
+		t.Fatal("GEMMProbeBlockedDense returned non-positive duration")
+	}
+	if MulParProbe(64, 1, 2) <= 0 {
+		t.Fatal("MulParProbe returned non-positive duration")
+	}
+}

@@ -25,6 +25,10 @@ import (
 //     accumulators held in registers across the whole kc loop, eliminating
 //     the per-k load/store traffic on the output row that bounds the naive
 //     kernel.
+//
+// These constants are the hand-tuned defaults behind DefaultBlocking; the
+// panel sizes and dispatch thresholds actually used per product come from
+// the installed Blocking (blocking.go), which the autotuner may replace.
 const (
 	gemmKC = 192 // K-panel height: one packed strip is gemmKC·gemmNR·16 B
 	gemmNC = 64  // column-panel width: a packed panel is ≤ gemmKC·gemmNC·16 B ≈ 192 KiB
@@ -71,7 +75,9 @@ var (
 )
 
 // gemm computes out += m·n (accumulate) or out = m·n, dispatching between
-// the naive and the blocked kernel on size and left-operand density.
+// the naive and the blocked kernel on size and left-operand density. The
+// thresholds and panel sizes come from the installed Blocking (one atomic
+// pointer load per product; see SetBlocking).
 func (m *Dense) gemm(out, n *Dense, accumulate bool) {
 	R, K, C := m.Rows, m.Cols, n.Cols
 	if K == 0 {
@@ -80,7 +86,8 @@ func (m *Dense) gemm(out, n *Dense, accumulate bool) {
 		}
 		return
 	}
-	if R*K*C < blockedMinWork || C < gemmNR || !denseEnough(m) {
+	b := active.Load()
+	if R*K*C < b.MinWork || C < gemmNR || !denseEnough(m, b.MinDensity) {
 		obsGemmNaive.Inc()
 		if !accumulate {
 			out.Zero()
@@ -89,13 +96,13 @@ func (m *Dense) gemm(out, n *Dense, accumulate bool) {
 		return
 	}
 	obsGemmBlocked.Inc()
-	m.mulBlocked(out, n, accumulate)
+	m.mulBlocked(out, n, accumulate, b.KC, b.NC)
 }
 
-// denseEnough reports whether at least blockedMinDensity of m's entries are
+// denseEnough reports whether at least minDensity of m's entries are
 // nonzero, returning early as soon as the threshold is reached.
-func denseEnough(m *Dense) bool {
-	need := int(blockedMinDensity*float64(len(m.Data))) + 1
+func denseEnough(m *Dense, minDensity float64) bool {
+	need := int(minDensity*float64(len(m.Data))) + 1
 	nz := 0
 	for _, v := range m.Data {
 		if v != 0 {
@@ -109,28 +116,28 @@ func denseEnough(m *Dense) bool {
 }
 
 // mulBlocked is the cache-blocked kernel: panel packing of B plus a
-// register-tiled gemmMR×gemmNR micro-kernel.
-func (m *Dense) mulBlocked(out, n *Dense, accumulate bool) {
+// register-tiled gemmMR×gemmNR micro-kernel. kcMax and ncMax are the
+// K-panel height and column-panel width (Blocking.KC and Blocking.NC).
+func (m *Dense) mulBlocked(out, n *Dense, accumulate bool, kcMax, ncMax int) {
 	R, K, C := m.Rows, m.Cols, n.Cols
-	ncMax := gemmNC
 	if C < ncMax {
 		ncMax = C
 	}
 	stripsMax := num.CeilDiv(ncMax, gemmNR)
-	pack := getDenseNoZero(1, gemmKC*stripsMax*gemmNR)
+	pack := getDenseNoZero(1, kcMax*stripsMax*gemmNR)
 	pb := pack.Data
-	for kb := 0; kb < K; kb += gemmKC {
+	for kb := 0; kb < K; kb += kcMax {
 		kc := K - kb
-		if kc > gemmKC {
-			kc = gemmKC
+		if kc > kcMax {
+			kc = kcMax
 		}
 		// The first K-panel may overwrite; subsequent panels accumulate on
 		// top of it.
 		acc := accumulate || kb > 0
-		for jb := 0; jb < C; jb += gemmNC {
+		for jb := 0; jb < C; jb += ncMax {
 			nc := C - jb
-			if nc > gemmNC {
-				nc = gemmNC
+			if nc > ncMax {
+				nc = ncMax
 			}
 			packPanel(pb, n, kb, kc, jb, nc)
 			// ncFull is the widest jj for which a full gemmNR strip fits; the

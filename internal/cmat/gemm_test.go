@@ -48,7 +48,7 @@ func TestBlockedMatchesNaiveQuick(t *testing.T) {
 			a := RandomDense(rng, r, c)
 			blocked := a.Clone()
 			naive := a.Clone()
-			m.mulBlocked(blocked, n, true)
+			m.mulBlocked(blocked, n, true, gemmKC, gemmNC)
 			m.mulAddNaive(naive, n)
 			return blocked.Equalish(naive, 1e-9*float64(k))
 		}
@@ -90,14 +90,14 @@ func testBlockedDegenerateShapes(t *testing.T) {
 		// would otherwise dispatch to naive).
 		if c >= 1 {
 			got2 := NewDense(r, c)
-			m.mulBlocked(got2, n, true)
+			m.mulBlocked(got2, n, true, gemmKC, gemmNC)
 			if !got2.Equalish(want, 1e-9*float64(k+1)) {
 				t.Fatalf("mulBlocked mismatch at %d×%d·%d×%d: max diff %g", r, k, k, c, got2.MaxAbsDiff(want))
 			}
 		}
 		// Overwrite mode must ignore prior contents of out.
 		got3 := RandomDense(rng, r, c)
-		m.mulBlocked(got3, n, false)
+		m.mulBlocked(got3, n, false, gemmKC, gemmNC)
 		if !got3.Equalish(want, 1e-9*float64(k+1)) {
 			t.Fatalf("mulBlocked overwrite mismatch at %d×%d·%d×%d", r, k, k, c)
 		}
@@ -133,7 +133,7 @@ func TestSparseOperandsStayOnNaivePath(t *testing.T) {
 			a.Data[i] = complex(rng.Float64(), rng.Float64())
 		}
 	}
-	if denseEnough(a) {
+	if denseEnough(a, blockedMinDensity) {
 		t.Fatal("sparse operand classified as dense")
 	}
 	b := RandomDense(rng, n, n)
@@ -155,7 +155,7 @@ func benchGEMM(b *testing.B, size int, blocked bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if blocked {
-			m.mulBlocked(out, n, true)
+			m.mulBlocked(out, n, true, gemmKC, gemmNC)
 		} else {
 			m.mulAddNaive(out, n)
 		}

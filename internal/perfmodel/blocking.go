@@ -1,0 +1,129 @@
+package perfmodel
+
+import (
+	"sort"
+	"time"
+)
+
+// This file is the model half of the autotuner's "model + tune" loop
+// (internal/tune): a first-principles cost prior over GEMM cache-blocking
+// candidates, used to order the measured probes so a small wall-clock
+// budget lands on the most promising configurations first, and a
+// reconciliation statistic comparing the prior's ranking to what the
+// probes actually measured. The prior does not need to predict absolute
+// times — only to rank candidates well enough that the budgeted probe
+// sweep visits the winners early. The reconciliation coefficient is
+// reported by the tuner so schedule files record how informative the model
+// was on this host (a persistently low value means the machine's cache
+// hierarchy diverges from the assumed one and the probe budget should be
+// raised).
+
+// Cache geometry the prior assumes. These are deliberately conservative
+// round numbers for contemporary x86/ARM server parts; the measured probes
+// correct for any divergence, which is the entire point of seeding rather
+// than trusting the model.
+const (
+	// PriorL1Bytes is the assumed per-core L1 data cache.
+	PriorL1Bytes = 32 << 10
+	// PriorL2Bytes is the assumed per-core L2 cache.
+	PriorL2Bytes = 512 << 10
+	// priorComplexBytes is the storage of one complex128 element.
+	priorComplexBytes = 16
+	// priorStripWidth is the packed strip width of the micro-kernel
+	// (cmat's gemmNR); one strip is KC·priorStripWidth elements.
+	priorStripWidth = 4
+)
+
+// BlockingPrior returns a unitless predicted cost for running a
+// size×size×size complex GEMM with K-panels of kc and column-panels of nc.
+// Lower is better. The terms mirror the classical packed-GEMM capacity
+// analysis:
+//
+//   - a packed panel of kc·nc elements should fit in L2 with room for the
+//     A rows streaming through — exceeding a half-L2 budget incurs a
+//     capacity-miss penalty proportional to the overflow;
+//   - one strip (kc·4 elements) plus the A row segment (kc elements) should
+//     sit in L1 across the micro-kernel loop — same penalty shape;
+//   - small panels repack and re-dispatch more often: overhead terms decay
+//     as 1/kc and 1/nc;
+//   - panels that do not divide the problem leave ragged tails handled by
+//     the scalar path: a mild penalty on the remainder fraction.
+func BlockingPrior(kc, nc, size int) float64 {
+	if kc < 1 || nc < 1 || size < 1 {
+		return 1e300
+	}
+	fkc, fnc, fsz := float64(kc), float64(nc), float64(size)
+
+	cost := 1.0
+
+	// L2 capacity: packed B panel + the streaming A row segments.
+	l2Need := (fkc*fnc + 2*fkc) * priorComplexBytes
+	if budget := float64(PriorL2Bytes) / 2; l2Need > budget {
+		cost += 0.5 * (l2Need/budget - 1)
+	}
+
+	// L1 capacity: one strip and one A row segment live across the kc loop.
+	l1Need := (fkc*priorStripWidth + fkc) * priorComplexBytes
+	if budget := float64(PriorL1Bytes) / 2; l1Need > budget {
+		cost += 0.5 * (l1Need/budget - 1)
+	}
+
+	// Packing and dispatch overhead amortized over the panel volume.
+	cost += 24/fkc + 12/fnc
+
+	// Ragged tails: remainder fraction of the last panel in each dimension.
+	if r := size % kc; r != 0 && size > kc {
+		cost += 0.05 * (1 - float64(r)/fkc) * fkc / fsz
+	}
+	if r := size % nc; r != 0 && size > nc {
+		cost += 0.05 * (1 - float64(r)/fnc) * fnc / fsz
+	}
+	return cost
+}
+
+// RankBlockings sorts candidate (kc, nc) pairs by ascending BlockingPrior
+// for the given problem size, returning the permutation indices — the order
+// in which a budgeted tuner should spend its probes.
+func RankBlockings(kcs, ncs []int, size int) []int {
+	if len(kcs) != len(ncs) {
+		panic("perfmodel: RankBlockings length mismatch")
+	}
+	idx := make([]int, len(kcs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return BlockingPrior(kcs[idx[a]], ncs[idx[a]], size) < BlockingPrior(kcs[idx[b]], ncs[idx[b]], size)
+	})
+	return idx
+}
+
+// Reconcile compares the model's predicted costs against measured probe
+// times for the same candidates and returns the Kendall rank-correlation
+// coefficient in [-1, 1]: 1 means the prior ordered every probed pair the
+// way the measurements did, 0 means the model was uninformative, negative
+// means actively misleading. Pairs tied in either list are skipped.
+func Reconcile(predicted []float64, measured []time.Duration) float64 {
+	if len(predicted) != len(measured) {
+		panic("perfmodel: Reconcile length mismatch")
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < len(predicted); i++ {
+		for j := i + 1; j < len(predicted); j++ {
+			dp := predicted[i] - predicted[j]
+			dm := measured[i] - measured[j]
+			if dp == 0 || dm == 0 {
+				continue
+			}
+			if (dp < 0) == (dm < 0) {
+				concordant++
+			} else {
+				discordant++
+			}
+		}
+	}
+	if concordant+discordant == 0 {
+		return 0
+	}
+	return float64(concordant-discordant) / float64(concordant+discordant)
+}

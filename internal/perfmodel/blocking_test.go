@@ -1,0 +1,70 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBlockingPriorPrefersCacheFit checks the capacity terms: a panel
+// blowing far past L2 must cost more than one that fits, and a degenerate
+// tiny panel must pay the amortization overhead.
+func TestBlockingPriorPrefersCacheFit(t *testing.T) {
+	fits := BlockingPrior(192, 64, 256)      // ≈192 KiB packed panel, inside L2/2
+	blows := BlockingPrior(2048, 2048, 4096) // 64 MiB panel, far past L2
+	if fits >= blows {
+		t.Fatalf("prior prefers cache-blowing panel: fit=%g blown=%g", fits, blows)
+	}
+	tiny := BlockingPrior(2, 4, 256)
+	if fits >= tiny {
+		t.Fatalf("prior prefers degenerate tiny panel: fit=%g tiny=%g", fits, tiny)
+	}
+	if BlockingPrior(0, 64, 256) < 1e200 {
+		t.Fatal("invalid kc not rejected")
+	}
+}
+
+// TestBlockingPriorDefaultNearTop checks the hand-tuned default (192, 64)
+// ranks within the top third of a realistic candidate grid — the property
+// the budgeted tuner relies on to find good configurations early.
+func TestBlockingPriorDefaultNearTop(t *testing.T) {
+	var kcs, ncs []int
+	defIdx := -1
+	for _, kc := range []int{16, 32, 64, 96, 128, 192, 256, 384, 512, 1024} {
+		for _, nc := range []int{8, 16, 32, 48, 64, 96, 128, 256, 512} {
+			if kc == 192 && nc == 64 {
+				defIdx = len(kcs)
+			}
+			kcs = append(kcs, kc)
+			ncs = append(ncs, nc)
+		}
+	}
+	order := RankBlockings(kcs, ncs, 256)
+	pos := -1
+	for rank, i := range order {
+		if i == defIdx {
+			pos = rank
+			break
+		}
+	}
+	if pos < 0 || pos > len(order)/3 {
+		t.Fatalf("default (192, 64) ranked %d of %d", pos, len(order))
+	}
+}
+
+// TestReconcileExtremes pins the reconciliation statistic: perfectly
+// concordant → 1, perfectly reversed → −1, all-tied → 0.
+func TestReconcileExtremes(t *testing.T) {
+	pred := []float64{1, 2, 3, 4}
+	asc := []time.Duration{10, 20, 30, 40}
+	desc := []time.Duration{40, 30, 20, 10}
+	if got := Reconcile(pred, asc); got != 1 {
+		t.Fatalf("concordant: got %g, want 1", got)
+	}
+	if got := Reconcile(pred, desc); got != -1 {
+		t.Fatalf("reversed: got %g, want -1", got)
+	}
+	tied := []float64{5, 5, 5, 5}
+	if got := Reconcile(tied, asc); got != 0 {
+		t.Fatalf("tied predictions: got %g, want 0", got)
+	}
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"negfsim/internal/cmat"
+	"negfsim/internal/tune"
+)
+
+// TestTuningBesideLiveJobs pins the race-safety contract between the
+// autotuner and the multi-tenant scheduler: a measured tuning pass runs
+// through cmat's explicit-parameter probe entries and touches no global
+// state, so probing while jobs execute must neither perturb the installed
+// blocking nor change job results. Run under -race this also proves the
+// probe kernels share no unsynchronized state with the solver.
+func TestTuningBesideLiveJobs(t *testing.T) {
+	installed := cmat.CurrentBlocking()
+	s := New(Config{MaxConcurrent: 2})
+	defer closeSched(t, s)
+
+	cfg := testConfig(23, 3)
+	j1, err := s.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A real measured search, concurrent with both jobs.
+	done := make(chan tune.Schedule, 1)
+	go func() {
+		tn := &tune.Tuner{Budget: 250 * time.Millisecond, Sizes: []int{48, 64}, MaxWorkers: 2}
+		done <- tn.Search()
+	}()
+
+	waitState(t, j1, Succeeded, 60*time.Second)
+	waitState(t, j2, Succeeded, 60*time.Second)
+	sched := <-done
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := cmat.CurrentBlocking(); got != installed {
+		t.Fatalf("tuning beside live jobs changed the installed blocking: %+v -> %+v", installed, got)
+	}
+
+	// Job results must match a direct run of the same config exactly —
+	// concurrent probing contributed nothing to their numerics.
+	opts, err := cfg.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = s.PerJobWorkers()
+	sim, err := cfg.NewSimulatorWith(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []*Job{j1, j2} {
+		got, ok := j.Result()
+		if !ok {
+			t.Fatalf("job %s has no result", j.ID())
+		}
+		if d := obsDiff(got.Obs, want.Obs); d != 0 {
+			t.Fatalf("job %s diverged from the direct run by %g under concurrent tuning", j.ID(), d)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package tune
+
+import (
+	"fmt"
+	"time"
+)
+
+// Startup resolves the schedule a binary runs under and installs its
+// process-global part — the single entry point behind the -tune and
+// -schedule flags of qtsim and qtsimd. The contract:
+//
+//   - schedulePath, when non-empty, wins: the explicit file is loaded
+//     (strict schema version, host mismatch warns) and applied.
+//   - mode "off" skips the cache and the tuner: the compile-time defaults
+//     stay installed.
+//   - mode "cached" loads the per-host cache if present — zero probe time —
+//     and falls back to the defaults otherwise. It never runs the tuner.
+//   - mode "force" runs a budgeted search now, saves the result to the
+//     per-host cache and applies it.
+//
+// logf (may be nil) receives cache warnings and tuner progress.
+func Startup(mode, schedulePath string, budget time.Duration, logf func(format string, args ...any)) (Schedule, error) {
+	if schedulePath != "" {
+		s, err := LoadFile(schedulePath, logf)
+		if err != nil {
+			return Schedule{}, err
+		}
+		if err := s.ApplyGlobal(); err != nil {
+			return Schedule{}, err
+		}
+		return *s, nil
+	}
+	switch mode {
+	case "off":
+		return DefaultSchedule(), nil
+	case "cached":
+		s, _ := LoadCached(logf)
+		if err := s.ApplyGlobal(); err != nil {
+			return Schedule{}, err
+		}
+		return s, nil
+	case "force":
+		t := &Tuner{Budget: budget, Log: logf}
+		s := t.Search()
+		if path, err := SaveCached(s); err != nil {
+			if logf != nil {
+				logf("tune: schedule not cached: %v", err)
+			}
+		} else if logf != nil {
+			logf("tune: schedule cached at %s", path)
+		}
+		if err := s.ApplyGlobal(); err != nil {
+			return Schedule{}, err
+		}
+		return s, nil
+	}
+	return Schedule{}, fmt.Errorf("tune: unknown mode %q (want off, cached or force)", mode)
+}
