@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check fmt build vet test race race-ft serve-test transport-test peer-test tune-test bench bench-json
+.PHONY: check fmt build vet test race race-ft serve-test transport-test peer-test tune-test front-test docs-lint bench bench-json
 
-check: fmt build vet test race-ft serve-test transport-test peer-test tune-test
+check: fmt build vet test race-ft serve-test transport-test peer-test tune-test front-test docs-lint
 
 # gofmt -l prints nothing (and exits 0) on a clean tree; any output fails
 # the gate via the grep.
@@ -59,6 +59,19 @@ peer-test:
 # probe kernels honest.
 tune-test:
 	go test -race -count=1 ./internal/tune
+
+# Front-tier suite under the race detector: content-address
+# canonicalization, singleflight dedup with byte-identical streams,
+# cache-hit serving, warm starts from adjacent bias points, quota 429s and
+# worker-death rerouting against in-process qtsimd workers.
+front-test:
+	go test -race -count=1 ./internal/front
+
+# Docs lint: every relative markdown link in README, the root docs and
+# docs/ must resolve to an existing file, so renames can't silently rot the
+# docs suite.
+docs-lint:
+	go test -count=1 -run TestDocLinks .
 
 # Table/figure benchmarks plus the kernel-engine micro-benchmarks.
 bench:

@@ -1,0 +1,114 @@
+// Command qtfront is the sharded front tier: a scheduler/router that spreads
+// jobs across a fleet of qtsimd workers, dedupes identical submissions onto
+// one in-flight run, serves repeated submissions from a content-addressed
+// result cache, warm-starts near-miss bias points from cached checkpoints,
+// and enforces per-tenant admission quotas.
+//
+// The fleet is described by a JSON file (see examples/fleet.json and
+// docs/DEPLOY.md):
+//
+//	qtsimd -addr 127.0.0.1:8081 &
+//	qtsimd -addr 127.0.0.1:8082 &
+//	qtfront -fleet examples/fleet.json
+//	curl -H 'X-Tenant: alice' -d @examples/run.json localhost:8090/v1/jobs
+//	curl localhost:8090/v1/jobs/f1/stream         # NDJSON, one line per Born iteration
+//	curl localhost:8090/v1/jobs/f1/result
+//
+// The client-facing API is a superset of the qtsimd job API, so tooling
+// written against one worker talks to the whole fleet unchanged; docs/API.md
+// is the complete reference. /metrics exposes the front.* counter families
+// (cache_hits, dedup_joins, quota_rejections, worker_evictions, ...) next to
+// whatever solver metrics the process itself would report.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"negfsim/internal/front"
+	"negfsim/internal/obs"
+)
+
+func main() {
+	fleetPath := flag.String("fleet", "", "fleet config JSON (see examples/fleet.json); overrides -addr/-workers")
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address for the front API")
+	workers := flag.String("workers", "", "comma-separated qtsimd base URLs (http://host:port); alternative to -fleet")
+	quotaRate := flag.Float64("quota-rate", 0, "per-tenant submissions per second (0 disables quotas)")
+	quotaBurst := flag.Int("quota-burst", 8, "per-tenant admission burst")
+	cacheMax := flag.Int("cache-max", 256, "content-addressed cache entries kept")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	obs.Enable()
+
+	var cfg front.Config
+	listen := *addr
+	if *fleetPath != "" {
+		fc, err := front.LoadFleetConfig(*fleetPath)
+		if err != nil {
+			log.Fatalf("qtfront: %v", err)
+		}
+		cfg = fc.FrontConfig()
+		listen = fc.Listen
+	} else {
+		if *workers == "" {
+			log.Fatal("qtfront: need -fleet FILE or -workers URL,URL,...")
+		}
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.Workers = append(cfg.Workers, u)
+			}
+		}
+		cfg.QuotaRate = *quotaRate
+		cfg.QuotaBurst = *quotaBurst
+		cfg.CacheMax = *cacheMax
+	}
+
+	f := front.New(cfg)
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		log.Fatalf("qtfront: %v", err)
+	}
+	srv := &http.Server{Handler: front.NewAPI(f).Handler()}
+
+	// Print the bound address (not the flag value) so -addr :0 scripts can
+	// discover the port.
+	fmt.Printf("qtfront listening on %s (workers=%d quota-rate=%.3g cache-max=%d)\n",
+		ln.Addr(), len(cfg.Workers), cfg.QuotaRate, cfg.CacheMax)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("qtfront: %v, draining", sig)
+	case err := <-errc:
+		log.Fatalf("qtfront: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("qtfront: http shutdown: %v", err)
+	}
+	if err := f.Close(ctx); err != nil {
+		log.Printf("qtfront: front shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("qtfront: serve: %v", err)
+	}
+	log.Print("qtfront: drained")
+}

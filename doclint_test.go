@@ -21,6 +21,7 @@ var doclintPackages = []string{
 	"internal/transport",
 	"internal/num",
 	"internal/tune",
+	"internal/front",
 }
 
 // exportedRecv reports whether a method receiver names an exported type

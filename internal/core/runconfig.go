@@ -183,6 +183,37 @@ func (c *RunConfig) Validate() error {
 	return nil
 }
 
+// Canonical returns the config reduced to its semantic content: the form in
+// which two configs describing the same physics compare (and hash) equal.
+// Defaults are filled explicitly (version, variant "dace", mixer "linear",
+// the Anderson history depth), enum names are lower-cased, and the knobs
+// that change how a run executes but not what it computes — Workers and
+// CommTimeoutMs — are zeroed. Dist and Gate stay: a distributed or
+// Poisson-coupled run is a different computation. The front tier's
+// content-addressed cache keys on exactly this form, so a submission with
+// reordered JSON fields, an omitted default, or a different worker count
+// dedupes onto the same cached result. The receiver is copied; the Gate
+// pointer (never mutated here) is shared.
+func (c RunConfig) Canonical() RunConfig {
+	c.Version = RunConfigVersion
+	c.Variant = strings.ToLower(c.Variant)
+	if c.Variant == "" {
+		c.Variant = "dace"
+	}
+	c.Mixer = strings.ToLower(c.Mixer)
+	if c.Mixer == "" {
+		c.Mixer = "linear"
+	}
+	if c.Mixer != "anderson" {
+		c.AndersonHistory = 0
+	} else if c.AndersonHistory <= 0 {
+		c.AndersonHistory = 3
+	}
+	c.Workers = 0
+	c.CommTimeoutMs = 0
+	return c
+}
+
 // SSEVariant parses the config's variant name.
 func (c *RunConfig) SSEVariant() (sse.Variant, error) {
 	switch strings.ToLower(c.Variant) {

@@ -1,5 +1,7 @@
 package device
 
+import "math"
+
 // Deterministic value generation: every synthetic matrix entry is a pure
 // function of (structure seed, atom indices, orbital indices, tag), so
 // structures are reproducible regardless of construction order or
@@ -37,3 +39,19 @@ func unitFloat(h uint64) float64 {
 
 // symFloat maps a hash to (−1, 1).
 func symFloat(h uint64) float64 { return 2*unitFloat(h) - 1 }
+
+// Fingerprint returns a stable 64-bit content hash of the parameter set.
+// Because every synthetic operator entry is a pure function of (Seed, atom,
+// orbital, tag), two Params with equal fingerprints generate bit-identical
+// devices — the fingerprint IS the device identity. The service front tier
+// uses it as the device component of its content-addressed cache key and to
+// group warm-start candidates ("same device, adjacent bias").
+func (p Params) Fingerprint() uint64 {
+	return mix(
+		uint64(p.Nkz), uint64(p.Nqz), uint64(p.NE), uint64(p.Nw),
+		uint64(p.NA), uint64(p.NB), uint64(p.Norb), uint64(p.N3D),
+		uint64(p.Bnum), uint64(p.Rows),
+		math.Float64bits(p.Emin), math.Float64bits(p.Emax),
+		p.Seed,
+	)
+}

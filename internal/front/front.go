@@ -1,0 +1,678 @@
+// Package front is the horizontally sharded service tier in front of a
+// fleet of qtsimd workers: a scheduler/router that makes fleet capacity
+// multiplicative rather than additive. The paper's thesis — data movement,
+// not FLOPs, bounds quantum-transport throughput — applied at the service
+// level says the cheapest job is the one never recomputed, so the front
+// tier's job is to move results, not re-derive them:
+//
+//   - Content-addressed result cache. Every submission is keyed by the
+//     canonical RunConfig plus the device fingerprint (see Key); a
+//     completed run's iteration log, result and gob checkpoint are served
+//     straight from cache on the next identical submission.
+//   - Singleflight dedup. Identical submissions from different tenants
+//     while a run is in flight attach to the same execution and stream the
+//     same iteration log — one worker run, N byte-identical streams.
+//   - Warm starts. A near-miss — same device and solver settings, adjacent
+//     bias point — is submitted to its worker with the nearest cached Σ≷/Π≷
+//     checkpoint, so the Born loop starts near the fixed point instead of
+//     at zero (the Σ-reuse direction of the atomistic-NEGF acceleration
+//     literature).
+//   - Admission control. Per-tenant token buckets reject over-rate
+//     submitters with 429 + Retry-After before any placement work happens.
+//   - Health-checked placement. Jobs go to the least-loaded alive worker;
+//     a dead worker's runs are re-routed and their replayed iterations
+//     suppressed — the HTTP-tier mapping of the cluster's ErrRankDead
+//     recovery semantics.
+//
+// The worker protocol is the plain qtsimd HTTP/JSON job API (internal/
+// serve): the front is itself a client of the same endpoints it offers,
+// so any qtsimd — local, remote, behind a load balancer — can join the
+// fleet unmodified.
+package front
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"negfsim/internal/core"
+	"negfsim/internal/obs"
+	"negfsim/internal/serve"
+)
+
+// Front-tier telemetry (see docs/OBSERVABILITY.md, front.* families).
+// front.worker_evictions lives in workers.go next to its producer.
+var (
+	obsSubmitted   = obs.GetCounter("front.jobs_submitted")
+	obsCacheHits   = obs.GetCounter("front.cache_hits")
+	obsDedupJoins  = obs.GetCounter("front.dedup_joins")
+	obsQuotaRej    = obs.GetCounter("front.quota_rejections")
+	obsRunsStarted = obs.GetCounter("front.runs_started")
+	obsWarmStarts  = obs.GetCounter("front.warm_starts")
+	obsReroutes    = obs.GetCounter("front.reroutes")
+
+	obsCacheEvictions = obs.GetCounter("front.cache_evictions")
+
+	obsPlacementSpan = obs.GetTimer("front.placement")
+	obsCacheSpan     = obs.GetTimer("front.cache")
+	obsRunSpan       = obs.GetTimer("front.run")
+)
+
+// Config sizes a Front.
+type Config struct {
+	// Workers are the base URLs of the qtsimd backends (http://host:port).
+	Workers []string
+	// HealthInterval is the period of the worker health sweep (default 1s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (default 500ms).
+	HealthTimeout time.Duration
+	// QuotaRate is the per-tenant admission rate in submissions per second;
+	// 0 or negative disables quotas.
+	QuotaRate float64
+	// QuotaBurst is the per-tenant bucket capacity (default 8).
+	QuotaBurst int
+	// CacheMax bounds the completed-run cache entries (default 256).
+	CacheMax int
+	// MaxAttempts bounds the placements tried per run before it fails; each
+	// worker death consumes one (default 3).
+	MaxAttempts int
+	// Retain is how many finished front jobs stay queryable before the
+	// oldest is evicted (default 1024). The underlying cached runs are
+	// governed by CacheMax, not Retain.
+	Retain int
+	// Client is the HTTP client used for worker calls (default
+	// http.DefaultClient; streams disable its timeout per request via
+	// contexts, never globally).
+	Client *http.Client
+}
+
+// withDefaults fills the zero fields of a Config.
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 500 * time.Millisecond
+	}
+	if c.QuotaBurst <= 0 {
+		c.QuotaBurst = 8
+	}
+	if c.CacheMax <= 0 {
+		c.CacheMax = 256
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Retain <= 0 {
+		c.Retain = 1024
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return c
+}
+
+// Source says how a front job was satisfied, for clients and experiments.
+type Source string
+
+// The three ways a submission resolves.
+const (
+	// SourceRun: this submission started the worker run.
+	SourceRun Source = "run"
+	// SourceJoined: attached to an identical in-flight run (singleflight).
+	SourceJoined Source = "joined"
+	// SourceCache: served entirely from the content-addressed cache.
+	SourceCache Source = "cache"
+)
+
+// job is one accepted submission: a thin handle onto a shared run.
+type job struct {
+	id      string
+	tenant  string
+	source  Source
+	r       *run
+	created time.Time
+}
+
+// Front is the scheduler/router tier. Create one with New; it is safe for
+// concurrent use. Close stops the health loop and cancels in-flight runs.
+type Front struct {
+	cfg      Config
+	client   *http.Client
+	registry *registry
+	quotas   *quotas
+	cache    *cache
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[string]*run // Key.ID → in-flight run (singleflight table)
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	doneRing []string // finished job ids, for handle eviction
+	nextID   int
+	closed   bool
+}
+
+// New builds a Front over the configured worker fleet and starts its health
+// loop.
+func New(cfg Config) *Front {
+	cfg = cfg.withDefaults()
+	f := &Front{
+		cfg:      cfg,
+		client:   cfg.Client,
+		registry: newRegistry(cfg.Workers),
+		quotas:   newQuotas(cfg.QuotaRate, cfg.QuotaBurst),
+		cache:    newCache(cfg.CacheMax),
+		inflight: make(map[string]*run),
+		jobs:     make(map[string]*job),
+	}
+	f.baseCtx, f.stop = context.WithCancel(context.Background())
+	obs.RegisterGaugeFunc("front.workers_alive", f.registry.aliveCount)
+	obs.RegisterGaugeFunc("front.runs_inflight", func() int64 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return int64(len(f.inflight))
+	})
+	obs.RegisterGaugeFunc("front.cache_entries", f.cache.len)
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		f.registry.healthLoop(f.baseCtx, f.client, f.cfg.HealthInterval, f.cfg.HealthTimeout, f.reroute)
+	}()
+	return f
+}
+
+// Close stops the health loop, cancels every in-flight run and waits for the
+// relay goroutines to drain or ctx to expire.
+func (f *Front) Close(ctx context.Context) error {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.stop()
+	done := make(chan struct{})
+	go func() { f.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("front: shutdown timed out: %w", ctx.Err())
+	}
+}
+
+// ErrQuota is returned by Submit when the tenant's token bucket is dry; the
+// HTTP layer maps it to 429 with Retry-After.
+var ErrQuota = errors.New("front: tenant over submission quota")
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("front: shut down")
+
+// QuotaError carries the wait until the tenant's next token.
+type QuotaError struct {
+	// Tenant is the rejected tenant; RetryAfter is the wait until its
+	// bucket holds a token again.
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("front: tenant %q over submission quota, retry in %s", e.Tenant, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrQuota) work.
+func (e *QuotaError) Unwrap() error { return ErrQuota }
+
+// Submit admits one submission from tenant: quota check, content-address
+// lookup, then — in order — attach to an identical in-flight run, serve from
+// cache, or place a new run on the fleet. The returned job id is
+// tenant-private even when the computation is shared.
+func (f *Front) Submit(tenant string, cfg core.RunConfig) (*Status, error) {
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	if ok, retry := f.quotas.take(tenant, time.Now()); !ok {
+		obsQuotaRej.Inc()
+		return nil, &QuotaError{Tenant: tenant, RetryAfter: retry}
+	}
+	key, err := KeyOf(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	sp := obsCacheSpan.Start()
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		sp.End()
+		return nil, ErrClosed
+	}
+	var r *run
+	source := SourceRun
+	if inflight, ok := f.inflight[key.ID]; ok {
+		r, source = inflight, SourceJoined
+		obsDedupJoins.Inc()
+	} else if cached, ok := f.cache.get(key.ID); ok {
+		r, source = cached, SourceCache
+		obsCacheHits.Inc()
+	} else {
+		r = newRun(key)
+		f.inflight[key.ID] = r
+		obsRunsStarted.Inc()
+	}
+	j := f.addJobLocked(tenant, source, r)
+	f.mu.Unlock()
+	sp.End()
+
+	r.attach()
+	obsSubmitted.Inc()
+	if source == SourceRun {
+		warm := f.warmCandidate(key, cfg)
+		ctx, cancel := context.WithCancel(f.baseCtx)
+		r.mu.Lock()
+		r.cancel = cancel
+		r.mu.Unlock()
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			f.execute(ctx, r, cfg, warm)
+		}()
+	}
+	return f.status(j), nil
+}
+
+// addJobLocked mints a job handle; caller holds f.mu.
+func (f *Front) addJobLocked(tenant string, source Source, r *run) *job {
+	f.nextID++
+	j := &job{
+		id:      "f" + strconv.Itoa(f.nextID),
+		tenant:  tenant,
+		source:  source,
+		r:       r,
+		created: time.Now(),
+	}
+	f.jobs[j.id] = j
+	f.order = append(f.order, j.id)
+	return j
+}
+
+// noteJobDone retires a finished handle into the retention ring, evicting
+// the oldest past Retain (the cached runs they point to live on in the
+// cache).
+func (f *Front) noteJobDone(id string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.doneRing = append(f.doneRing, id)
+	for len(f.doneRing) > f.cfg.Retain {
+		victim := f.doneRing[0]
+		f.doneRing = f.doneRing[1:]
+		delete(f.jobs, victim)
+		for i, oid := range f.order {
+			if oid == victim {
+				f.order = append(f.order[:i:i], f.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// warmCandidate looks up the nearest cached checkpoint in cfg's family.
+// Warm starts apply to plain serial runs only — distributed and
+// Gummel-coupled runs manage their own checkpoint lifecycle.
+func (f *Front) warmCandidate(key Key, cfg core.RunConfig) *run {
+	if cfg.Dist != "" || cfg.Gate != nil {
+		return nil
+	}
+	return f.cache.nearest(key)
+}
+
+// Get returns the job's status, if the handle is still retained.
+func (f *Front) Get(id string) (*Status, bool) {
+	f.mu.Lock()
+	j, ok := f.jobs[id]
+	f.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return f.status(j), true
+}
+
+// Jobs returns the retained jobs' statuses in submission order.
+func (f *Front) Jobs() []*Status {
+	f.mu.Lock()
+	ids := append([]string(nil), f.order...)
+	f.mu.Unlock()
+	out := make([]*Status, 0, len(ids))
+	for _, id := range ids {
+		if st, ok := f.Get(id); ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Cancel detaches the job from its run; the underlying worker job is
+// cancelled only when the last attached submission lets go — cancelling one
+// tenant's handle never tears down a computation other tenants still watch.
+func (f *Front) Cancel(id string) (*Status, error) {
+	f.mu.Lock()
+	j, ok := f.jobs[id]
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("front: no such job %q", id)
+	}
+	if j.r.detach() {
+		j.r.mu.Lock()
+		cancel := j.r.cancel
+		j.r.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	return f.status(j), nil
+}
+
+// Status is the point-in-time public snapshot of a front job.
+type Status struct {
+	// ID is the front job id; Tenant submitted it.
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	// State mirrors the underlying run's lifecycle.
+	State RunState `json:"state"`
+	// Source records how the submission resolved: "run" (started the worker
+	// run), "joined" (deduplicated onto an in-flight run) or "cache".
+	Source Source `json:"source"`
+	// Key is the content address shared by every deduplicated submission.
+	Key string `json:"key"`
+	// Worker is the backend executing (or last executing) the run.
+	Worker string `json:"worker,omitempty"`
+	// Iterations counts the Born iteration records logged so far.
+	Iterations int `json:"iterations"`
+	// WarmStartBias, when set, is the bias of the cached checkpoint that
+	// seeded this run.
+	WarmStartBias *float64 `json:"warm_start_bias,omitempty"`
+	// Reroutes counts worker deaths this run survived by re-placement.
+	Reroutes int `json:"reroutes,omitempty"`
+	// Error carries the failure or cancellation message (terminal only).
+	Error string `json:"error,omitempty"`
+}
+
+// status snapshots a job handle.
+func (f *Front) status(j *job) *Status {
+	state, iters, workerURL, warmBias, reroutes, errmsg := j.r.snapshot()
+	return &Status{
+		ID:            j.id,
+		Tenant:        j.tenant,
+		State:         state,
+		Source:        j.source,
+		Key:           j.r.key.ID,
+		Worker:        workerURL,
+		Iterations:    iters,
+		WarmStartBias: warmBias,
+		Reroutes:      reroutes,
+		Error:         errmsg,
+	}
+}
+
+// Workers returns the registry snapshot.
+func (f *Front) Workers() []WorkerStatus { return f.registry.statuses() }
+
+// permanentError marks a failure that re-placement cannot fix (the solver
+// rejected or failed the job); transient errors — connection loss, worker
+// overload — trigger eviction and re-routing instead.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// execute drives one run to a terminal state: place, relay, re-place on
+// worker death, then publish the artifacts into the cache.
+func (f *Front) execute(ctx context.Context, r *run, cfg core.RunConfig, warm *run) {
+	sp := obsRunSpan.Start()
+	defer sp.End()
+	if warm != nil {
+		bias := warm.key.Bias
+		r.mu.Lock()
+		r.warmBias = &bias
+		r.mu.Unlock()
+		obsWarmStarts.Inc()
+	}
+	var lastErr error
+	for attempt := 0; attempt < f.cfg.MaxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			f.settle(r, RunCancelled, "cancelled")
+			return
+		}
+		psp := obsPlacementSpan.Start()
+		w := f.registry.pick()
+		psp.End()
+		if w == nil {
+			lastErr = errors.New("no healthy workers")
+			break
+		}
+		r.mu.Lock()
+		r.worker = w.url
+		if attempt > 0 {
+			r.reroutes++
+		}
+		r.mu.Unlock()
+		if attempt > 0 {
+			obsReroutes.Inc()
+		}
+		err := f.runOn(ctx, r, w.url, cfg, warm)
+		f.registry.release(w)
+		if err == nil {
+			f.settle(r, RunSucceeded, "")
+			return
+		}
+		if ctx.Err() != nil {
+			f.settle(r, RunCancelled, "cancelled: "+err.Error())
+			return
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			f.settle(r, RunFailed, perm.err.Error())
+			return
+		}
+		lastErr = err
+		if f.registry.evict(w) {
+			obsWorkerEvictions.Inc()
+		}
+	}
+	msg := "front: run failed"
+	if lastErr != nil {
+		msg = fmt.Sprintf("front: run failed after %d placement attempts: %v", f.cfg.MaxAttempts, lastErr)
+	}
+	f.settle(r, RunFailed, msg)
+}
+
+// settle finishes a run, removes it from the singleflight table and, on
+// success, publishes it to the content-addressed cache.
+func (f *Front) settle(r *run, state RunState, errmsg string) {
+	r.finish(state, errmsg)
+	f.mu.Lock()
+	delete(f.inflight, r.key.ID)
+	f.mu.Unlock()
+	f.cache.put(r)
+}
+
+// reroute is the health loop's eviction callback: nothing to do eagerly —
+// the relay goroutine of every run on the dead worker observes its broken
+// stream and re-places itself — but the hook is where a future
+// checkpoint-forwarding reroute would go.
+func (f *Front) reroute(w *worker) {}
+
+// runOn executes one placement attempt against a worker: submit (optionally
+// with the warm-start checkpoint envelope), relay the NDJSON iteration
+// stream into the shared log, then collect the result and checkpoint.
+// Transport-level failures return transient errors (caller re-routes);
+// worker-reported job failures return permanent ones.
+func (f *Front) runOn(ctx context.Context, r *run, workerURL string, cfg core.RunConfig, warm *run) error {
+	var body []byte
+	var err error
+	if warm != nil {
+		cfgRaw, merr := json.Marshal(cfg)
+		if merr != nil {
+			return &permanentError{fmt.Errorf("encoding config: %w", merr)}
+		}
+		body, err = json.Marshal(struct {
+			Config     json.RawMessage `json:"config"`
+			Checkpoint []byte          `json:"checkpoint"`
+		}{Config: cfgRaw, Checkpoint: warm.checkpoint})
+	} else {
+		body, err = json.Marshal(cfg)
+	}
+	if err != nil {
+		return &permanentError{fmt.Errorf("encoding submission: %w", err)}
+	}
+	var st serve.Status
+	if code, err := f.doJSON(ctx, http.MethodPost, workerURL+"/v1/jobs", body, &st); err != nil {
+		return err
+	} else if code != http.StatusAccepted {
+		// 400s are permanent (the config is bad everywhere); 429/503 mean
+		// this worker is saturated or draining — try another.
+		if code == http.StatusBadRequest {
+			return &permanentError{fmt.Errorf("worker rejected job: HTTP %d", code)}
+		}
+		return fmt.Errorf("worker %s refused job: HTTP %d", workerURL, code)
+	}
+	jobURL := workerURL + "/v1/jobs/" + st.ID
+
+	if err := f.relayStream(ctx, r, jobURL); err != nil {
+		f.cancelWorkerJob(jobURL)
+		return err
+	}
+
+	var final serve.Status
+	if code, err := f.doJSON(ctx, http.MethodGet, jobURL, nil, &final); err != nil {
+		return err
+	} else if code != http.StatusOK {
+		return fmt.Errorf("worker %s lost job %s: HTTP %d", workerURL, st.ID, code)
+	}
+	switch final.State {
+	case serve.Succeeded:
+	case serve.Failed:
+		return &permanentError{fmt.Errorf("worker run failed: %s", final.Error)}
+	default:
+		return fmt.Errorf("worker job %s ended in state %q: %s", st.ID, final.State, final.Error)
+	}
+
+	var doc serve.ResultDoc
+	if code, err := f.doJSON(ctx, http.MethodGet, jobURL+"/result", nil, &doc); err != nil {
+		return err
+	} else if code != http.StatusOK {
+		return fmt.Errorf("fetching result: HTTP %d", code)
+	}
+	ck, err := f.doBytes(ctx, jobURL+"/checkpoint")
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.result = &doc
+	r.checkpoint = ck
+	r.mu.Unlock()
+	return nil
+}
+
+// relayStream follows the worker's NDJSON iteration stream from the first
+// unseen Born iteration, appending each record to the shared log (replayed
+// iterations after a re-placement are suppressed by appendIter).
+func (f *Front) relayStream(ctx context.Context, r *run, jobURL string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, jobURL+"/stream?from=0", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("opening stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("opening stream: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var rec serve.IterRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("decoding stream record: %w", err)
+		}
+		r.appendIter(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream broken: %w", err)
+	}
+	return nil
+}
+
+// cancelWorkerJob best-effort cancels an abandoned worker job so a worker
+// doesn't burn its budget on a run nobody will read. It runs under its own
+// short deadline because the caller's context is usually already dead.
+func (f *Front) cancelWorkerJob(jobURL string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, jobURL+"/cancel", nil)
+	if err != nil {
+		return
+	}
+	if resp, err := f.client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// doJSON performs one bounded JSON request/response exchange.
+func (f *Front) doJSON(ctx context.Context, method, url string, body []byte, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode < 300 && out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding %s response: %w", url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// doBytes fetches a binary artifact (the gob checkpoint).
+func (f *Front) doBytes(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetching %s: HTTP %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+}

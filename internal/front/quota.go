@@ -1,0 +1,60 @@
+package front
+
+import (
+	"sync"
+	"time"
+)
+
+// quotas is the per-tenant token-bucket admission layer: each tenant (the
+// X-Tenant request header; "anonymous" when absent) owns a bucket of Burst
+// tokens refilled at Rate tokens per second, and every submission — hit,
+// join or miss alike — spends one. A dry bucket rejects with the duration
+// until the next token, which the HTTP layer surfaces as 429 + Retry-After.
+// Admission is charged per request, not per computation: dedup makes
+// identical submissions nearly free to serve, but the quota still bounds how
+// fast any one tenant can ask.
+type quotas struct {
+	rate  float64 // tokens per second; <= 0 disables quotas
+	burst float64
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate float64, burst int) *quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{rate: rate, burst: float64(burst), m: make(map[string]*bucket)}
+}
+
+// take spends one token from tenant's bucket. When the bucket is dry it
+// returns false and the wait until a token is available.
+func (q *quotas) take(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.m[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.m[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * q.rate
+	if b.tokens > q.burst {
+		b.tokens = q.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / q.rate * float64(time.Second))
+}

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -13,7 +15,9 @@ import (
 
 // API is the HTTP/JSON face of a Scheduler. All endpoints are under /v1:
 //
-//	POST /v1/jobs               submit a core.RunConfig → 202 + Status
+//	POST /v1/jobs               submit a core.RunConfig → 202 + Status;
+//	                            a {"config": …, "checkpoint": base64-gob}
+//	                            envelope warm-starts from saved Σ≷/Π≷
 //	GET  /v1/jobs               list jobs in submission order
 //	GET  /v1/jobs/{id}          one job's Status
 //	POST /v1/jobs/{id}/cancel   request cancellation → Status after
@@ -78,10 +82,42 @@ func (a *API) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	return j, true
 }
 
+// submitEnvelope is the warm-start submission body: the run config plus a
+// gob checkpoint (base64 in JSON) whose Σ≷/Π≷ seed the Born loop. A plain
+// RunConfig body remains the cold-start form; the handler distinguishes the
+// two by the presence of the "config" key.
+type submitEnvelope struct {
+	// Config is the run configuration (a core.RunConfig document).
+	Config json.RawMessage `json:"config"`
+	// Checkpoint is the gob-encoded core.Checkpoint seeding the run; it
+	// must match Config's device exactly. Optional: an envelope without it
+	// is an ordinary cold submission.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+}
+
 func (a *API) submit(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	cfgRaw := raw
+	var ck *core.Checkpoint
+	var env submitEnvelope
+	envDec := json.NewDecoder(bytes.NewReader(raw))
+	envDec.DisallowUnknownFields()
+	if err := envDec.Decode(&env); err == nil && env.Config != nil {
+		cfgRaw = env.Config
+		if len(env.Checkpoint) > 0 {
+			ck, err = core.LoadCheckpoint(bytes.NewReader(env.Checkpoint))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+	}
 	var cfg core.RunConfig
-	dec := json.NewDecoder(body)
+	dec := json.NewDecoder(bytes.NewReader(cfgRaw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&cfg); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding run config: %v", err)
@@ -96,7 +132,7 @@ func (a *API) submit(w http.ResponseWriter, r *http.Request) {
 			cfg.Version, core.RunConfigVersion)
 		return
 	}
-	j, err := a.s.Submit(cfg)
+	j, err := a.s.SubmitFrom(cfg, ck)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, "%v", err)

@@ -278,3 +278,113 @@ func TestHTTPStreamFollowsLiveJob(t *testing.T) {
 		t.Errorf("negative from: %d, want 400", code)
 	}
 }
+
+// TestHTTPWarmStartEnvelope drives the checkpoint round trip over HTTP: a
+// finished job's /checkpoint seeds an envelope submission at an adjacent
+// bias, which must report warm_start, converge in fewer Born iterations
+// than the cold run, and reject incompatible or distributed warm starts.
+func TestHTTPWarmStartEnvelope(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1})
+	defer closeSched(t, s)
+	ts := httptest.NewServer(NewAPI(s))
+	defer ts.Close()
+
+	mkCfg := func(bias float64) core.RunConfig {
+		cfg := testConfig(11, 40)
+		cfg.Mixer = "anderson"
+		cfg.Mixing = 0.8
+		cfg.Tol = 1e-9
+		cfg.Bias = bias
+		return cfg
+	}
+
+	// Converge the seed point and collect its checkpoint.
+	resp, st := postConfig(t, ts, mkCfg(0.40))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("seed submit: %d", resp.StatusCode)
+	}
+	j, _ := s.Get(st.ID)
+	waitState(t, j, Succeeded, 120*time.Second)
+	ckResp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := io.ReadAll(ckResp.Body)
+	ckResp.Body.Close()
+	if err != nil || ckResp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint fetch: %d, %v", ckResp.StatusCode, err)
+	}
+
+	postEnvelope := func(cfg core.RunConfig, ck []byte) (*http.Response, Status) {
+		t.Helper()
+		cfgRaw, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := json.Marshal(submitEnvelope{Config: cfgRaw, Checkpoint: ck})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var est Status
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return resp, est
+	}
+
+	// Cold baseline at the target bias.
+	coldResp, coldSt := postConfig(t, ts, mkCfg(0.44))
+	if coldResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cold submit: %d", coldResp.StatusCode)
+	}
+	jc, _ := s.Get(coldSt.ID)
+	waitState(t, jc, Succeeded, 120*time.Second)
+	coldIters := jc.Status().Iterations
+
+	// Warm envelope at the target bias.
+	wResp, wSt := postEnvelope(mkCfg(0.44), ck)
+	if wResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("warm submit: %d", wResp.StatusCode)
+	}
+	if !wSt.WarmStart {
+		t.Error("envelope submission did not report warm_start")
+	}
+	jw, _ := s.Get(wSt.ID)
+	waitState(t, jw, Succeeded, 120*time.Second)
+	if got := jw.Status().Iterations; got >= coldIters {
+		t.Errorf("warm run took %d iterations, cold took %d — no head start", got, coldIters)
+	}
+	rw, _ := jw.Result()
+	rc, _ := jc.Result()
+	if d := obsDiff(rw.Obs, rc.Obs); d > 1e-8 {
+		t.Errorf("warm observables differ from cold by %g, want <= 1e-8", d)
+	}
+
+	// A checkpoint from a different device is rejected up front.
+	other := mkCfg(0.44)
+	other.Device.Seed = 99
+	if resp, _ := postEnvelope(other, ck); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("incompatible checkpoint: %d, want 400", resp.StatusCode)
+	}
+
+	// Warm starts apply to plain serial runs only.
+	dist := mkCfg(0.44)
+	dist.Dist = "2x1"
+	if resp, _ := postEnvelope(dist, ck); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("distributed warm start: %d, want 400", resp.StatusCode)
+	}
+
+	// A corrupt checkpoint is a 400, not a crash.
+	if resp, _ := postEnvelope(mkCfg(0.44), []byte("not a gob")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("corrupt checkpoint: %d, want 400", resp.StatusCode)
+	}
+}

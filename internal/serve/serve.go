@@ -151,6 +151,7 @@ type IterRecord struct {
 type Job struct {
 	id  string
 	cfg core.RunConfig
+	ck  *core.Checkpoint // warm-start seed, nil for cold runs
 
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast on every iteration append and state change
@@ -188,6 +189,9 @@ type Status struct {
 	Iterations int `json:"iterations"`
 	// Converged reports whether the run met its tolerance (terminal only).
 	Converged bool `json:"converged"`
+	// WarmStart reports whether the job was seeded with a Σ≷/Π≷ checkpoint
+	// instead of starting the Born loop from zero self-energies.
+	WarmStart bool `json:"warm_start,omitempty"`
 	// Error carries the failure or cancellation message (terminal only).
 	Error string `json:"error,omitempty"`
 }
@@ -201,6 +205,7 @@ func (j *Job) Status() Status {
 		State:      j.state,
 		Queued:     j.queued,
 		Iterations: len(j.iters),
+		WarmStart:  j.ck != nil,
 		Error:      j.err,
 	}
 	if !j.started.IsZero() {
@@ -355,8 +360,26 @@ func (s *Scheduler) PerJobWorkers() int {
 // Submit validates and admits a job. It fails fast with ErrQueueFull when
 // QueueDepth jobs are already waiting, and with ErrClosed during shutdown.
 func (s *Scheduler) Submit(cfg core.RunConfig) (*Job, error) {
+	return s.SubmitFrom(cfg, nil)
+}
+
+// SubmitFrom is Submit with an optional warm-start checkpoint: a non-nil ck
+// seeds the Born loop with the saved Σ≷/Π≷ instead of zeros (the same
+// continuation RunFromCtx performs), which lets a front tier start a run
+// from an adjacent bias point's converged state. The checkpoint must match
+// the config's device exactly and the run must be a plain serial one —
+// distributed and Gummel-coupled runs manage their own checkpointing.
+func (s *Scheduler) SubmitFrom(cfg core.RunConfig, ck *core.Checkpoint) (*Job, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if ck != nil {
+		if cfg.Dist != "" || cfg.Gate != nil {
+			return nil, errors.New("serve: warm start applies to plain serial runs only (no dist, no gate)")
+		}
+		if err := ck.Compatible(cfg.Device); err != nil {
+			return nil, err
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -371,6 +394,7 @@ func (s *Scheduler) Submit(cfg core.RunConfig) (*Job, error) {
 	j := &Job{
 		id:     "j" + strconv.Itoa(s.nextID),
 		cfg:    cfg,
+		ck:     ck,
 		state:  Queued,
 		queued: time.Now(),
 	}
@@ -602,6 +626,10 @@ func (s *Scheduler) runConfigured(ctx context.Context, j *Job) (res *core.Result
 			return nil, 0, 0, gerr
 		}
 		return es.Result, 0, es.OuterIterations, nil
+	}
+	if j.ck != nil {
+		res, err = sim.RunFromCtx(ctx, j.ck)
+		return res, 0, 0, err
 	}
 	res, err = sim.RunCtx(ctx)
 	return res, 0, 0, err
