@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check fmt build vet test race race-ft serve-test transport-test peer-test tune-test front-test docs-lint bench bench-json
+.PHONY: check fmt build vet test race race-ft serve-test transport-test peer-test partition-test tune-test front-test docs-lint bench bench-json
 
-check: fmt build vet test race-ft serve-test transport-test peer-test tune-test front-test docs-lint
+check: fmt build vet test race-ft serve-test transport-test peer-test partition-test tune-test front-test docs-lint
 
 # gofmt -l prints nothing (and exits 0) on a clean tree; any output fails
 # the gate via the grep.
@@ -49,8 +49,19 @@ transport-test:
 # Multi-process acceptance drill: two qtsimd peer processes run a distributed
 # fault-tolerant job over TCP loopback, once cleanly and once with a peer
 # SIGKILLed mid-run, and must reproduce the single-process observables.
+# Matches both the energy-grid (TestPeerModeEndToEnd) and the spatial-split
+# (TestPeerModeEndToEndSpatial) drills.
 peer-test:
 	go test -count=1 -run TestPeerModeEndToEnd ./cmd/qtsimd
+
+# Spatial-split suite under the race detector: the Schur-complement
+# partitioned solver pinned against the sequential recursion, the
+# distributed device-partitioned solve on in-process clusters with exact
+# byte accounting, and core's spatial GF phase including rank-death
+# recovery. The TCP half of the conformance pin runs under transport-test.
+partition-test:
+	go test -race -count=1 -run 'Partitioned|Distributed' ./internal/rgf
+	go test -race -count=1 -run 'Spatial' ./internal/core
 
 # Autotuner gate under the race detector: the search over a fixed probe
 # table must be deterministic (same schedule, same probe count, twice), and
@@ -80,8 +91,10 @@ bench:
 
 # Machine-readable benchmark snapshot for this PR: the tuned-vs-default
 # schedule deltas (GEMM, SSE phase, end-to-end iteration; a short measured
-# tuner search runs once inside the benchmark binary), rendered to JSON.
+# tuner search runs once inside the benchmark binary) plus the
+# sequential-vs-partitioned retarded solve, concatenated into one record.
 bench-json:
-	go test -bench 'BenchmarkSched' -benchtime 10x -run '^$$' . \
-	  | go run ./cmd/benchjson -out BENCH_6.json
-	@echo wrote BENCH_6.json
+	{ go test -bench 'BenchmarkSched' -benchtime 10x -run '^$$' . ; \
+	  go test -bench 'BenchmarkRetarded' -benchtime 10x -run '^$$' ./internal/rgf ; } \
+	  | go run ./cmd/benchjson -out BENCH_8.json
+	@echo wrote BENCH_8.json

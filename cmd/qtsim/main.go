@@ -137,6 +137,7 @@ type configFlags struct {
 	tol, mix, bias, kt                    float64
 	gate                                  float64
 	dist                                  string
+	space                                 int
 	commTimeout                           time.Duration
 }
 
@@ -163,6 +164,7 @@ func registerConfigFlags(fs *flag.FlagSet) *configFlags {
 	fs.Float64Var(&f.kt, "kt", def.KT, "electron thermal energy [eV]")
 	fs.Float64Var(&f.gate, "gate", math.NaN(), "gate voltage [V]; enables the coupled NEGF–Poisson solver")
 	fs.StringVar(&f.dist, "dist", def.Dist, "run the SSE phase on a simulated TExTA rank grid, e.g. 2x2 (fault-tolerant)")
+	fs.IntVar(&f.space, "space", def.Space, "partition every electron retarded solve across this many spatial ranks (device-dimension split; needs bnum ≥ 2·space−1)")
 	fs.DurationVar(&f.commTimeout, "comm-timeout", 0, "per-operation deadline of the simulated cluster (default 10s)")
 	return f
 }
@@ -209,6 +211,8 @@ func applyConfigFlags(fs *flag.FlagSet, f *configFlags, cfg *core.RunConfig) {
 			cfg.Gate = &g
 		case "dist":
 			cfg.Dist = f.dist
+		case "space":
+			cfg.Space = f.space
 		case "comm-timeout":
 			cfg.CommTimeoutMs = int(f.commTimeout / time.Millisecond)
 		}
@@ -339,7 +343,7 @@ func main() {
 		opts.Variant, opts.MaxIter, opts.Mixing, cfg.Bias)
 
 	if *peers != "" && !distributed {
-		log.Fatal("-peers requires a distributed run (-dist or \"dist\" in the config)")
+		log.Fatal("-peers requires a distributed run (-dist/-space or \"dist\"/\"space\" in the config)")
 	}
 
 	start := time.Now()
@@ -352,8 +356,15 @@ func main() {
 		distCfg.Resume = resume
 		if *peers != "" {
 			list := strings.Split(*peers, ",")
-			if procs := distCfg.TE * distCfg.TA; procs != len(list) {
-				log.Fatalf("dist grid %dx%d needs %d peers, got %d", distCfg.TE, distCfg.TA, procs, len(list))
+			procs := distCfg.TE * distCfg.TA
+			if procs == 0 {
+				procs = distCfg.Space
+			}
+			if procs != len(list) {
+				if distCfg.TE > 0 {
+					log.Fatalf("dist grid %dx%d needs %d peers, got %d", distCfg.TE, distCfg.TA, procs, len(list))
+				}
+				log.Fatalf("spatial split over %d ranks needs %d peers, got %d", distCfg.Space, procs, len(list))
 			}
 			cl, err := comm.NewClusterTCP(context.Background(), *peerRank, list)
 			if err != nil {
@@ -367,9 +378,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\ndistributed SSE on %dx%d ranks: %.2f MiB exchanged, %d recover%s\n",
-			distCfg.TE, distCfg.TA, float64(bytes)/(1<<20), r.Recoveries,
-			map[bool]string{true: "y", false: "ies"}[r.Recoveries == 1])
+		if distCfg.TE > 0 {
+			fmt.Printf("\ndistributed SSE on %dx%d ranks: %.2f MiB exchanged, %d recover%s\n",
+				distCfg.TE, distCfg.TA, float64(bytes)/(1<<20), r.Recoveries,
+				map[bool]string{true: "y", false: "ies"}[r.Recoveries == 1])
+		} else {
+			fmt.Printf("\nspatially partitioned GF on %d ranks: %.2f MiB exchanged, %d recover%s\n",
+				distCfg.Space, float64(bytes)/(1<<20), r.Recoveries,
+				map[bool]string{true: "y", false: "ies"}[r.Recoveries == 1])
+		}
 		res = r
 	case cfg.Gate != nil:
 		es, err := sim.RunWithPoisson(*cfg.Gate)

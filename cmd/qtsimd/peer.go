@@ -70,10 +70,17 @@ func runPeer(rank int, peersCSV, cfgPath, resultOut string, dieAfter int) error 
 		return err
 	}
 	if !distributed {
-		return fmt.Errorf("peer mode needs a distributed run: set \"dist\" (e.g. \"2x1\") in %s", cfgPath)
+		return fmt.Errorf("peer mode needs a distributed run: set \"dist\" (e.g. \"2x1\") or \"space\" in %s", cfgPath)
 	}
-	if procs := distCfg.TE * distCfg.TA; procs != len(peers) {
-		return fmt.Errorf("dist grid %dx%d needs %d peers, got %d", distCfg.TE, distCfg.TA, procs, len(peers))
+	procs := distCfg.TE * distCfg.TA
+	if procs == 0 {
+		procs = distCfg.Space
+	}
+	if procs != len(peers) {
+		if distCfg.TE > 0 {
+			return fmt.Errorf("dist grid %dx%d needs %d peers, got %d", distCfg.TE, distCfg.TA, procs, len(peers))
+		}
+		return fmt.Errorf("spatial split over %d ranks needs %d peers, got %d", distCfg.Space, procs, len(peers))
 	}
 	opts, err := cfg.Options()
 	if err != nil {
@@ -101,7 +108,11 @@ func runPeer(rank int, peersCSV, cfgPath, resultOut string, dieAfter int) error 
 	defer cluster.Close()
 	distCfg.Cluster = cluster
 
-	log.Printf("peer %d/%d up, dist %dx%d, peers %s", rank, len(peers), distCfg.TE, distCfg.TA, peersCSV)
+	if distCfg.TE > 0 {
+		log.Printf("peer %d/%d up, dist %dx%d, peers %s", rank, len(peers), distCfg.TE, distCfg.TA, peersCSV)
+	} else {
+		log.Printf("peer %d/%d up, spatial split over %d ranks, peers %s", rank, len(peers), distCfg.Space, peersCSV)
+	}
 	res, bytes, err := sim.RunDistributedFTCtx(context.Background(), distCfg)
 	if err != nil {
 		return err

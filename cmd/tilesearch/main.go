@@ -20,6 +20,7 @@ import (
 
 	"negfsim/internal/comm"
 	"negfsim/internal/device"
+	"negfsim/internal/perfmodel"
 	"negfsim/internal/tune"
 )
 
@@ -47,6 +48,7 @@ func main() {
 	memGiB := flag.Float64("mem", 0, "per-process memory limit in GiB (0 = unlimited)")
 	top := flag.Int("top", 8, "show the N best decompositions")
 	jsonOut := flag.Bool("json", false, "emit the best decomposition as a tune.Schedule fragment for qtsim -schedule")
+	place := flag.Bool("place", false, "compare the energy-grid and spatial-split axes for -p processes and report the cheaper one")
 	flag.Parse()
 
 	var p device.Params
@@ -57,6 +59,24 @@ func main() {
 		p = device.Paper10240(*nkz)
 	default:
 		log.Fatalf("presets exist for NA = 4864 and 10240, got %d", *na)
+	}
+
+	if *place {
+		pl := perfmodel.PlaceSplit(p, *procs)
+		fmt.Printf("structure NA=%d, Nkz=%d, NE=%d, Bnum=%d — placing %d processes\n",
+			p.NA, p.Nkz, p.NE, p.Bnum, *procs)
+		if pl.TE > 0 {
+			fmt.Printf("energy grid:   TE=%d × TA=%d, %.3f TiB per iteration\n", pl.TE, pl.TA, comm.TiB(pl.GridBytes))
+		} else {
+			fmt.Println("energy grid:   infeasible")
+		}
+		if pl.Space > 0 {
+			fmt.Printf("spatial split: %d ranks, %.3f TiB per iteration\n", pl.Space, comm.TiB(pl.SpaceBytes))
+		} else {
+			fmt.Printf("spatial split: infeasible (Bnum=%d < %d)\n", p.Bnum, 2**procs-1)
+		}
+		fmt.Printf("placement: %s\n", pl.Mode)
+		return
 	}
 
 	if *jsonOut {

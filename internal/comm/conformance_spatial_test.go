@@ -1,0 +1,139 @@
+package comm_test
+
+// Spatial-split conformance: the distributed device-partitioned retarded
+// solve (internal/rgf.DistributedRetarded) must move exactly the bytes the
+// perfmodel spatial-split volume model predicts, on both transports, and
+// return the sequential solver's replicated diagonal while doing it. This
+// lives in an external test package so it can pin comm's measured counters
+// against rgf and perfmodel without an import cycle.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"negfsim/internal/cmat"
+	"negfsim/internal/comm"
+	"negfsim/internal/perfmodel"
+	"negfsim/internal/rgf"
+	"negfsim/internal/transport"
+)
+
+// spatialOperator mirrors the rgf test generator: A = (E + iη)·I − H with H
+// random Hermitian, safely invertible.
+func spatialOperator(rng *rand.Rand, n, bs int) *cmat.BlockTri {
+	a := cmat.NewBlockTri(n, bs)
+	for i := 0; i < n; i++ {
+		h := cmat.RandomHermitian(rng, bs, 0)
+		a.Diag[i] = h.Scale(-1)
+		for j := 0; j < bs; j++ {
+			a.Diag[i].Set(j, j, a.Diag[i].At(j, j)+complex(2.5, 0.6))
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		a.Upper[i] = cmat.RandomDense(rng, bs, bs).Scale(0.3)
+		a.Lower[i] = a.Upper[i].ConjTranspose()
+	}
+	return a
+}
+
+// spatialFabric builds an n-rank cluster set over the named transport:
+// one in-process cluster, or n single-rank TCP peers on loopback.
+func spatialFabric(t *testing.T, ctx context.Context, name string, n int) []*comm.Cluster {
+	t.Helper()
+	if name == "inproc" {
+		c := comm.NewClusterCtx(ctx, n)
+		t.Cleanup(func() { c.Close() })
+		return []*comm.Cluster{c}
+	}
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i], addrs[i] = ln, ln.Addr().String()
+	}
+	clusters := make([]*comm.Cluster, n)
+	for r := 0; r < n; r++ {
+		cl, err := comm.NewClusterTCPWith(ctx, r, addrs, transport.TCPConfig{
+			Listener:      lns[r],
+			DialTimeout:   2 * time.Second,
+			RetryInterval: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters[r] = cl
+	}
+	t.Cleanup(func() {
+		for _, c := range clusters {
+			c.Close()
+		}
+	})
+	return clusters
+}
+
+func TestConformanceSpatialExchangeBytes(t *testing.T) {
+	const (
+		ranks = 3
+		n     = 8
+		bs    = 2
+	)
+	for _, name := range []string{"inproc", "tcp"} {
+		t.Run(name, func(t *testing.T) {
+			a := spatialOperator(rand.New(rand.NewSource(31)), n, bs)
+			ret, err := rgf.SolveRetarded(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ret.Diag
+
+			clusters := spatialFabric(t, context.Background(), name, ranks)
+			diffs := make([]float64, ranks)
+			errs := make([]error, len(clusters))
+			var wg sync.WaitGroup
+			for i, cl := range clusters {
+				wg.Add(1)
+				go func(i int, cl *comm.Cluster) {
+					defer wg.Done()
+					errs[i] = cl.Run(func(r *comm.Rank) error {
+						out, err := rgf.DistributedRetarded(r, a)
+						if err != nil {
+							return err
+						}
+						var worst float64
+						for b := range want {
+							if d := out[b].MaxAbsDiff(want[b]); d > worst {
+								worst = d
+							}
+						}
+						diffs[r.ID] = worst
+						return nil
+					})
+				}(i, cl)
+			}
+			wg.Wait()
+			if err := errors.Join(errs...); err != nil {
+				t.Fatal(err)
+			}
+			for rank, d := range diffs {
+				if d > 1e-12 {
+					t.Errorf("rank %d: max |Δ| vs sequential = %g > 1e-12", rank, d)
+				}
+			}
+			var measured int64
+			for _, cl := range clusters {
+				measured += cl.TotalBytes()
+			}
+			if model := perfmodel.SpatialExchangeBytes(n, bs, ranks); measured != model {
+				t.Errorf("measured %d bytes, spatial-split model predicts %d", measured, model)
+			}
+		})
+	}
+}

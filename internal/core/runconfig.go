@@ -54,6 +54,12 @@ type RunConfig struct {
 	// Dist, when non-empty, runs the SSE phase on a simulated TExTA rank
 	// grid ("2x2") with fault tolerance.
 	Dist string `json:"dist,omitempty"`
+	// Space, when ≥ 2, partitions every electron retarded solve of the GF
+	// phase across a spatial cluster of that many ranks — the
+	// device-dimension split. Requires Bnum ≥ 2·Space−1. Composes with
+	// Dist (each axis gets its own cluster) and is mutually exclusive with
+	// Gate.
+	Space int `json:"space,omitempty"`
 	// CommTimeoutMs bounds every Send/Recv of the simulated cluster in
 	// milliseconds; 0 keeps comm.DefaultTimeout.
 	CommTimeoutMs int `json:"comm_timeout_ms,omitempty"`
@@ -172,6 +178,18 @@ func (c *RunConfig) Validate() error {
 			return fmt.Errorf("core: run config: %d energies cannot feed %d ranks", c.Device.NE, procs)
 		}
 	}
+	if c.Space < 0 {
+		return fmt.Errorf("core: run config: space must be non-negative, got %d", c.Space)
+	}
+	if c.Space >= 2 {
+		if c.Gate != nil {
+			return fmt.Errorf("core: run config: space and gate are mutually exclusive (the Poisson loop runs serial)")
+		}
+		if c.Device.Bnum < 2*c.Space-1 {
+			return fmt.Errorf("core: run config: %d device blocks cannot be partitioned across %d spatial ranks",
+				c.Device.Bnum, c.Space)
+		}
+	}
 	if c.Gate != nil {
 		if c.Gate.MaxOuter <= 0 {
 			return fmt.Errorf("core: run config: gate.max_outer must be positive, got %d", c.Gate.MaxOuter)
@@ -211,6 +229,11 @@ func (c RunConfig) Canonical() RunConfig {
 	}
 	c.Workers = 0
 	c.CommTimeoutMs = 0
+	// A sub-2 Space is the local solver; ≥ 2 changes the computation
+	// (partitioned solve) and stays, like Dist.
+	if c.Space < 2 {
+		c.Space = 0
+	}
 	return c
 }
 
@@ -276,16 +299,23 @@ func (c *RunConfig) Options() (Options, error) {
 	return opts, nil
 }
 
-// DistConfig translates the config's distributed section into the
-// fault-tolerant runner's configuration; the zero DistConfig (and false)
-// when the config does not request a distributed run.
+// DistConfig translates the config's distributed section (the Dist grid
+// and/or the Space split) into the fault-tolerant runner's configuration;
+// the zero DistConfig (and false) when the config requests neither axis.
 func (c *RunConfig) DistConfig() (DistConfig, bool, error) {
 	te, ta, err := c.DistGrid()
-	if err != nil || te == 0 {
+	if err != nil {
 		return DistConfig{}, false, err
 	}
+	space := c.Space
+	if space < 2 {
+		space = 0
+	}
+	if te == 0 && space == 0 {
+		return DistConfig{}, false, nil
+	}
 	return DistConfig{
-		TE: te, TA: ta,
+		TE: te, TA: ta, Space: space,
 		CommTimeout: time.Duration(c.CommTimeoutMs) * time.Millisecond,
 	}, true, nil
 }

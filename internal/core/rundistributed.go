@@ -33,6 +33,17 @@ type DistConfig struct {
 	// TE, TA are the initial energy×atom rank grid of the SSE phase.
 	TE, TA int
 
+	// Space, when ≥ 2, additionally partitions every electron retarded
+	// solve of the GF phase across a spatial cluster of that many ranks —
+	// the device-dimension split (rgf.DistributedRetarded). Requires
+	// Bnum ≥ 2·Space−1 so every rank owns at least one interior block.
+	// A persistent Cluster serves both phases, so when both axes are
+	// requested its size must equal TE·TA and Space alike. When a spatial
+	// rank dies, in-process runs shrink the spatial cluster by one rank
+	// (degrading to the local solver below 2) and multi-process runs finish
+	// fully local, always from the last checkpoint.
+	Space int
+
 	// CommTimeout bounds every Send/Recv on the simulated cluster — the
 	// detection backstop for failures the cancellation channel cannot see.
 	// 0 keeps comm.DefaultTimeout. Prompt detection does not depend on it:
@@ -121,12 +132,29 @@ func (s *Simulator) RunDistributedFT(cfg DistConfig) (*Result, int64, error) {
 // keep reporting a dead instance.
 func (s *Simulator) RunDistributedFTCtx(ctx context.Context, cfg DistConfig) (*Result, int64, error) {
 	te, ta := cfg.TE, cfg.TA
-	if err := s.checkGrid(te, ta); err != nil {
-		return nil, 0, err
+	space := cfg.Space
+	if space < 2 {
+		space = 0
 	}
-	if cfg.Cluster != nil && cfg.Cluster.Size() != te*ta {
-		return nil, 0, fmt.Errorf("core: cluster of %d ranks cannot carry a %d×%d grid",
-			cfg.Cluster.Size(), te, ta)
+	if space > 0 && s.Dev.P.Bnum < 2*space-1 {
+		return nil, 0, fmt.Errorf("core: %d device blocks cannot be partitioned across %d spatial ranks",
+			s.Dev.P.Bnum, space)
+	}
+	// A spatial-only run needs no SSE grid; anything else must name one.
+	if te > 0 || space == 0 {
+		if err := s.checkGrid(te, ta); err != nil {
+			return nil, 0, err
+		}
+	}
+	if cfg.Cluster != nil {
+		if te > 0 && cfg.Cluster.Size() != te*ta {
+			return nil, 0, fmt.Errorf("core: cluster of %d ranks cannot carry a %d×%d grid",
+				cfg.Cluster.Size(), te, ta)
+		}
+		if space > 0 && cfg.Cluster.Size() != space {
+			return nil, 0, fmt.Errorf("core: cluster of %d ranks cannot carry a %d-way spatial split",
+				cfg.Cluster.Size(), space)
+		}
 	}
 	maxRec := cfg.MaxRecoveries
 	if maxRec == 0 {
@@ -175,12 +203,73 @@ func (s *Simulator) RunDistributedFTCtx(ctx context.Context, cfg DistConfig) (*R
 			snap = obs.TimerStats()
 		}
 		t0 := time.Now()
-		gl, gg, dl, dg, o, err := s.gfPhase(ctx, sigR, sigL, sigG, piR, piL, piG)
-		if err != nil {
-			if ctx.Err() != nil {
-				unregister()
+		var gl, gg *tensor.GTensor
+		var dl, dg *tensor.DTensor
+		var o Observables
+		var err error
+		if space > 0 {
+			// Spatial GF phase on its own cluster (the persistent one when
+			// provided — it serves both phases). The fault plan arms here:
+			// the spatial exchange is the first collective of the iteration.
+			var plan *comm.FaultPlan
+			if faultArmed && iter == cfg.FaultIter {
+				plan = cfg.Fault
+				faultArmed = false
 			}
-			return nil, totalBytes, err
+			cluster := cfg.Cluster
+			persistent := cluster != nil
+			if !persistent {
+				cluster = comm.NewClusterCtx(ctx, space)
+				lastCluster = cluster
+			}
+			if cfg.CommTimeout > 0 {
+				cluster.SetTimeout(cfg.CommTimeout)
+			}
+			if plan != nil {
+				cluster.InjectFaults(plan)
+			}
+			before := cluster.TotalBytes()
+			gl, gg, dl, dg, o, err = s.gfPhaseSpatial(ctx, cluster, sigR, sigL, sigG, piR, piL, piG)
+			totalBytes += cluster.TotalBytes() - before // traffic even of a failed attempt
+			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					if !persistent {
+						cluster.Unregister()
+					}
+					return nil, totalBytes,
+						fmt.Errorf("core: distributed run cancelled during iteration %d: %w", iter+1, cerr)
+				}
+				if !errors.Is(err, comm.ErrRankDead) {
+					return nil, totalBytes, err
+				}
+				if res.Recoveries >= maxRec {
+					return nil, totalBytes, fmt.Errorf("core: giving up after %d recoveries: %w", res.Recoveries, err)
+				}
+				res.Recoveries++
+				obsRecoveries.Inc()
+				sp := obsSpanRecovery.Start()
+				time.Sleep(backoff * time.Duration(res.Recoveries))
+				if persistent {
+					// A dead peer process leaves no spatial cluster to rebuild
+					// and no SSE grid either: finish fully local.
+					space = 0
+					te, ta = 0, 0
+				} else if space--; space < 2 {
+					space = 0
+				}
+				iter = s.restoreCheckpoint(ck, res, &sigR, &sigL, &sigG, &piR, &piL, &piG)
+				prevL, prevG = nil, nil
+				sp.End()
+				continue
+			}
+		} else {
+			gl, gg, dl, dg, o, err = s.gfPhase(ctx, sigR, sigL, sigG, piR, piL, piG)
+			if err != nil {
+				if ctx.Err() != nil {
+					unregister()
+				}
+				return nil, totalBytes, err
+			}
 		}
 		st.GF = time.Since(t0)
 		res.Timings.GF += st.GF

@@ -327,10 +327,11 @@ func (f *Front) noteJobDone(id string) {
 }
 
 // warmCandidate looks up the nearest cached checkpoint in cfg's family.
-// Warm starts apply to plain serial runs only — distributed and
-// Gummel-coupled runs manage their own checkpoint lifecycle.
+// Warm starts apply to plain serial runs only — distributed, spatially
+// partitioned and Gummel-coupled runs manage their own checkpoint
+// lifecycle.
 func (f *Front) warmCandidate(key Key, cfg core.RunConfig) *run {
-	if cfg.Dist != "" || cfg.Gate != nil {
+	if cfg.Dist != "" || cfg.Space >= 2 || cfg.Gate != nil {
 		return nil
 	}
 	return f.cache.nearest(key)

@@ -221,6 +221,59 @@ func TestQuota(t *testing.T) {
 	}
 }
 
+// TestQuotaBucketEviction: tenant churn must not grow the bucket map
+// without bound — a bucket idle for a full refill period is indistinguishable
+// from a fresh one and gets dropped, while active tenants keep their spent
+// state across sweeps.
+func TestQuotaBucketEviction(t *testing.T) {
+	q := newQuotas(1, 2) // 1/s, burst 2 → refill period 2s
+	now := time.Now()
+
+	// Churn: a stream of one-shot tenants, each seen once, the clock
+	// advancing past the refill period every batch. The map must stay
+	// bounded by a batch, not accumulate all 10·100 tenants.
+	for batch := 0; batch < 10; batch++ {
+		for i := 0; i < 100; i++ {
+			if ok, _ := q.take(fmt.Sprintf("t%d-%d", batch, i), now); !ok {
+				t.Fatalf("fresh tenant rejected in batch %d", batch)
+			}
+		}
+		now = now.Add(3 * time.Second)
+	}
+	q.mu.Lock()
+	size := len(q.m)
+	q.mu.Unlock()
+	if size > 200 {
+		t.Fatalf("bucket map holds %d entries after churn, want bounded by recent tenants", size)
+	}
+
+	// An active tenant's spent tokens survive a sweep: drain the burst, let
+	// idle strangers age out, and the still-hot bucket must stay dry.
+	q.take("hot", now)
+	q.take("hot", now)
+	if ok, _ := q.take("hot", now); ok {
+		t.Fatal("third take within burst admitted")
+	}
+	now = now.Add(500 * time.Millisecond) // under a token's worth of refill
+	if ok, _ := q.take("hot", now); ok {
+		t.Fatal("sweep handed the hot tenant a fresh bucket")
+	}
+
+	// A tenant idle past the refill period is evicted — and readmitted
+	// exactly as a fresh full-burst bucket would be.
+	now = now.Add(5 * time.Second)
+	q.take("other", now) // trigger the amortized sweep
+	q.mu.Lock()
+	_, hotAlive := q.m["hot"]
+	q.mu.Unlock()
+	if hotAlive {
+		t.Fatal("idle bucket survived a sweep past the refill period")
+	}
+	if ok, _ := q.take("hot", now); !ok {
+		t.Fatal("evicted tenant rejected on return")
+	}
+}
+
 // TestQuotaHTTP: over-quota submissions get 429 with a Retry-After header
 // and count into front.quota_rejections.
 func TestQuotaHTTP(t *testing.T) {

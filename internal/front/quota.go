@@ -17,8 +17,9 @@ type quotas struct {
 	rate  float64 // tokens per second; <= 0 disables quotas
 	burst float64
 
-	mu sync.Mutex
-	m  map[string]*bucket
+	mu        sync.Mutex
+	m         map[string]*bucket
+	lastSweep time.Time
 }
 
 type bucket struct {
@@ -41,6 +42,7 @@ func (q *quotas) take(tenant string, now time.Time) (ok bool, retryAfter time.Du
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.evictIdle(now)
 	b := q.m[tenant]
 	if b == nil {
 		b = &bucket{tokens: q.burst, last: now}
@@ -57,4 +59,23 @@ func (q *quotas) take(tenant string, now time.Time) (ok bool, retryAfter time.Du
 	}
 	deficit := 1 - b.tokens
 	return false, time.Duration(deficit / q.rate * float64(time.Second))
+}
+
+// evictIdle drops every bucket idle long enough to have refilled to a full
+// burst — indistinguishable from a fresh one, so deleting it preserves
+// admission decisions exactly while keeping the map bounded by the set of
+// recently active tenants (one-shot tenant IDs would otherwise accumulate
+// forever). The sweep is amortized to once per refill period, so take stays
+// O(1) on the hot path. Caller holds q.mu.
+func (q *quotas) evictIdle(now time.Time) {
+	period := time.Duration(q.burst / q.rate * float64(time.Second))
+	if now.Sub(q.lastSweep) < period {
+		return
+	}
+	q.lastSweep = now
+	for tenant, b := range q.m {
+		if now.Sub(b.last) >= period {
+			delete(q.m, tenant)
+		}
+	}
 }

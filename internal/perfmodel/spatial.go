@@ -1,0 +1,81 @@
+package perfmodel
+
+import (
+	"negfsim/internal/comm"
+	"negfsim/internal/device"
+)
+
+// Spatial-split communication model: the wire volume of the distributed
+// device-partitioned retarded solve (internal/rgf.DistributedRetarded),
+// the third axis of OMEN's momentum/energy/space hierarchy. The counted
+// traffic of one solve over P ranks and n device blocks of size bs is
+//
+//	16·bs²·[(4P−7)  +  (P−1)(3P−5)  +  (P−1)(n−P+1)]
+//	        gather       solution bcast   interior allgather
+//
+// — the Schur-complement contribution gather at rank 0 (rank 0's own block
+// is local), the (P−1)-way broadcast of the 3P−5 packed separator solution
+// blocks, and the (P−1)-way allgather of the n−(P−1) interior diagonal
+// blocks. The comm conformance suite pins this formula against the
+// cluster's measured byte counters on both transports.
+
+// SpatialExchangeBytes returns the counted wire bytes of one distributed
+// retarded solve of n blocks of size bs over `ranks` cluster ranks. Zero
+// when the solve degenerates to a local one (ranks ≤ 1) or the partition is
+// infeasible (n < 2·ranks−1).
+func SpatialExchangeBytes(n, bs, ranks int) int64 {
+	if ranks <= 1 || n < 2*ranks-1 {
+		return 0
+	}
+	p := int64(ranks)
+	blocks := (4*p - 7) + (p-1)*(3*p-5) + (p-1)*int64(n-ranks+1)
+	return 16 * int64(bs) * int64(bs) * blocks
+}
+
+// SpatialGFVolume returns the wire bytes of one GF phase under the spatial
+// split: one distributed electron solve per (kz, E) grid point. Phonon
+// points stay process-local (their small block count is not worth the
+// latency), so they contribute nothing.
+func SpatialGFVolume(p device.Params, ranks int) float64 {
+	per := SpatialExchangeBytes(p.Bnum, p.ElectronBlockSize(), ranks)
+	return float64(p.Nkz) * float64(p.NE) * float64(per)
+}
+
+// SplitPlacement is the outcome of placing procs processes on one of the
+// two distribution axes: the (energy × momentum) grid of the SSE phase or
+// the spatial device partition of the GF phase.
+type SplitPlacement struct {
+	// Mode is "energy", "space" or "none" (neither axis feasible).
+	Mode string
+	// TE, TA is the best grid when the energy axis is feasible.
+	TE, TA int
+	// Space is the spatial rank count when that axis is feasible.
+	Space int
+	// GridBytes and SpaceBytes are the per-iteration wire volumes of the
+	// two placements (0 when infeasible).
+	GridBytes, SpaceBytes float64
+}
+
+// PlaceSplit decides which distribution axis procs processes should use for
+// the given device, by comparing the per-iteration communication volume of
+// the best (TE, TA) grid decomposition against the spatial device
+// partition. Smaller wire volume wins; infeasible axes (too few energies,
+// too few device blocks) lose by default.
+func PlaceSplit(p device.Params, procs int) SplitPlacement {
+	out := SplitPlacement{Mode: "none"}
+	if best, feasible := comm.SearchTiles(p, procs, 0); len(feasible) > 0 {
+		out.TE, out.TA = best.TE, best.TA
+		out.GridBytes = best.Bytes
+	}
+	if procs >= 2 && p.Bnum >= 2*procs-1 {
+		out.Space = procs
+		out.SpaceBytes = SpatialGFVolume(p, procs)
+	}
+	switch {
+	case out.TE > 0 && (out.Space == 0 || out.GridBytes <= out.SpaceBytes):
+		out.Mode = "energy"
+	case out.Space > 0:
+		out.Mode = "space"
+	}
+	return out
+}

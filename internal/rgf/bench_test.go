@@ -1,0 +1,43 @@
+package rgf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"negfsim/internal/cmat"
+)
+
+// BenchmarkRetardedSolve compares the sequential block-tridiagonal recursion
+// against the Schur-complement partitioned solver at matching sizes — the
+// single-process view of the spatial split's compute trade (the wire-volume
+// side lives in perfmodel.SpatialExchangeBytes). The partitioned variants
+// run their segments on as many workers as segments.
+func BenchmarkRetardedSolve(b *testing.B) {
+	const (
+		n  = 32
+		bs = 24
+	)
+	a := randomSystem(rand.New(rand.NewSource(41)), n, bs, 2.5, 0.6)
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ret, err := SolveRetarded(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ret.Release()
+		}
+	})
+	for _, segments := range []int{2, 4} {
+		b.Run(fmt.Sprintf("partitioned/%d", segments), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				diag, err := PartitionedRetarded(a, segments, segments)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cmat.PutAll(diag...)
+			}
+		})
+	}
+}

@@ -1,0 +1,260 @@
+package rgf
+
+import (
+	"fmt"
+
+	"negfsim/internal/cmat"
+	"negfsim/internal/comm"
+)
+
+// Distributed device-partitioned RGF — the spatial level of OMEN's
+// momentum/energy/space MPI hierarchy, run over a comm.Cluster. The three
+// phases of PartitionedRetarded map onto ranks:
+//
+//	rank k owns segment k of the even-spread layout (evenSeps);
+//	phase 1 (interior elimination) is local;
+//	phase 2 gathers every segment's Schur-complement separator
+//	  contributions at rank 0, which solves the reduced (P−1)-separator
+//	  system and broadcasts the packed solution;
+//	phase 3 (interior recovery) is local again, followed by an allgather
+//	  of the interior diagonal blocks so every rank holds the full
+//	  replicated diagonal.
+//
+// Counted wire traffic is exactly
+//
+//	16·bs²·[(4P−7) + (P−1)(3P−5) + (P−1)(n−P+1)]
+//
+// bytes per solve for P ≥ 2 ranks and n blocks: 4P−7 gathered contribution
+// blocks (rank 0's own is local), (P−1) copies of the 3P−5 packed separator
+// solution blocks, and (P−1) copies of the n−(P−1) interior blocks. The
+// perfmodel spatial-split volume model mirrors this formula and the comm
+// conformance suite pins the two against each other on both transports.
+
+// DistributedRetarded computes the diagonal blocks of A⁻¹ across the ranks
+// of a cluster, each rank eliminating its own contiguous run of device
+// blocks. Every rank must pass an identical operator A; every rank returns
+// the full replicated diagonal. A cluster of size 1 degenerates to the
+// sequential solve. Requires A.N ≥ 2·Size−1 so every rank owns at least one
+// interior block.
+func DistributedRetarded(r *comm.Rank, a *cmat.BlockTri) ([]*cmat.Dense, error) {
+	p := r.Size()
+	n, bs := a.N, a.Bs
+	if p <= 1 {
+		ret, err := SolveRetarded(a)
+		if err != nil {
+			return nil, err
+		}
+		ret.releaseGL()
+		return ret.Diag, nil
+	}
+	if n < 2*p-1 {
+		return nil, fmt.Errorf("rgf: %d blocks cannot be partitioned across %d ranks", n, p)
+	}
+	seps := evenSeps(n, p)
+	segs := buildSegments(n, seps)
+	sg := segs[r.ID]
+
+	// Phase 1: eliminate the local interior.
+	if err := sg.localInverse(a); err != nil {
+		return nil, err
+	}
+
+	// Phase 2a: gather Schur-complement contributions at rank 0. Segment k
+	// contributes [toL?, toR?, up?, lo?] — the subset is determined by the
+	// rank id alone, so the wire format needs no headers.
+	toL, toR, up, lo := sg.schurContribution(a)
+	if r.ID == 0 {
+		red := cmat.NewBlockTri(len(seps), bs)
+		contribs := make([][4]*cmat.Dense, p)
+		contribs[0] = [4]*cmat.Dense{toL, toR, up, lo}
+		for k := 1; k < p; k++ {
+			buf, err := r.Recv(k)
+			if err != nil {
+				return nil, fmt.Errorf("rgf: gathering separator contributions from rank %d: %w", k, err)
+			}
+			var c [4]*cmat.Dense
+			want := 0
+			for slot := 0; slot < 4; slot++ {
+				if !contribPresent(k, p, slot) {
+					continue
+				}
+				c[slot] = cmat.DenseFromSlice(bs, bs, buf[want*bs*bs:(want+1)*bs*bs])
+				want++
+			}
+			if len(buf) != want*bs*bs {
+				return nil, fmt.Errorf("rgf: rank %d sent %d values, want %d contribution blocks", k, len(buf), want)
+			}
+			contribs[k] = c
+		}
+		assembleReduced(red, a, seps, contribs)
+		ret, err := SolveRetarded(red)
+		if err != nil {
+			return nil, fmt.Errorf("rgf: reduced separator system: %w", err)
+		}
+		sol := solutionOf(ret)
+		ret.releaseGL()
+		if _, err := r.Bcast(0, packSolution(sol, bs)); err != nil {
+			return nil, fmt.Errorf("rgf: broadcasting separator solution: %w", err)
+		}
+		return finishDistributed(r, a, seps, segs, sg, sol)
+	}
+	buf := make([]complex128, 0, 4*bs*bs)
+	for _, b := range []*cmat.Dense{toL, toR, up, lo} {
+		if b != nil {
+			buf = append(buf, b.Data...)
+		}
+	}
+	if err := r.Send(0, buf); err != nil {
+		return nil, fmt.Errorf("rgf: sending separator contributions: %w", err)
+	}
+	// Phase 2b: receive the packed separator solution.
+	wire, err := r.Bcast(0, nil)
+	if err != nil {
+		return nil, fmt.Errorf("rgf: receiving separator solution: %w", err)
+	}
+	sol, err := unpackSolution(wire, len(seps), bs)
+	if err != nil {
+		return nil, err
+	}
+	return finishDistributed(r, a, seps, segs, sg, sol)
+}
+
+// contribPresent reports whether segment k of p contributes the given slot
+// (0 = toL, 1 = toR, 2 = up, 3 = lo) — the shared wire-format contract.
+func contribPresent(k, p, slot int) bool {
+	switch slot {
+	case 0:
+		return k > 0
+	default:
+		return k < p-1 && (slot == 1 || k > 0)
+	}
+}
+
+// schurContribution computes the segment's additions to the reduced system:
+// toL/toR fold into the diagonal of the left/right separator, up/lo are the
+// couplings between them through this interior.
+func (sg *segment) schurContribution(a *cmat.BlockTri) (toL, toR, up, lo *cmat.Dense) {
+	m := sg.hi - sg.lo + 1
+	if sg.sepL >= 0 {
+		s := sg.sepL
+		toL = a.Upper[s].Mul(sg.diag[0]).Mul(a.Lower[s])
+	}
+	if sg.sepR >= 0 {
+		s := sg.sepR
+		toR = a.Lower[s-1].Mul(sg.diag[m-1]).Mul(a.Upper[s-1])
+	}
+	if sg.sepL >= 0 && sg.sepR >= 0 {
+		up = a.Upper[sg.sepL].Mul(sg.colLast[0]).Mul(a.Upper[sg.sepR-1]).Scale(-1)
+		lo = a.Lower[sg.sepR-1].Mul(sg.colFirst[m-1]).Mul(a.Lower[sg.sepL]).Scale(-1)
+	}
+	return toL, toR, up, lo
+}
+
+// assembleReduced builds the reduced separator system from the gathered
+// per-segment contributions. Segment k sits between separators k−1 and k,
+// so separator j collects toR from segment j and toL from segment j+1, and
+// the couplings of segment j+1 land at off-diagonal index j.
+func assembleReduced(red, a *cmat.BlockTri, seps []int, contribs [][4]*cmat.Dense) {
+	for j, s := range seps {
+		red.Diag[j] = a.Diag[s].Clone()
+		if toR := contribs[j][1]; toR != nil {
+			red.Diag[j].SubInPlace(toR)
+		}
+		if toL := contribs[j+1][0]; toL != nil {
+			red.Diag[j].SubInPlace(toL)
+		}
+		if j+1 < len(seps) {
+			red.Upper[j] = contribs[j+1][2]
+			red.Lower[j] = contribs[j+1][3]
+		}
+	}
+}
+
+// packSolution flattens the separator solution as k diag blocks, then k−1
+// upper and k−1 lower off-diagonal blocks.
+func packSolution(sol *sepSolution, bs int) []complex128 {
+	k := len(sol.diag)
+	buf := make([]complex128, 0, (3*k-2)*bs*bs)
+	for _, d := range sol.diag {
+		buf = append(buf, d.Data...)
+	}
+	for _, d := range sol.up {
+		buf = append(buf, d.Data...)
+	}
+	for _, d := range sol.lo {
+		buf = append(buf, d.Data...)
+	}
+	return buf
+}
+
+func unpackSolution(buf []complex128, k, bs int) (*sepSolution, error) {
+	if len(buf) != (3*k-2)*bs*bs {
+		return nil, fmt.Errorf("rgf: separator solution has %d values, want %d blocks of %d", len(buf), 3*k-2, bs*bs)
+	}
+	// Copy out of the wire buffer: received slices may be shared between
+	// in-process ranks, and result blocks must be safe to hand to the
+	// workspace arena when the caller releases them.
+	next := func() *cmat.Dense {
+		d := cmat.NewDense(bs, bs)
+		copy(d.Data, buf[:bs*bs])
+		buf = buf[bs*bs:]
+		return d
+	}
+	sol := &sepSolution{
+		diag: make([]*cmat.Dense, k),
+		up:   make([]*cmat.Dense, k-1),
+		lo:   make([]*cmat.Dense, k-1),
+	}
+	for j := range sol.diag {
+		sol.diag[j] = next()
+	}
+	for j := range sol.up {
+		sol.up[j] = next()
+	}
+	for j := range sol.lo {
+		sol.lo[j] = next()
+	}
+	return sol, nil
+}
+
+// finishDistributed runs phase 3: recover the local interior from the
+// separator solution, then allgather every segment's interior diagonal so
+// all ranks return the full replicated diagonal.
+func finishDistributed(r *comm.Rank, a *cmat.BlockTri, seps []int, segs []*segment, sg *segment, sol *sepSolution) ([]*cmat.Dense, error) {
+	n, bs := a.N, a.Bs
+	out := make([]*cmat.Dense, n)
+	sepIdx := map[int]int{}
+	for j, s := range seps {
+		out[s] = sol.diag[j]
+		sepIdx[s] = j
+	}
+	if err := sg.recover(a, sol, sepIdx, out); err != nil {
+		return nil, err
+	}
+	for k, src := range segs {
+		m := src.hi - src.lo + 1
+		var payload []complex128
+		if k == r.ID {
+			payload = make([]complex128, 0, m*bs*bs)
+			for i := src.lo; i <= src.hi; i++ {
+				payload = append(payload, out[i].Data...)
+			}
+		}
+		got, err := r.Bcast(k, payload)
+		if err != nil {
+			return nil, fmt.Errorf("rgf: allgather of segment %d interior: %w", k, err)
+		}
+		if k == r.ID {
+			continue
+		}
+		if len(got) != m*bs*bs {
+			return nil, fmt.Errorf("rgf: segment %d interior has %d values, want %d blocks of %d", k, len(got), m, bs*bs)
+		}
+		for i := 0; i < m; i++ {
+			d := cmat.NewDense(bs, bs)
+			copy(d.Data, got[i*bs*bs:(i+1)*bs*bs])
+			out[src.lo+i] = d
+		}
+	}
+	return out, nil
+}

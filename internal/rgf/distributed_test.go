@@ -1,0 +1,197 @@
+package rgf
+
+import (
+	"math/rand"
+	"testing"
+
+	"negfsim/internal/cmat"
+	"negfsim/internal/comm"
+	"negfsim/internal/perfmodel"
+)
+
+// sequentialDiag is the oracle: the plain recursion's diagonal.
+func sequentialDiag(t *testing.T, a *cmat.BlockTri) []*cmat.Dense {
+	t.Helper()
+	ret, err := SolveRetarded(a)
+	if err != nil {
+		t.Fatalf("sequential solve: %v", err)
+	}
+	return ret.Diag
+}
+
+func maxDiagDiff(got, want []*cmat.Dense) float64 {
+	var worst float64
+	for i := range want {
+		if d := got[i].MaxAbsDiff(want[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Minimum-size partitions: N = 2·segments−1 leaves every segment exactly
+// one block. Pinned to the sequential recursion at 1e-12.
+func TestPartitionedMinimumSizeSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for segments := 2; segments <= 5; segments++ {
+		n := 2*segments - 1
+		a := randomSystem(rng, n, 3, 2.5, 0.6)
+		want := sequentialDiag(t, a)
+		got, err := PartitionedRetarded(a, segments, segments)
+		if err != nil {
+			t.Fatalf("segments=%d: %v", segments, err)
+		}
+		if d := maxDiagDiff(got, want); d > 1e-12 {
+			t.Errorf("segments=%d n=%d: max |Δ| = %g > 1e-12", segments, n, d)
+		}
+	}
+}
+
+// Adjacent separators couple directly through A (the s2 == s+1 branch) —
+// unreachable from the even spread, so exercised through explicit
+// placements, including separators at the chain ends.
+func TestPartitionedAtAdjacentSeparators(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cases := [][]int{
+		{1, 2},       // adjacent pair mid-chain
+		{2, 3},       // adjacent pair, segments on both sides
+		{0, 1, 2},    // run of three from the left edge
+		{3, 4, 5},    // run ending at the right edge (n = 6)
+		{0, 2, 3, 5}, // mixed: edges, a gap and an adjacent pair
+	}
+	for _, seps := range cases {
+		a := randomSystem(rng, 6, 2, 2.5, 0.6)
+		want := sequentialDiag(t, a)
+		got, err := PartitionedRetardedAt(a, seps, 4)
+		if err != nil {
+			t.Fatalf("seps=%v: %v", seps, err)
+		}
+		if d := maxDiagDiff(got, want); d > 1e-12 {
+			t.Errorf("seps=%v: max |Δ| = %g > 1e-12", seps, d)
+		}
+	}
+}
+
+func TestPartitionedTwoSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{3, 4, 8, 11} {
+		a := randomSystem(rng, n, 3, 2.5, 0.6)
+		want := sequentialDiag(t, a)
+		got, err := PartitionedRetarded(a, 2, 2)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := maxDiagDiff(got, want); d > 1e-12 {
+			t.Errorf("n=%d: max |Δ| = %g > 1e-12", n, d)
+		}
+	}
+}
+
+// More workers than segments must change nothing (and the -race run of
+// `make partition-test` checks the oversubscribed pool is clean).
+func TestPartitionedWorkersExceedSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randomSystem(rng, 9, 3, 2.5, 0.6)
+	want := sequentialDiag(t, a)
+	got, err := PartitionedRetarded(a, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiagDiff(got, want); d > 1e-12 {
+		t.Errorf("workers=16 segments=3: max |Δ| = %g > 1e-12", d)
+	}
+}
+
+func TestPartitionedAtRejectsBadSeparators(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randomSystem(rng, 5, 2, 2.5, 0.6)
+	for _, seps := range [][]int{{}, {-1}, {5}, {2, 2}, {3, 1}} {
+		if _, err := PartitionedRetardedAt(a, seps, 1); err == nil {
+			t.Errorf("seps=%v: want error, got none", seps)
+		}
+	}
+}
+
+// Every rank of the in-process cluster must return the full replicated
+// diagonal of the sequential solve.
+func TestDistributedRetardedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for p := 2; p <= 5; p++ {
+		for _, n := range []int{2*p - 1, 4 * p} {
+			a := randomSystem(rng, n, 3, 2.5, 0.6)
+			want := sequentialDiag(t, a)
+			cluster := comm.NewCluster(p)
+			worst := make([]float64, p)
+			err := cluster.Run(func(r *comm.Rank) error {
+				out, err := DistributedRetarded(r, a)
+				if err != nil {
+					return err
+				}
+				worst[r.ID] = maxDiagDiff(out, want)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d n=%d: %v", p, n, err)
+			}
+			for rank, d := range worst {
+				if d > 1e-12 {
+					t.Errorf("p=%d n=%d rank %d: max |Δ| = %g > 1e-12", p, n, rank, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedRetardedSingleRankFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randomSystem(rng, 5, 2, 2.5, 0.6)
+	want := sequentialDiag(t, a)
+	cluster := comm.NewCluster(1)
+	if err := cluster.Run(func(r *comm.Rank) error {
+		out, err := DistributedRetarded(r, a)
+		if err != nil {
+			return err
+		}
+		if d := maxDiagDiff(out, want); d > 1e-12 {
+			t.Errorf("single rank: max |Δ| = %g", d)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedRetardedTooFewBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randomSystem(rng, 4, 2, 2.5, 0.6) // 3 ranks need ≥ 5 blocks
+	cluster := comm.NewCluster(3)
+	if err := cluster.Run(func(r *comm.Rank) error {
+		_, err := DistributedRetarded(r, a)
+		return err
+	}); err == nil {
+		t.Fatal("want partition-infeasible error, got none")
+	}
+}
+
+// The solver's counted traffic must agree with the perfmodel spatial-split
+// byte formula exactly (the in-process half of the conformance pin; the
+// TCP half lives in the comm conformance suite).
+func TestDistributedRetardedBytesMatchModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, tc := range []struct{ p, n, bs int }{
+		{2, 3, 2}, {2, 8, 3}, {3, 5, 2}, {3, 9, 4}, {4, 7, 2}, {5, 12, 3},
+	} {
+		a := randomSystem(rng, tc.n, tc.bs, 2.5, 0.6)
+		cluster := comm.NewCluster(tc.p)
+		if err := cluster.Run(func(r *comm.Rank) error {
+			_, err := DistributedRetarded(r, a)
+			return err
+		}); err != nil {
+			t.Fatalf("p=%d n=%d bs=%d: %v", tc.p, tc.n, tc.bs, err)
+		}
+		want := perfmodel.SpatialExchangeBytes(tc.n, tc.bs, tc.p)
+		if got := cluster.TotalBytes(); got != want {
+			t.Errorf("p=%d n=%d bs=%d: measured %d bytes, model %d", tc.p, tc.n, tc.bs, got, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"negfsim/internal/cmat"
+	"negfsim/internal/comm"
 	"negfsim/internal/obs"
 )
 
@@ -73,6 +74,22 @@ func (r *ElectronResult) Release() {
 // the arena before the function exits. The result blocks are pooled too —
 // call (*ElectronResult).Release once their contents have been consumed.
 func SolveElectron(h, s *cmat.BlockTri, energy float64, scat Scattering, c Contacts, eta float64) (*ElectronResult, error) {
+	return solveElectron(nil, true, h, s, energy, scat, c, eta)
+}
+
+// SolveElectronSpatial is SolveElectron with the retarded solve partitioned
+// across the ranks of a cluster (DistributedRetarded): every rank assembles
+// the identical operator and participates in the spatial exchange. Ranks
+// with closure=true then run the Keldysh pass, currents and dissipation on
+// the replicated diagonal and return the full result; the others return
+// (nil, nil) once the collective solve is done. Exactly the closure ranks
+// get a result, so a caller accumulating observables must pick closure
+// ranks that cover each grid point exactly once per process.
+func SolveElectronSpatial(r *comm.Rank, closure bool, h, s *cmat.BlockTri, energy float64, scat Scattering, c Contacts, eta float64) (*ElectronResult, error) {
+	return solveElectron(r, closure, h, s, energy, scat, c, eta)
+}
+
+func solveElectron(rank *comm.Rank, closure bool, h, s *cmat.BlockTri, energy float64, scat Scattering, c Contacts, eta float64) (*ElectronResult, error) {
 	if h.N != s.N || h.Bs != s.Bs {
 		return nil, fmt.Errorf("rgf: H and S shapes differ: (%d,%d) vs (%d,%d)", h.N, h.Bs, s.N, s.Bs)
 	}
@@ -106,10 +123,32 @@ func SolveElectron(h, s *cmat.BlockTri, energy float64, scat Scattering, c Conta
 		}
 	}
 
-	ret, err := SolveRetarded(a)
-	if err != nil {
-		cmat.PutAll(gamL, gamR)
-		return nil, err
+	var ret *Retarded
+	if rank == nil {
+		ret, err = SolveRetarded(a)
+		if err != nil {
+			cmat.PutAll(gamL, gamR)
+			return nil, err
+		}
+	} else {
+		// Spatial split: the diagonal comes out of the distributed solve
+		// (replicated on every rank); the closure rank rebuilds the
+		// left-connected gL it needs for the Keldysh pass locally.
+		diag, derr := DistributedRetarded(rank, a)
+		if derr != nil {
+			cmat.PutAll(gamL, gamR)
+			return nil, derr
+		}
+		if !closure {
+			cmat.PutAll(gamL, gamR)
+			return nil, nil
+		}
+		gl, gerr := forwardGL(a)
+		if gerr != nil {
+			cmat.PutAll(gamL, gamR)
+			return nil, gerr
+		}
+		ret = &Retarded{Diag: diag, gL: gl, a: a}
 	}
 
 	fL := FermiDirac(energy, c.MuL, c.KT)

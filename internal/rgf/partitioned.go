@@ -21,7 +21,10 @@ import (
 //     M = A_II⁻¹ obtained from running product recursions.
 //
 // The result is exactly SolveRetarded's diagonal (tested against it and
-// against dense inversion); the parallelism is over segments.
+// against dense inversion); the parallelism is over segments. The same
+// three phases, with the per-segment work mapped onto cluster ranks and the
+// reduced system carried over the wire, are the distributed solver in
+// distributed.go.
 
 // segment holds one interior run of blocks [lo, hi] (inclusive) between
 // separators; sepL/sepR are the adjacent separator block indices or −1.
@@ -55,12 +58,12 @@ func (sg *segment) localInverse(a *cmat.BlockTri) error {
 		}
 	}
 	if gR[m-1], err = cmat.Inverse(dg(m - 1)); err != nil {
-		return err
+		return fmt.Errorf("rgf: segment [%d,%d] backward block %d: %w", sg.lo, sg.hi, m-1, err)
 	}
 	for i := m - 2; i >= 0; i-- {
 		t := dg(i).Sub(up(i).Mul(gR[i+1]).Mul(lo(i)))
 		if gR[i], err = cmat.Inverse(t); err != nil {
-			return err
+			return fmt.Errorf("rgf: segment [%d,%d] backward block %d: %w", sg.lo, sg.hi, i, err)
 		}
 	}
 	sg.diag = make([]*cmat.Dense, m)
@@ -73,7 +76,7 @@ func (sg *segment) localInverse(a *cmat.BlockTri) error {
 			t = t.Sub(up(i).Mul(gR[i+1]).Mul(lo(i)))
 		}
 		if sg.diag[i], err = cmat.Inverse(t); err != nil {
-			return err
+			return fmt.Errorf("rgf: segment [%d,%d] diagonal block %d: %w", sg.lo, sg.hi, i, err)
 		}
 	}
 	// Border strips by running products:
@@ -114,35 +117,28 @@ func (r *Retarded) OffDiagUpper(n int) *cmat.Dense {
 	return r.gL[n].Mul(r.a.Upper[n]).Mul(r.Diag[n+1]).Scale(-1)
 }
 
-// PartitionedRetarded computes the diagonal blocks of A⁻¹ by the
-// Schur-complement domain decomposition described above, with `segments`
-// independent segments processed by up to `workers` goroutines. With
-// segments ≤ 1 it falls back to the sequential recursion.
-func PartitionedRetarded(a *cmat.BlockTri, segments, workers int) ([]*cmat.Dense, error) {
-	n := a.N
-	if segments <= 1 {
-		ret, err := SolveRetarded(a)
-		if err != nil {
-			return nil, err
-		}
-		return ret.Diag, nil
-	}
-	// segments segments need segments−1 separators and at least one block
-	// per segment: N ≥ 2·segments − 1.
-	if n < 2*segments-1 {
-		return nil, fmt.Errorf("rgf: %d blocks cannot form %d segments", n, segments)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	// Separator placement: even spread.
+// evenSeps returns the even-spread separator placement splitting n blocks
+// into `segments` segments — the default layout PartitionedRetarded and the
+// distributed solver share. Requires n ≥ 2·segments−1 so every segment is
+// non-empty.
+func evenSeps(n, segments int) []int {
 	seps := make([]int, segments-1)
-	isSep := make([]bool, n)
 	for j := range seps {
 		seps[j] = (j + 1) * n / segments
-		isSep[seps[j]] = true
 	}
-	segs := make([]*segment, 0, segments)
+	return seps
+}
+
+// buildSegments slices [0, n) into the interior segments delimited by the
+// (strictly increasing) separator indices. Adjacent separators, or a
+// separator at either end of the chain, simply produce no segment on that
+// side.
+func buildSegments(n int, seps []int) []*segment {
+	isSep := make([]bool, n)
+	for _, s := range seps {
+		isSep[s] = true
+	}
+	segs := make([]*segment, 0, len(seps)+1)
 	lo := 0
 	for b := 0; b <= n; b++ {
 		if b == n || isSep[b] {
@@ -156,6 +152,81 @@ func PartitionedRetarded(a *cmat.BlockTri, segments, workers int) ([]*cmat.Dense
 			lo = b + 1
 		}
 	}
+	return segs
+}
+
+// sepSolution is the solved reduced separator system in the form the
+// interior recovery needs: the separator diagonal blocks plus the
+// off-diagonal blocks between adjacent separators. The single-process solver
+// fills it from the reduced Retarded directly; the distributed solver
+// unpacks it from the root's broadcast.
+type sepSolution struct {
+	diag []*cmat.Dense // G[s_j, s_j]
+	up   []*cmat.Dense // G[s_j, s_{j+1}]
+	lo   []*cmat.Dense // G[s_{j+1}, s_j]
+}
+
+// solutionOf extracts a sepSolution from the solved reduced system.
+func solutionOf(ret *Retarded) *sepSolution {
+	k := len(ret.Diag)
+	sol := &sepSolution{
+		diag: ret.Diag,
+		up:   make([]*cmat.Dense, k-1),
+		lo:   make([]*cmat.Dense, k-1),
+	}
+	for j := 0; j < k-1; j++ {
+		sol.up[j] = ret.OffDiagUpper(j)
+		sol.lo[j] = ret.OffDiagLower(j)
+	}
+	return sol
+}
+
+// PartitionedRetarded computes the diagonal blocks of A⁻¹ by the
+// Schur-complement domain decomposition described above, with `segments`
+// independent segments processed by up to `workers` goroutines and the
+// separators spread evenly. With segments ≤ 1 it falls back to the
+// sequential recursion.
+func PartitionedRetarded(a *cmat.BlockTri, segments, workers int) ([]*cmat.Dense, error) {
+	n := a.N
+	if segments <= 1 {
+		ret, err := SolveRetarded(a)
+		if err != nil {
+			return nil, err
+		}
+		ret.releaseGL()
+		return ret.Diag, nil
+	}
+	// segments segments need segments−1 separators and at least one block
+	// per segment: N ≥ 2·segments − 1.
+	if n < 2*segments-1 {
+		return nil, fmt.Errorf("rgf: %d blocks cannot form %d segments", n, segments)
+	}
+	return PartitionedRetardedAt(a, evenSeps(n, segments), workers)
+}
+
+// PartitionedRetardedAt is PartitionedRetarded with caller-chosen separator
+// block indices (strictly increasing, within [0, N)). Adjacent separators
+// are legal — they couple directly through A instead of through a segment
+// interior — which is how callers place separators around known-dense
+// regions, and how tests reach that coupling branch (the even spread never
+// produces it).
+func PartitionedRetardedAt(a *cmat.BlockTri, seps []int, workers int) ([]*cmat.Dense, error) {
+	n := a.N
+	if len(seps) == 0 {
+		return nil, fmt.Errorf("rgf: partitioned solve needs at least one separator")
+	}
+	for j, s := range seps {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("rgf: separator %d out of range [0,%d)", s, n)
+		}
+		if j > 0 && s <= seps[j-1] {
+			return nil, fmt.Errorf("rgf: separators must be strictly increasing, got %v", seps)
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	segs := buildSegments(n, seps)
 
 	// Phase 1: parallel interior elimination.
 	var wg sync.WaitGroup
@@ -178,6 +249,44 @@ func PartitionedRetarded(a *cmat.BlockTri, segments, workers int) ([]*cmat.Dense
 	}
 
 	// Phase 2: reduced block-tridiagonal system over the separators.
+	red := reducedSystem(a, seps, segs)
+	ret, err := SolveRetarded(red)
+	if err != nil {
+		return nil, fmt.Errorf("rgf: reduced separator system: %w", err)
+	}
+	sol := solutionOf(ret)
+	ret.releaseGL()
+	out := make([]*cmat.Dense, n)
+	sepIdx := map[int]int{}
+	for j, s := range seps {
+		out[s] = sol.diag[j]
+		sepIdx[s] = j
+	}
+
+	// Phase 3: parallel interior recovery.
+	for i, sg := range segs {
+		wg.Add(1)
+		go func(i int, sg *segment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = sg.recover(a, sol, sepIdx, out)
+		}(i, sg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// reducedSystem assembles the Schur complement over the separators from the
+// segments' eliminated interiors: S[s,s] = A[s,s] − Σ couplings through the
+// adjacent segments, S[s,s'] between neighboring separators through the
+// segment between them (or A itself when they are adjacent).
+func reducedSystem(a *cmat.BlockTri, seps []int, segs []*segment) *cmat.BlockTri {
 	red := cmat.NewBlockTri(len(seps), a.Bs)
 	segOf := map[int]*segment{} // keyed by left separator of the segment
 	for _, sg := range segs {
@@ -211,36 +320,7 @@ func PartitionedRetarded(a *cmat.BlockTri, segments, workers int) ([]*cmat.Dense
 			}
 		}
 	}
-	ret, err := SolveRetarded(red)
-	if err != nil {
-		return nil, fmt.Errorf("rgf: reduced separator system: %w", err)
-	}
-	out := make([]*cmat.Dense, n)
-	for j, s := range seps {
-		out[s] = ret.Diag[j]
-	}
-
-	// Phase 3: parallel interior recovery.
-	sepIdx := map[int]int{}
-	for j, s := range seps {
-		sepIdx[s] = j
-	}
-	for i, sg := range segs {
-		wg.Add(1)
-		go func(i int, sg *segment) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs[i] = sg.recover(a, ret, sepIdx, out)
-		}(i, sg)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return red
 }
 
 func segmentWithRightSep(segs []*segment, s int) *segment {
@@ -253,7 +333,7 @@ func segmentWithRightSep(segs []*segment, s int) *segment {
 }
 
 // recover applies G_II = M + M·A_IS·G_SS·A_SI·M for one segment.
-func (sg *segment) recover(a *cmat.BlockTri, red *Retarded, sepIdx map[int]int, out []*cmat.Dense) error {
+func (sg *segment) recover(a *cmat.BlockTri, sol *sepSolution, sepIdx map[int]int, out []*cmat.Dense) error {
 	m := sg.hi - sg.lo + 1
 	hasL := sg.sepL >= 0
 	hasR := sg.sepR >= 0
@@ -271,15 +351,15 @@ func (sg *segment) recover(a *cmat.BlockTri, red *Retarded, sepIdx map[int]int, 
 	// Separator Green's function blocks.
 	var gLL, gRR, gLR, gRL *cmat.Dense
 	if hasL {
-		gLL = red.Diag[sepIdx[sg.sepL]]
+		gLL = sol.diag[sepIdx[sg.sepL]]
 	}
 	if hasR {
-		gRR = red.Diag[sepIdx[sg.sepR]]
+		gRR = sol.diag[sepIdx[sg.sepR]]
 	}
 	if hasL && hasR {
 		j := sepIdx[sg.sepL]
-		gLR = red.OffDiagUpper(j) // G[L, R]
-		gRL = red.OffDiagLower(j) // G[R, L]
+		gLR = sol.up[j] // G[L, R]
+		gRL = sol.lo[j] // G[R, L]
 	}
 	for i := 0; i < m; i++ {
 		g := sg.diag[i].Clone()

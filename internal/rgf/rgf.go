@@ -26,28 +26,13 @@ type Retarded struct {
 // Release (or keep the blocks and let the GC take them) when done.
 func SolveRetarded(a *cmat.BlockTri) (*Retarded, error) {
 	n, bs := a.N, a.Bs
-	r := &Retarded{Diag: make([]*cmat.Dense, n), gL: make([]*cmat.Dense, n), a: a}
-	g := cmat.GetDense(bs, bs)
-	if err := cmat.InverseInto(g, a.Diag[0]); err != nil {
-		cmat.PutDense(g)
-		return nil, fmt.Errorf("rgf: forward block 0: %w", err)
+	gl, err := forwardGL(a)
+	if err != nil {
+		return nil, err
 	}
-	r.gL[0] = g
+	r := &Retarded{Diag: make([]*cmat.Dense, n), gL: gl, a: a}
 	t1 := cmat.GetDense(bs, bs)
 	t2 := cmat.GetDense(bs, bs)
-	for i := 1; i < n; i++ {
-		a.Lower[i-1].MulInto(t1, r.gL[i-1])
-		t1.MulInto(t2, a.Upper[i-1])
-		t2.ScaleInPlace(-1)
-		t2.AddInPlace(a.Diag[i])
-		g = cmat.GetDense(bs, bs)
-		if err := cmat.InverseInto(g, t2); err != nil {
-			cmat.PutAll(g, t1, t2)
-			r.Release()
-			return nil, fmt.Errorf("rgf: forward block %d: %w", i, err)
-		}
-		r.gL[i] = g
-	}
 	// Diag[n−1] is a pooled copy (not an alias of gL[n−1]) so Release can
 	// blanket-return every block exactly once.
 	last := cmat.GetDense(bs, bs)
@@ -64,6 +49,38 @@ func SolveRetarded(a *cmat.BlockTri) (*Retarded, error) {
 	}
 	cmat.PutAll(t1, t2)
 	return r, nil
+}
+
+// forwardGL runs only the forward recursion, returning the left-connected
+// g^L blocks (all pooled). It is the first half of SolveRetarded, split out
+// so the spatial solver can rebuild a full Retarded around an
+// already-distributed diagonal.
+func forwardGL(a *cmat.BlockTri) ([]*cmat.Dense, error) {
+	n, bs := a.N, a.Bs
+	gl := make([]*cmat.Dense, 0, n)
+	g := cmat.GetDense(bs, bs)
+	if err := cmat.InverseInto(g, a.Diag[0]); err != nil {
+		cmat.PutDense(g)
+		return nil, fmt.Errorf("rgf: forward block 0: %w", err)
+	}
+	gl = append(gl, g)
+	t1 := cmat.GetDense(bs, bs)
+	t2 := cmat.GetDense(bs, bs)
+	for i := 1; i < n; i++ {
+		a.Lower[i-1].MulInto(t1, gl[i-1])
+		t1.MulInto(t2, a.Upper[i-1])
+		t2.ScaleInPlace(-1)
+		t2.AddInPlace(a.Diag[i])
+		g = cmat.GetDense(bs, bs)
+		if err := cmat.InverseInto(g, t2); err != nil {
+			cmat.PutAll(g, t1, t2)
+			cmat.PutAll(gl...)
+			return nil, fmt.Errorf("rgf: forward block %d: %w", i, err)
+		}
+		gl = append(gl, g)
+	}
+	cmat.PutAll(t1, t2)
+	return gl, nil
 }
 
 // Release returns every block the solve drew from the workspace arena. The

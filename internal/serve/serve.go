@@ -374,8 +374,8 @@ func (s *Scheduler) SubmitFrom(cfg core.RunConfig, ck *core.Checkpoint) (*Job, e
 		return nil, err
 	}
 	if ck != nil {
-		if cfg.Dist != "" || cfg.Gate != nil {
-			return nil, errors.New("serve: warm start applies to plain serial runs only (no dist, no gate)")
+		if cfg.Dist != "" || cfg.Space >= 2 || cfg.Gate != nil {
+			return nil, errors.New("serve: warm start applies to plain serial runs only (no dist, no space, no gate)")
 		}
 		if err := ck.Compatible(cfg.Device); err != nil {
 			return nil, err

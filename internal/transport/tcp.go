@@ -400,25 +400,40 @@ func (t *TCP) connect(l *tcpLink) (net.Conn, error) {
 
 // dial establishes the outbound connection to l.peer, retrying while the
 // peer's listener is not up yet; retries beyond the first attempt count on
-// the link's reconnect metric.
+// the link's reconnect metric. One stoppable timer is reused across the
+// retries (an allocation per attempt adds up on a slow peer), the deadline
+// is checked before sleeping, and the last sleep is capped at the time
+// remaining, so the loop never overshoots DialTimeout by a retry interval.
 func (t *TCP) dial(l *tcpLink) (net.Conn, error) {
 	deadline := time.Now().Add(t.cfg.DialTimeout)
 	d := net.Dialer{Timeout: t.cfg.RetryInterval * 10}
+	retry := time.NewTimer(t.cfg.RetryInterval)
+	if !retry.Stop() {
+		<-retry.C
+	}
+	defer retry.Stop()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			l.reconnects.Inc()
-			select {
-			case <-time.After(t.cfg.RetryInterval):
-			case <-t.closeCh:
-				return nil, fmt.Errorf("transport: closed while dialing rank %d", l.peer)
-			case <-t.ctx.Done():
-				return nil, t.ctx.Err()
+			if remaining := time.Until(deadline); remaining > 0 {
+				pause := t.cfg.RetryInterval
+				if pause > remaining {
+					pause = remaining
+				}
+				retry.Reset(pause)
+				select {
+				case <-retry.C:
+				case <-t.closeCh:
+					return nil, fmt.Errorf("transport: closed while dialing rank %d", l.peer)
+				case <-t.ctx.Done():
+					return nil, t.ctx.Err()
+				}
 			}
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("transport: dialing rank %d at %s: no answer after %v: %w",
-				l.peer, t.peers[l.peer], t.cfg.DialTimeout, lastErr)
+			if !time.Now().Before(deadline) {
+				return nil, fmt.Errorf("transport: dialing rank %d at %s: no answer after %v: %w",
+					l.peer, t.peers[l.peer], t.cfg.DialTimeout, lastErr)
+			}
 		}
 		obsTCPDials.Inc()
 		conn, err := d.DialContext(t.ctx, "tcp", t.peers[l.peer])

@@ -6,6 +6,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 )
@@ -170,6 +171,42 @@ func TestTCPDialRetriesUntilPeerUp(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("message not delivered after peer came up")
+	}
+}
+
+// A dead peer must surface the dial timeout close to DialTimeout, not
+// DialTimeout plus however much of a retry pause was already under way: the
+// deadline is checked before sleeping and the final pause is capped at the
+// time remaining. With DialTimeout 200ms and RetryInterval 150ms the old
+// after-the-sleep check gave up only at ~300ms.
+func TestTCPDialTimeoutHonored(t *testing.T) {
+	lns, addrs := listeners(t, 2)
+	lns[1].Close() // rank 1 stays down: every dial is refused immediately
+	tr, err := NewTCPWith(context.Background(), 0, addrs, TCPConfig{
+		Listener:      lns[0],
+		DialTimeout:   200 * time.Millisecond,
+		RetryInterval: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	start := time.Now()
+	tr.SendCh(0, 1) <- []complex128{1}
+	select {
+	case <-tr.Dead():
+	case <-time.After(5 * time.Second):
+		t.Fatal("dial timeout never surfaced")
+	}
+	elapsed := time.Since(start)
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("gave up after %v, before the deadline", elapsed)
+	}
+	if elapsed > 280*time.Millisecond {
+		t.Fatalf("gave up after %v, overshooting the 200ms deadline by a retry interval", elapsed)
+	}
+	if err := tr.DeadErr(); err == nil || !strings.Contains(err.Error(), "no answer after") {
+		t.Fatalf("dead link error = %v, want the dial-timeout cause", err)
 	}
 }
 
