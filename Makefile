@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check fmt build vet test race race-ft serve-test transport-test peer-test partition-test tune-test front-test docs-lint bench bench-json
+.PHONY: check fmt build vet test race race-ft serve-test transport-test peer-test partition-test tune-test front-test device-test campaign-test docs-lint bench bench-json
 
-check: fmt build vet test race-ft serve-test transport-test peer-test partition-test tune-test front-test docs-lint
+check: fmt build vet test race-ft serve-test transport-test peer-test partition-test tune-test front-test device-test campaign-test docs-lint
 
 # gofmt -l prints nothing (and exits 0) on a clean tree; any output fails
 # the gate via the grep.
@@ -78,6 +78,19 @@ tune-test:
 front-test:
 	go test -race -count=1 ./internal/front
 
+# Device-zoo suite: spec round-trip/strictness/canonicalization, the
+# zone-folding physics pins (metallicity classes, gap ∝ 1/d, junction band
+# alignment) and the block-tridiagonal invariants every kind must emit.
+device-test:
+	go test -race -count=1 ./internal/device
+
+# Campaign suite under the race detector: request validation, the offline
+# warm-chained I–V ladder against point-by-point direct runs (1e-8), the
+# T(E) artifact, and the HTTP lifecycle end-to-end through a scheduler and
+# through the sharded front tier.
+campaign-test:
+	go test -race -count=1 ./internal/campaign
+
 # Docs lint: every relative markdown link in README, the root docs and
 # docs/ must resolve to an existing file, so renames can't silently rot the
 # docs suite.
@@ -89,12 +102,13 @@ bench:
 	go test -bench . -benchtime 3x -run '^$$' .
 	go test -bench 'BenchmarkGEMM' -benchtime 20x -run '^$$' ./internal/cmat
 
-# Machine-readable benchmark snapshot for this PR: the tuned-vs-default
-# schedule deltas (GEMM, SSE phase, end-to-end iteration; a short measured
-# tuner search runs once inside the benchmark binary) plus the
+# Machine-readable benchmark snapshot for this PR: per-kind device-zoo
+# assembly and ballistic-solve costs (the per-point costs a campaign
+# ladder multiplies), plus the tuned-vs-default schedule deltas and the
 # sequential-vs-partitioned retarded solve, concatenated into one record.
 bench-json:
-	{ go test -bench 'BenchmarkSched' -benchtime 10x -run '^$$' . ; \
+	{ go test -bench 'BenchmarkZoo' -benchtime 10x -run '^$$' ./internal/device ; \
+	  go test -bench 'BenchmarkSched' -benchtime 10x -run '^$$' . ; \
 	  go test -bench 'BenchmarkRetarded' -benchtime 10x -run '^$$' ./internal/rgf ; } \
-	  | go run ./cmd/benchjson -out BENCH_8.json
-	@echo wrote BENCH_8.json
+	  | go run ./cmd/benchjson -out BENCH_9.json
+	@echo wrote BENCH_9.json

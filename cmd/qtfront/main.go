@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"negfsim/internal/campaign"
 	"negfsim/internal/front"
 	"negfsim/internal/obs"
 )
@@ -80,7 +81,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("qtfront: %v", err)
 	}
-	srv := &http.Server{Handler: front.NewAPI(f).Handler()}
+	// Campaigns submitted to the front fan their ladder points across the
+	// fleet; warm starts come from the front's own family cache, so the
+	// campaign tier never ships checkpoints itself here.
+	mgr := campaign.NewManager(campaign.FrontBackend{F: f, Tenant: "campaign"}, 4)
+	mux := http.NewServeMux()
+	campaign.NewAPI(mgr).Register(mux)
+	mux.Handle("/", front.NewAPI(f).Handler())
+	srv := &http.Server{Handler: mux}
 
 	// Print the bound address (not the flag value) so -addr :0 scripts can
 	// discover the port.
@@ -103,6 +111,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("qtfront: http shutdown: %v", err)
+	}
+	if err := mgr.Close(ctx); err != nil {
+		log.Printf("qtfront: campaign shutdown: %v", err)
 	}
 	if err := f.Close(ctx); err != nil {
 		log.Printf("qtfront: front shutdown: %v", err)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"negfsim/internal/core"
+	"negfsim/internal/device"
 )
 
 // TestFlagsOverrideConfigFile pins the -config contract: values from the
@@ -14,9 +15,11 @@ import (
 // file — while file values for flags the user did not set survive.
 func TestFlagsOverrideConfigFile(t *testing.T) {
 	fileCfg := core.DefaultRunConfig()
-	fileCfg.Device.NA = 48
-	fileCfg.Device.Rows = 4
-	fileCfg.Device.Bnum = 4
+	fg := fileCfg.Device.Grid()
+	fg.NA = 48
+	fg.Rows = 4
+	fg.Bnum = 4
+	fileCfg.Device = device.WrapParams(fg)
 	fileCfg.MaxIter = 9
 	fileCfg.Variant = "omen"
 	raw, err := fileCfg.Marshal()
@@ -38,19 +41,22 @@ func TestFlagsOverrideConfigFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	applyConfigFlags(fs, f, cfg)
+	if err := applyConfigFlags(fs, f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	grid := cfg.Device.Grid()
 
 	if cfg.MaxIter != 3 {
 		t.Errorf("MaxIter = %d, want flag value 3 over file value 9", cfg.MaxIter)
 	}
-	if cfg.Device.Nkz != 2 || cfg.Device.Nqz != 2 {
-		t.Errorf("Nkz/Nqz = %d/%d, want 2/2 (flag overrides both momentum grids)", cfg.Device.Nkz, cfg.Device.Nqz)
+	if grid.Nkz != 2 || grid.Nqz != 2 {
+		t.Errorf("Nkz/Nqz = %d/%d, want 2/2 (flag overrides both momentum grids)", grid.Nkz, grid.Nqz)
 	}
 	if cfg.Dist != "2x2" {
 		t.Errorf("Dist = %q, want flag value 2x2", cfg.Dist)
 	}
-	if cfg.Device.NA != 48 || cfg.Variant != "omen" {
-		t.Errorf("unset flags must keep file values: NA=%d variant=%q", cfg.Device.NA, cfg.Variant)
+	if grid.NA != 48 || cfg.Variant != "omen" {
+		t.Errorf("unset flags must keep file values: NA=%d variant=%q", grid.NA, cfg.Variant)
 	}
 	if err := cfg.Validate(); err != nil {
 		t.Fatalf("merged config invalid: %v", err)
@@ -66,7 +72,9 @@ func TestUnsetFlagsKeepDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := core.DefaultRunConfig()
-	applyConfigFlags(fs, f, &cfg)
+	if err := applyConfigFlags(fs, f, &cfg); err != nil {
+		t.Fatal(err)
+	}
 	if cfg != core.DefaultRunConfig() {
 		t.Fatalf("config mutated by unset flags: %+v", cfg)
 	}

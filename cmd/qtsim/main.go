@@ -53,6 +53,7 @@ import (
 
 	"negfsim/internal/comm"
 	"negfsim/internal/core"
+	"negfsim/internal/device"
 	"negfsim/internal/obs"
 	"negfsim/internal/tune"
 )
@@ -146,16 +147,17 @@ type configFlags struct {
 // zero-flag run.
 func registerConfigFlags(fs *flag.FlagSet) *configFlags {
 	def := core.DefaultRunConfig()
+	grid := def.Device.Grid()
 	f := &configFlags{}
-	fs.IntVar(&f.na, "na", def.Device.NA, "number of atoms")
-	fs.IntVar(&f.rows, "rows", def.Device.Rows, "atoms per column (fin height)")
-	fs.IntVar(&f.bnum, "bnum", def.Device.Bnum, "RGF blocks")
-	fs.IntVar(&f.nkz, "nkz", def.Device.Nkz, "electron/phonon momentum points")
-	fs.IntVar(&f.ne, "ne", def.Device.NE, "energy grid points")
-	fs.IntVar(&f.nw, "nw", def.Device.Nw, "phonon frequencies")
-	fs.IntVar(&f.nb, "nb", def.Device.NB, "neighbors per atom")
-	fs.IntVar(&f.norb, "norb", def.Device.Norb, "orbitals per atom")
-	fs.Uint64Var(&f.seed, "seed", def.Device.Seed, "structure seed")
+	fs.IntVar(&f.na, "na", grid.NA, "number of atoms (nanowire devices)")
+	fs.IntVar(&f.rows, "rows", grid.Rows, "atoms per column (fin height; nanowire devices)")
+	fs.IntVar(&f.bnum, "bnum", grid.Bnum, "RGF blocks (nanowire devices)")
+	fs.IntVar(&f.nkz, "nkz", grid.Nkz, "electron/phonon momentum points (nanowire devices)")
+	fs.IntVar(&f.ne, "ne", grid.NE, "energy grid points (nanowire devices)")
+	fs.IntVar(&f.nw, "nw", grid.Nw, "phonon frequencies (nanowire devices)")
+	fs.IntVar(&f.nb, "nb", grid.NB, "neighbors per atom (nanowire devices)")
+	fs.IntVar(&f.norb, "norb", grid.Norb, "orbitals per atom (nanowire devices)")
+	fs.Uint64Var(&f.seed, "seed", grid.Seed, "structure seed (nanowire devices)")
 	fs.StringVar(&f.variant, "variant", def.Variant, "SSE kernel: reference | omen | dace")
 	fs.IntVar(&f.iters, "iters", def.MaxIter, "max Born iterations")
 	fs.Float64Var(&f.tol, "tol", def.Tol, "convergence tolerance on G")
@@ -171,29 +173,42 @@ func registerConfigFlags(fs *flag.FlagSet) *configFlags {
 
 // applyConfigFlags copies every explicitly-set flag of fs over cfg — the
 // "flags override file values" half of the -config contract. fs must
-// already be parsed.
-func applyConfigFlags(fs *flag.FlagSet, f *configFlags, cfg *core.RunConfig) {
+// already be parsed. The per-field device flags describe the flat nanowire
+// grid, so they reject configs whose device is another zoo kind (edit the
+// config's "device" section for those).
+func applyConfigFlags(fs *flag.FlagSet, f *configFlags, cfg *core.RunConfig) error {
+	grid := cfg.Device.Grid()
+	devTouched := false
 	fs.Visit(func(fl *flag.Flag) {
 		switch fl.Name {
 		case "na":
-			cfg.Device.NA = f.na
+			grid.NA = f.na
+			devTouched = true
 		case "rows":
-			cfg.Device.Rows = f.rows
+			grid.Rows = f.rows
+			devTouched = true
 		case "bnum":
-			cfg.Device.Bnum = f.bnum
+			grid.Bnum = f.bnum
+			devTouched = true
 		case "nkz":
-			cfg.Device.Nkz = f.nkz
-			cfg.Device.Nqz = f.nkz
+			grid.Nkz = f.nkz
+			grid.Nqz = f.nkz
+			devTouched = true
 		case "ne":
-			cfg.Device.NE = f.ne
+			grid.NE = f.ne
+			devTouched = true
 		case "nw":
-			cfg.Device.Nw = f.nw
+			grid.Nw = f.nw
+			devTouched = true
 		case "nb":
-			cfg.Device.NB = f.nb
+			grid.NB = f.nb
+			devTouched = true
 		case "norb":
-			cfg.Device.Norb = f.norb
+			grid.Norb = f.norb
+			devTouched = true
 		case "seed":
-			cfg.Device.Seed = f.seed
+			grid.Seed = f.seed
+			devTouched = true
 		case "variant":
 			cfg.Variant = f.variant
 		case "iters":
@@ -217,6 +232,13 @@ func applyConfigFlags(fs *flag.FlagSet, f *configFlags, cfg *core.RunConfig) {
 			cfg.CommTimeoutMs = int(f.commTimeout / time.Millisecond)
 		}
 	})
+	if devTouched {
+		if k := cfg.Device.Kind(); k != "" && k != "nanowire" {
+			return fmt.Errorf("device flags (-na, -rows, ...) describe the nanowire grid; the config's device kind is %q — edit its \"device\" section instead", k)
+		}
+		cfg.Device = device.WrapParams(grid)
+	}
+	return nil
 }
 
 func main() {
@@ -225,6 +247,8 @@ func main() {
 
 	f := registerConfigFlags(flag.CommandLine)
 	configPath := flag.String("config", "", "run config JSON file (see examples/run.json); flags override file values")
+	campaignPath := flag.String("campaign", "", "campaign request JSON file (see examples/campaign.json): run an I–V or T(E) bias ladder offline and exit")
+	campaignOut := flag.String("campaign-out", "", "basename for -campaign artifacts; writes PREFIX.csv and PREFIX.json (default: CSV to stdout)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 	traceOut := flag.String("trace-out", "", "write one JSON line per Born iteration to this file")
 	injectFault := flag.String("inject-fault", "", "kill a rank mid-run: ITER:RANK[:OP] (0-based Born iteration, rank id, comm op; requires a distributed run)")
@@ -244,7 +268,9 @@ func main() {
 		}
 		cfg = *loaded
 	}
-	applyConfigFlags(flag.CommandLine, f, &cfg)
+	if err := applyConfigFlags(flag.CommandLine, f, &cfg); err != nil {
+		log.Fatal(err)
+	}
 
 	observing := *metricsAddr != "" || *traceOut != ""
 	if observing {
@@ -258,13 +284,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *campaignPath != "" {
+		if err := runCampaign(*campaignPath, *campaignOut, sched.Workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if n, aerr := strconv.Atoi(cfg.Dist); aerr == nil && n > 0 {
 		// A plain process count: let the schedule (or the model search)
 		// choose the TE×TA factorization before the config is validated.
-		tl, ok := sched.TileFor(cfg.Device, n)
+		tl, ok := sched.TileFor(cfg.Device.Grid(), n)
 		if !ok {
 			var serr error
-			if tl, serr = tune.SearchDecomposition(cfg.Device, n, 0); serr != nil {
+			if tl, serr = tune.SearchDecomposition(cfg.Device.Grid(), n, 0); serr != nil {
 				log.Fatal(serr)
 			}
 		}
@@ -330,15 +362,15 @@ func main() {
 		opts.OnIteration = traceWriter(f)
 	}
 
-	p := cfg.Device
+	p := cfg.Device.Grid()
 	sim, err := cfg.NewSimulatorWith(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	dev := sim.Dev
 
-	fmt.Printf("structure: NA=%d (%d×%d), Nkz=%d, NE=%d, Nω=%d, NB=%d, Norb=%d\n",
-		p.NA, p.Cols(), p.Rows, p.Nkz, p.NE, p.Nw, p.NB, p.Norb)
+	fmt.Printf("structure: kind=%s, NA=%d (%d×%d), Nkz=%d, NE=%d, Nω=%d, NB=%d, Norb=%d\n",
+		cfg.Device.Kind(), p.NA, p.Cols(), p.Rows, p.Nkz, p.NE, p.Nw, p.NB, p.Norb)
 	fmt.Printf("solver: %s kernel, ≤%d iterations, mixing %.2f, bias %.2f eV\n",
 		opts.Variant, opts.MaxIter, opts.Mixing, cfg.Bias)
 
@@ -410,7 +442,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := core.CheckpointOf(p, res).Save(f); err != nil {
+			if err := core.CheckpointOf(cfg.Device, res).Save(f); err != nil {
 				log.Fatal(err)
 			}
 			if err := f.Close(); err != nil {

@@ -44,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"negfsim/internal/campaign"
 	"negfsim/internal/obs"
 	"negfsim/internal/serve"
 	"negfsim/internal/tune"
@@ -98,11 +99,19 @@ func main() {
 		Retain:        *retain,
 	})
 
+	// Campaigns (bias-ladder sweeps) ride on the same scheduler: the
+	// campaign API mounts its /v1/campaigns routes next to the job API,
+	// each ladder point an ordinary warm-started job submission.
+	mgr := campaign.NewManager(campaign.ServeBackend{S: sched}, *maxConcurrent)
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("qtsimd: %v", err)
 	}
-	srv := &http.Server{Handler: serve.NewAPI(sched)}
+	mux := http.NewServeMux()
+	campaign.NewAPI(mgr).Register(mux)
+	mux.Handle("/", serve.NewAPI(sched))
+	srv := &http.Server{Handler: mux}
 
 	// Print the bound address (not the flag value) so -addr :0 scripts and
 	// the smoke test can discover the port.
@@ -125,6 +134,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("qtsimd: http shutdown: %v", err)
+	}
+	if err := mgr.Close(ctx); err != nil {
+		log.Printf("qtsimd: campaign shutdown: %v", err)
 	}
 	if err := sched.Close(ctx); err != nil {
 		log.Printf("qtsimd: scheduler shutdown: %v", err)

@@ -22,6 +22,8 @@ var doclintPackages = []string{
 	"internal/num",
 	"internal/tune",
 	"internal/front",
+	"internal/device",
+	"internal/campaign",
 }
 
 // exportedRecv reports whether a method receiver names an exported type

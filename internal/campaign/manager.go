@@ -1,0 +1,409 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"negfsim/internal/core"
+)
+
+// State is a campaign's lifecycle phase.
+type State string
+
+// The campaign lifecycle: Running until every point is terminal.
+const (
+	// StateRunning: points are executing (or waiting their turn).
+	StateRunning State = "running"
+	// StateSucceeded: every point converged to a result.
+	StateSucceeded State = "succeeded"
+	// StateFailed: at least one point failed; a warm-chained campaign
+	// stops at the first failure since later seeds would be missing.
+	StateFailed State = "failed"
+	// StateCancelled: stopped by a cancel request or manager shutdown.
+	StateCancelled State = "cancelled"
+)
+
+// PointState is one ladder point's lifecycle phase.
+type PointState string
+
+// The point lifecycle mirrors the campaign's, per rung.
+const (
+	PointPending   PointState = "pending"
+	PointRunning   PointState = "running"
+	PointDone      PointState = "done"
+	PointFailed    PointState = "failed"
+	PointCancelled PointState = "cancelled"
+)
+
+// Point is the public per-rung progress record.
+type Point struct {
+	// Bias is the rung's source-drain bias [eV].
+	Bias float64 `json:"bias"`
+	// State is the rung's lifecycle phase.
+	State PointState `json:"state"`
+	// JobID names the underlying tier's job, when one exists.
+	JobID string `json:"job_id,omitempty"`
+	// Iterations counts Born iterations observed so far (live updates
+	// while running, the final count once done).
+	Iterations int `json:"iterations"`
+	// Converged and WarmStarted describe the finished run.
+	Converged   bool `json:"converged"`
+	WarmStarted bool `json:"warm_started"`
+	// CurrentL/R are the terminal contact currents of a done point.
+	CurrentL float64 `json:"current_l"`
+	CurrentR float64 `json:"current_r"`
+	// Error carries the failure message (failed points only).
+	Error string `json:"error,omitempty"`
+}
+
+// Campaign is one accepted sweep. All fields behind mu; accessors return
+// snapshots.
+type Campaign struct {
+	id  string
+	req Request
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on point progress and state change
+
+	state    State
+	points   []Point
+	outcomes []*PointOutcome // parallel to points, nil until done
+	errmsg   string
+	created  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+}
+
+// ID returns the campaign's identifier.
+func (c *Campaign) ID() string { return c.id }
+
+// StatusDoc is the point-in-time public snapshot of a campaign — the
+// JSON body of the status endpoint.
+type StatusDoc struct {
+	// ID identifies the campaign; Kind and State classify it.
+	ID    string `json:"id"`
+	Kind  Kind   `json:"kind"`
+	State State  `json:"state"`
+	// WarmStart reports the chaining mode the campaign runs under.
+	WarmStart bool `json:"warm_start"`
+	// Points is the per-rung progress, in ladder order.
+	Points []Point `json:"points"`
+	// Created/Finished are lifecycle timestamps.
+	Created  time.Time  `json:"created"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Error carries the campaign-level failure message (terminal only).
+	Error string `json:"error,omitempty"`
+}
+
+// Status returns the campaign's current snapshot.
+func (c *Campaign) Status() StatusDoc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	doc := StatusDoc{
+		ID:        c.id,
+		Kind:      c.req.Kind,
+		State:     c.state,
+		WarmStart: c.req.Warm(),
+		Points:    append([]Point(nil), c.points...),
+		Created:   c.created,
+		Error:     c.errmsg,
+	}
+	if !c.finished.IsZero() {
+		t := c.finished
+		doc.Finished = &t
+	}
+	return doc
+}
+
+// Wait blocks until the campaign is terminal or ctx fires, returning the
+// final state.
+func (c *Campaign) Wait(ctx context.Context) (State, error) {
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.state == StateRunning {
+		if ctx.Err() != nil {
+			return c.state, ctx.Err()
+		}
+		c.cond.Wait()
+	}
+	return c.state, nil
+}
+
+// setPoint mutates one rung under the lock and wakes waiters.
+func (c *Campaign) setPoint(i int, f func(p *Point)) {
+	c.mu.Lock()
+	f(&c.points[i])
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// pointDone records a finished rung's outcome.
+func (c *Campaign) pointDone(i int, out *PointOutcome) {
+	c.mu.Lock()
+	c.outcomes[i] = out
+	p := &c.points[i]
+	p.State = PointDone
+	p.JobID = out.JobID
+	p.Iterations = out.Iterations
+	p.Converged = out.Converged
+	p.WarmStarted = out.WarmStarted
+	p.CurrentL = out.Obs.CurrentL
+	p.CurrentR = out.Obs.CurrentR
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// finish settles the campaign into the terminal state its points imply:
+// any failure wins, then any cancellation, else success.
+func (c *Campaign) finish() {
+	c.mu.Lock()
+	state := StateSucceeded
+	msg := ""
+	for i := range c.points {
+		switch c.points[i].State {
+		case PointFailed:
+			state = StateFailed
+			msg = fmt.Sprintf("point %d (bias %g): %s", i, c.points[i].Bias, c.points[i].Error)
+		case PointCancelled:
+			if state != StateFailed {
+				state = StateCancelled
+				msg = "cancelled"
+			}
+		}
+		if state == StateFailed {
+			break
+		}
+	}
+	c.state = state
+	c.errmsg = msg
+	c.finished = time.Now()
+	c.cancel = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Manager owns the campaign store and drives each accepted request to a
+// terminal state on the configured backend. Create one with NewManager;
+// it is safe for concurrent use.
+type Manager struct {
+	backend     Backend
+	maxParallel int
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	campaigns map[string]*Campaign
+	order     []string
+	nextID    int
+	closed    bool
+}
+
+// NewManager builds a manager over backend. maxParallel bounds the
+// concurrent points of a cold (non-warm-chained) campaign; ≤ 0 means 4.
+func NewManager(backend Backend, maxParallel int) *Manager {
+	if maxParallel <= 0 {
+		maxParallel = 4
+	}
+	m := &Manager{
+		backend:     backend,
+		maxParallel: maxParallel,
+		campaigns:   make(map[string]*Campaign),
+	}
+	m.baseCtx, m.stop = context.WithCancel(context.Background())
+	return m
+}
+
+// ErrClosed is returned by Start after Close has begun.
+var ErrClosed = fmt.Errorf("campaign: manager is shut down")
+
+// Start validates and launches a campaign. The returned campaign is
+// already running; poll Status or block on Wait.
+func (m *Manager) Start(req Request) (*Campaign, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	ladder := req.Ladder()
+	c := &Campaign{
+		req:      req,
+		state:    StateRunning,
+		points:   make([]Point, len(ladder)),
+		outcomes: make([]*PointOutcome, len(ladder)),
+		created:  time.Now(),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for i, b := range ladder {
+		c.points[i] = Point{Bias: b, State: PointPending}
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.nextID++
+	c.id = "c" + strconv.Itoa(m.nextID)
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	c.cancel = cancel
+	m.campaigns[c.id] = c
+	m.order = append(m.order, c.id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go func() {
+		defer m.wg.Done()
+		defer cancel()
+		if c.req.Warm() {
+			m.runWarm(ctx, c)
+		} else {
+			m.runCold(ctx, c)
+		}
+		c.finish()
+	}()
+	return c, nil
+}
+
+// Get returns the campaign with the given id.
+func (m *Manager) Get(id string) (*Campaign, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.campaigns[id]
+	return c, ok
+}
+
+// List returns the stored campaigns in submission order.
+func (m *Manager) List() []*Campaign {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Campaign, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.campaigns[id])
+	}
+	return out
+}
+
+// Cancel stops a running campaign: the active point's context is
+// cancelled and pending points never start. Cancelling a finished
+// campaign is a no-op.
+func (m *Manager) Cancel(id string) (*Campaign, error) {
+	c, ok := m.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("campaign: no such campaign %q", id)
+	}
+	c.mu.Lock()
+	cancel := c.cancel
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return c, nil
+}
+
+// Close shuts the manager down: no new campaigns, running ones are
+// cancelled, and Close blocks until they drain or ctx expires.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.stop()
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("campaign: shutdown timed out: %w", ctx.Err())
+	}
+}
+
+// runWarm executes the ladder sequentially, chaining each point from the
+// previous point's checkpoint. A failed point aborts the tail: its warm
+// seed would be missing, and a cold continuation would silently change
+// the campaign's convergence story.
+func (m *Manager) runWarm(ctx context.Context, c *Campaign) {
+	var warm *core.Checkpoint
+	for i := range c.points {
+		if ctx.Err() != nil {
+			m.cancelFrom(c, i)
+			return
+		}
+		if !m.runOne(ctx, c, i, warm) {
+			m.cancelFrom(c, i+1)
+			return
+		}
+		if out := c.outcomes[i]; out != nil && out.Checkpoint != nil {
+			warm = out.Checkpoint
+		}
+	}
+}
+
+// runCold fans the points out concurrently (bounded by maxParallel),
+// every one starting from zero self-energies.
+func (m *Manager) runCold(ctx context.Context, c *Campaign) {
+	sem := make(chan struct{}, m.maxParallel)
+	var wg sync.WaitGroup
+	for i := range c.points {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				c.setPoint(i, func(p *Point) { p.State = PointCancelled })
+				return
+			}
+			m.runOne(ctx, c, i, nil)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runOne drives ladder point i through the backend; false means the
+// campaign should not continue past it (failure or cancellation).
+func (m *Manager) runOne(ctx context.Context, c *Campaign, i int, warm *core.Checkpoint) bool {
+	c.setPoint(i, func(p *Point) { p.State = PointRunning })
+	cfg := c.req.pointConfig(c.points[i].Bias)
+	out, err := m.backend.RunPoint(ctx, cfg, warm, func(n int) {
+		c.setPoint(i, func(p *Point) { p.Iterations = n })
+	})
+	switch {
+	case err == nil:
+		c.pointDone(i, out)
+		return true
+	case ctx.Err() != nil:
+		c.setPoint(i, func(p *Point) { p.State = PointCancelled })
+		return false
+	default:
+		c.setPoint(i, func(p *Point) {
+			p.State = PointFailed
+			p.Error = err.Error()
+		})
+		return false
+	}
+}
+
+// cancelFrom marks every pending point from index i on as cancelled.
+func (m *Manager) cancelFrom(c *Campaign, i int) {
+	c.mu.Lock()
+	for ; i < len(c.points); i++ {
+		if c.points[i].State == PointPending {
+			c.points[i].State = PointCancelled
+		}
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}

@@ -20,15 +20,23 @@ type Checkpoint struct {
 	Params     device.Params
 	Iterations int
 
+	// Kind and DevFP pin the device-zoo identity of the structure the
+	// self-energies belong to. Checkpoints written before the device zoo
+	// decode with DevFP 0, which means "grid-equality only" — exactly the
+	// compatibility rule of that era, when the grid WAS the identity.
+	Kind  string
+	DevFP uint64
+
 	SigmaLess, SigmaGtr *tensor.GTensor
 	PiLess, PiGtr       *tensor.DTensor
 }
 
 // CheckpointOf captures the current self-energies of a result.
-func CheckpointOf(p device.Params, res *Result) *Checkpoint {
+func CheckpointOf(spec device.SpecConfig, res *Result) *Checkpoint {
 	return &Checkpoint{
-		Params: p, Iterations: res.Iterations,
-		SigmaLess: res.SigmaLess, SigmaGtr: res.SigmaGtr,
+		Params: spec.Grid(), Kind: spec.Kind(), DevFP: spec.Fingerprint(),
+		Iterations: res.Iterations,
+		SigmaLess:  res.SigmaLess, SigmaGtr: res.SigmaGtr,
 		PiLess: res.PiLess, PiGtr: res.PiGtr,
 	}
 }
@@ -50,10 +58,27 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return &c, nil
 }
 
-// Compatible reports whether the checkpoint can seed a simulator for p.
-func (c *Checkpoint) Compatible(p device.Params) error {
-	if c.Params != p {
-		return fmt.Errorf("core: checkpoint is for %+v, simulator has %+v", c.Params, p)
+// Compatible reports whether the checkpoint can seed a run of spec.
+func (c *Checkpoint) Compatible(spec device.SpecConfig) error {
+	if p := spec.Grid(); c.Params != p {
+		return fmt.Errorf("core: checkpoint grid is %+v, config has %+v", c.Params, p)
+	}
+	if c.DevFP != 0 && c.DevFP != spec.Fingerprint() {
+		return fmt.Errorf("core: checkpoint is for device kind %q (fp %016x), config has kind %q (fp %016x)",
+			c.Kind, c.DevFP, spec.Kind(), spec.Fingerprint())
+	}
+	return nil
+}
+
+// CompatibleDevice reports whether the checkpoint can seed a simulator
+// holding the already-built device d.
+func (c *Checkpoint) CompatibleDevice(d *device.Device) error {
+	if c.Params != d.P {
+		return fmt.Errorf("core: checkpoint grid is %+v, simulator has %+v", c.Params, d.P)
+	}
+	if c.DevFP != 0 && c.DevFP != d.Fingerprint() {
+		return fmt.Errorf("core: checkpoint is for device kind %q (fp %016x), simulator has kind %q (fp %016x)",
+			c.Kind, c.DevFP, d.Kind, d.Fingerprint())
 	}
 	return nil
 }
@@ -68,7 +93,7 @@ func (s *Simulator) RunFrom(ck *Checkpoint) (*Result, error) {
 // RunFromCtx is RunFrom bound to a context, with RunCtx's cancellation
 // semantics (checked at iteration boundaries and per GF grid point).
 func (s *Simulator) RunFromCtx(ctx context.Context, ck *Checkpoint) (*Result, error) {
-	if err := ck.Compatible(s.Dev.P); err != nil {
+	if err := ck.CompatibleDevice(s.Dev); err != nil {
 		return nil, err
 	}
 	return s.run(ctx, ck)

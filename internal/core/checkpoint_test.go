@@ -19,7 +19,7 @@ func TestCheckpointRoundTripAndResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := CheckpointOf(s1.Dev.P, first).Save(&buf); err != nil {
+	if err := CheckpointOf(device.WrapParams(s1.Dev.P), first).Save(&buf); err != nil {
 		t.Fatal(err)
 	}
 	ck, err := LoadCheckpoint(&buf)
@@ -65,10 +65,10 @@ func TestCheckpointCompatibility(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ck := CheckpointOf(s.Dev.P, res)
+	ck := CheckpointOf(device.WrapParams(s.Dev.P), res)
 	other := device.Mini()
 	other.NE = 8
-	if err := ck.Compatible(other); err == nil {
+	if err := ck.Compatible(device.WrapParams(other)); err == nil {
 		t.Fatal("mismatched parameters must be rejected")
 	}
 	dev, _ := device.New(other)

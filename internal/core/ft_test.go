@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"negfsim/internal/comm"
+	"negfsim/internal/device"
 	"negfsim/internal/obs"
 )
 
@@ -165,7 +166,7 @@ func TestRunDistributedFTWritesResumableCheckpoints(t *testing.T) {
 	if ck.Iterations != res.Iterations {
 		t.Fatalf("checkpoint at iteration %d, run finished %d", ck.Iterations, res.Iterations)
 	}
-	if err := ck.Compatible(sim.Dev.P); err != nil {
+	if err := ck.Compatible(device.WrapParams(sim.Dev.P)); err != nil {
 		t.Fatal(err)
 	}
 	if ck.SigmaLess.MaxAbsDiff(res.SigmaLess) != 0 {

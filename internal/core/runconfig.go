@@ -28,8 +28,10 @@ type RunConfig struct {
 	// omit it, but persisted configs always carry it explicitly.
 	Version int `json:"version"`
 
-	// Device is the structure to simulate (Table 1 parameters).
-	Device device.Params `json:"device"`
+	// Device is the structure to simulate: a tagged device-zoo spec
+	// ({"kind": "nanowire"|"cnt"|"chain"|"gnr", ...}). The legacy flat
+	// Params object (version 1, no "kind" key) is accepted as a nanowire.
+	Device device.SpecConfig `json:"device"`
 
 	// Variant selects the SSE kernel: "reference", "omen" or "dace".
 	Variant string `json:"variant"`
@@ -69,21 +71,32 @@ type RunConfig struct {
 	Gate *GateSpec `json:"gate,omitempty"`
 }
 
-// RunConfigVersion is the RunConfig schema version this build writes and
-// accepts.
-const RunConfigVersion = 1
+// RunConfigVersion is the RunConfig schema version this build writes:
+// version 2, whose "device" section is the tagged polymorphic spec.
+const RunConfigVersion = 2
+
+// RunConfigLegacyVersion is the oldest schema version this build still
+// accepts: version 1, whose "device" section was the flat nanowire Params
+// object (decoded as kind "nanowire").
+const RunConfigLegacyVersion = 1
+
+// VersionSupported reports whether this build accepts config version v
+// (0 means "current" and is normalized before this check).
+func VersionSupported(v int) bool {
+	return v == RunConfigVersion || v == RunConfigLegacyVersion
+}
 
 // DefaultRunConfig returns the laptop-scale baseline configuration — the
 // same run the zero-flag qtsim invocation has always performed.
 func DefaultRunConfig() RunConfig {
 	return RunConfig{
 		Version: RunConfigVersion,
-		Device: device.Params{
+		Device: device.WrapParams(device.Params{
 			Nkz: 3, Nqz: 3, NE: 16, Nw: 4,
 			NA: 24, NB: 4, Norb: 2, N3D: 3,
 			Rows: 4, Bnum: 3,
 			Emin: -1, Emax: 1, Seed: 7,
-		},
+		}),
 		Variant: "dace",
 		MaxIter: 6,
 		Tol:     1e-4,
@@ -106,9 +119,9 @@ func ParseRunConfig(data []byte) (*RunConfig, error) {
 	if c.Version == 0 {
 		c.Version = RunConfigVersion
 	}
-	if c.Version != RunConfigVersion {
-		return nil, fmt.Errorf("core: run config version %d not supported (this build speaks version %d)",
-			c.Version, RunConfigVersion)
+	if !VersionSupported(c.Version) {
+		return nil, fmt.Errorf("core: run config version %d not supported (this build speaks version %d and still accepts %d)",
+			c.Version, RunConfigVersion, RunConfigLegacyVersion)
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -174,8 +187,8 @@ func (c *RunConfig) Validate() error {
 		if c.Gate != nil {
 			return fmt.Errorf("core: run config: dist and gate are mutually exclusive (the Poisson loop runs serial)")
 		}
-		if procs := te * ta; c.Device.NE < procs {
-			return fmt.Errorf("core: run config: %d energies cannot feed %d ranks", c.Device.NE, procs)
+		if procs := te * ta; c.Device.Grid().NE < procs {
+			return fmt.Errorf("core: run config: dist: device.ne=%d energies cannot feed %d ranks", c.Device.Grid().NE, procs)
 		}
 	}
 	if c.Space < 0 {
@@ -185,9 +198,9 @@ func (c *RunConfig) Validate() error {
 		if c.Gate != nil {
 			return fmt.Errorf("core: run config: space and gate are mutually exclusive (the Poisson loop runs serial)")
 		}
-		if c.Device.Bnum < 2*c.Space-1 {
-			return fmt.Errorf("core: run config: %d device blocks cannot be partitioned across %d spatial ranks",
-				c.Device.Bnum, c.Space)
+		if bnum := c.Device.Grid().Bnum; bnum < 2*c.Space-1 {
+			return fmt.Errorf("core: run config: space: device.bnum=%d blocks cannot be partitioned across space=%d spatial ranks (need bnum ≥ %d)",
+				bnum, c.Space, 2*c.Space-1)
 		}
 	}
 	if c.Gate != nil {
@@ -214,6 +227,7 @@ func (c *RunConfig) Validate() error {
 // pointer (never mutated here) is shared.
 func (c RunConfig) Canonical() RunConfig {
 	c.Version = RunConfigVersion
+	c.Device = c.Device.Canonical()
 	c.Variant = strings.ToLower(c.Variant)
 	if c.Variant == "" {
 		c.Variant = "dace"
@@ -333,7 +347,7 @@ func (c *RunConfig) NewSimulator() (*Simulator, error) {
 // using caller-prepared options — for frontends that decorate the config's
 // Options (iteration hooks, per-job worker budgets) before construction.
 func (c *RunConfig) NewSimulatorWith(opts Options) (*Simulator, error) {
-	dev, err := device.New(c.Device)
+	dev, err := c.Device.Build()
 	if err != nil {
 		return nil, err
 	}

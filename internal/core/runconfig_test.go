@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"negfsim/internal/device"
 	"negfsim/internal/sse"
 )
 
@@ -92,7 +93,11 @@ func TestRunConfigValidate(t *testing.T) {
 		return c.Validate()
 	}
 	for name, mut := range map[string]func(*RunConfig){
-		"zero device":      func(c *RunConfig) { c.Device.NA = 0 },
+		"zero device": func(c *RunConfig) {
+			g := c.Device.Grid()
+			g.NA = 0
+			c.Device = device.WrapParams(g)
+		},
 		"bad variant":      func(c *RunConfig) { c.Variant = "cuda" },
 		"bad mixer":        func(c *RunConfig) { c.Mixer = "broyden" },
 		"zero iters":       func(c *RunConfig) { c.MaxIter = 0 },

@@ -183,7 +183,7 @@ func (s *Simulator) RunDistributedFTCtx(ctx context.Context, cfg DistConfig) (*R
 		}
 	}
 	if cfg.Resume != nil {
-		if err := cfg.Resume.Compatible(s.Dev.P); err != nil {
+		if err := cfg.Resume.CompatibleDevice(s.Dev); err != nil {
 			return nil, 0, err
 		}
 		sigL, sigG = cfg.Resume.SigmaLess.Clone(), cfg.Resume.SigmaGtr.Clone()

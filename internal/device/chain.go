@@ -1,0 +1,169 @@
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"negfsim/internal/cmat"
+)
+
+// Chain is a dimerized-chain (SSH-like) heterojunction: alternating
+// hoppings t1/t2 along the transport axis open a band gap 2|t1 − t2|
+// centered at 0, and a rigid potential step shifts the spectrum of every
+// column at or beyond the junction plane. Transmission through the
+// junction is possible only where the left band [|t1−t2|, t1+t2] (and its
+// negative mirror) overlaps the right band shifted by Step — the
+// band-alignment physics of a biased heterojunction. Rows independent
+// parallel chains share the same profile.
+type Chain struct {
+	Cols int `json:"cols"` // sites along transport (default 24)
+	Rows int `json:"rows"` // parallel chains (default 1)
+
+	T1 float64 `json:"t1"` // intra-cell hopping [eV] (default 1.0)
+	T2 float64 `json:"t2"` // inter-cell hopping [eV] (default 0.6)
+
+	Step     float64 `json:"step"`     // onsite potential for col ≥ Junction [eV]
+	Junction int     `json:"junction"` // junction column (default Cols/2)
+
+	Bnum int `json:"bnum"` // RGF blocks (default Cols)
+	NE   int `json:"ne"`   // energy points (default 64)
+	Nw   int `json:"nw"`   // phonon frequencies (default 8)
+	Nkz  int `json:"nkz"`  // momentum points (default 1)
+	NB   int `json:"nb"`   // SSE neighbors per atom (default 4)
+
+	Emin float64 `json:"emin"` // energy window low edge [eV] (default −2.5)
+	Emax float64 `json:"emax"` // energy window high edge [eV] (default +2.5)
+
+	Seed uint64 `json:"seed"` // structure seed for the phonon/SSE geometry
+}
+
+// Kind returns "chain".
+func (c Chain) Kind() string { return "chain" }
+
+// Canonical fills defaults.
+func (c Chain) Canonical() Spec {
+	if c.Cols == 0 {
+		c.Cols = 24
+	}
+	if c.Rows == 0 {
+		c.Rows = 1
+	}
+	if c.T1 == 0 {
+		c.T1 = 1.0
+	}
+	if c.T2 == 0 {
+		c.T2 = 0.6
+	}
+	if c.Junction == 0 {
+		c.Junction = c.Cols / 2
+	}
+	if c.Bnum == 0 {
+		c.Bnum = c.Cols
+	}
+	if c.NE == 0 {
+		c.NE = 64
+	}
+	if c.Nw == 0 {
+		c.Nw = 8
+	}
+	if c.Nkz == 0 {
+		c.Nkz = 1
+	}
+	if c.NB == 0 {
+		c.NB = 4
+	}
+	if c.Emin == 0 && c.Emax == 0 {
+		c.Emin, c.Emax = -2.5, 2.5
+	}
+	return c
+}
+
+func (c Chain) norm() Chain { return c.Canonical().(Chain) }
+
+// Validate checks the junction layout and grid. Errors name JSON field
+// paths.
+func (c Chain) Validate() error {
+	n := c.norm()
+	switch {
+	case n.Cols < 2:
+		return fmt.Errorf("device: device.cols: need ≥ 2 sites, got %d", n.Cols)
+	case n.T1 <= 0:
+		return fmt.Errorf("device: device.t1: must be positive, got %g", n.T1)
+	case n.T2 <= 0:
+		return fmt.Errorf("device: device.t2: must be positive, got %g", n.T2)
+	case n.Junction < 1 || n.Junction >= n.Cols:
+		return fmt.Errorf("device: device.junction: plane must sit inside (0, cols=%d), got %d", n.Cols, n.Junction)
+	case n.Cols%n.Bnum != 0:
+		return fmt.Errorf("device: device.bnum: %d columns not divisible into %d blocks", n.Cols, n.Bnum)
+	}
+	return n.grid().Validate()
+}
+
+func (c Chain) grid() Params {
+	return Params{
+		Nkz: c.Nkz, Nqz: c.Nkz, NE: c.NE, Nw: c.Nw,
+		NA: c.Rows * c.Cols, NB: c.NB, Norb: 1, N3D: 3,
+		Rows: c.Rows, Bnum: c.Bnum,
+		Emin: c.Emin, Emax: c.Emax, Seed: c.Seed,
+	}
+}
+
+// Grid returns the simulation grid.
+func (c Chain) Grid() Params { return c.norm().grid() }
+
+// Fingerprint mixes the kind tag with the canonical fields.
+func (c Chain) Fingerprint() uint64 {
+	n := c.norm()
+	return mix(kindTag("chain"),
+		uint64(n.Cols), uint64(n.Rows),
+		math.Float64bits(n.T1), math.Float64bits(n.T2),
+		math.Float64bits(n.Step), uint64(n.Junction),
+		uint64(n.Bnum), uint64(n.NE), uint64(n.Nw), uint64(n.Nkz), uint64(n.NB),
+		math.Float64bits(n.Emin), math.Float64bits(n.Emax), n.Seed)
+}
+
+// BandGap returns the dimerization gap 2|t1 − t2|.
+func (c Chain) BandGap() float64 {
+	n := c.norm()
+	return 2 * math.Abs(n.T1-n.T2)
+}
+
+// BandEdges returns the positive-band edges [|t1−t2|, t1+t2]; the full
+// spectrum is this interval and its negative mirror (plus Step on the
+// right side of the junction).
+func (c Chain) BandEdges() (lo, hi float64) {
+	n := c.norm()
+	return math.Abs(n.T1 - n.T2), n.T1 + n.T2
+}
+
+// Build generates the structure with the dimerized-junction Hamiltonian.
+func (c Chain) Build() (*Device, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.norm()
+	return NewWith(n.grid(), Model{
+		Kind:       "chain",
+		FP:         n.Fingerprint(),
+		Orthogonal: true,
+		Onsite: func(a int, theta float64) *cmat.Dense {
+			h := cmat.NewDense(1, 1)
+			if a/n.Rows >= n.Junction {
+				h.Set(0, 0, complex(n.Step, 0))
+			}
+			return h
+		},
+		Hop: func(a, b int) *cmat.Dense {
+			if a%n.Rows != b%n.Rows {
+				return nil // chains are independent
+			}
+			t := n.T1
+			if min(a/n.Rows, b/n.Rows)%2 == 1 {
+				t = n.T2
+			}
+			h := cmat.NewDense(1, 1)
+			h.Set(0, 0, complex(-t, 0))
+			return h
+		},
+	})
+}

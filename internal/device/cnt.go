@@ -1,0 +1,219 @@
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"negfsim/internal/cmat"
+)
+
+// Carbon-nanotube zone folding (see e.g. Saito/Dresselhaus): a (n,m) tube
+// is graphene rolled along the chiral vector C = n·a1 + m·a2. Periodic
+// boundary conditions around the circumference quantize the transverse
+// momentum into subbands; near the K point the r-th subband opens a
+// half-gap Δ_r = γ·a_cc·w_r/d with w_r the r-th smallest |3q − (n−m)|
+// over integer q. w_0 = 0 exactly when (n−m) mod 3 = 0 — the metallic
+// class — and otherwise E_g = 2γ·a_cc/d, the famous gap ∝ 1/diameter law.
+const (
+	// GrapheneLattice is the graphene lattice constant a [nm].
+	GrapheneLattice = 0.246
+	// CarbonBond is the carbon–carbon bond length a_cc [nm].
+	CarbonBond = 0.142
+)
+
+// CNT is a carbon nanotube described by its chiral indices. Each of the
+// lowest Subbands zone-folding subbands is realized as an independent
+// 1-D two-site-cell chain along the transport axis: staggered onsite
+// energies ±Δ_r (sign alternating by column) and uniform hopping t give
+// the dispersion E(k) = ±sqrt(Δ_r² + 4t²cos²(ka/2)) — band gap 2Δ_r,
+// exactly the folded subband gap. Subband r occupies row r of the slice.
+type CNT struct {
+	N int `json:"n"` // chiral index n
+	M int `json:"m"` // chiral index m (0 ≤ m ≤ n)
+
+	Cols     int `json:"cols"`     // unit cells along transport (default 24)
+	Subbands int `json:"subbands"` // folded subbands kept (default 2)
+
+	Gamma   float64 `json:"gamma"` // graphene nearest-neighbor γ0 [eV] (default 2.7)
+	HopLong float64 `json:"t"`     // longitudinal chain hopping [eV] (default 0.9)
+
+	Bnum int `json:"bnum"` // RGF blocks (default Cols: single-column blocks)
+	NE   int `json:"ne"`   // energy points (default 64)
+	Nw   int `json:"nw"`   // phonon frequencies (default 8)
+	Nkz  int `json:"nkz"`  // momentum points (default 1)
+	NB   int `json:"nb"`   // SSE neighbors per atom (default 4)
+
+	Emin float64 `json:"emin"` // energy window low edge [eV] (default −2.5)
+	Emax float64 `json:"emax"` // energy window high edge [eV] (default +2.5)
+
+	Seed uint64 `json:"seed"` // structure seed for the phonon/SSE geometry
+}
+
+// Kind returns "cnt".
+func (c CNT) Kind() string { return "cnt" }
+
+// Canonical fills defaults so equivalent spellings canonicalize to the
+// same spec.
+func (c CNT) Canonical() Spec {
+	if c.Cols == 0 {
+		c.Cols = 24
+	}
+	if c.Subbands == 0 {
+		c.Subbands = 2
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 2.7
+	}
+	if c.HopLong == 0 {
+		c.HopLong = 0.9
+	}
+	if c.Bnum == 0 {
+		c.Bnum = c.Cols
+	}
+	if c.NE == 0 {
+		c.NE = 64
+	}
+	if c.Nw == 0 {
+		c.Nw = 8
+	}
+	if c.Nkz == 0 {
+		c.Nkz = 1
+	}
+	if c.NB == 0 {
+		c.NB = 4
+	}
+	if c.Emin == 0 && c.Emax == 0 {
+		c.Emin, c.Emax = -2.5, 2.5
+	}
+	return c
+}
+
+func (c CNT) norm() CNT { return c.Canonical().(CNT) }
+
+// Validate checks the chirality and grid. Errors name JSON field paths.
+func (c CNT) Validate() error {
+	n := c.norm()
+	switch {
+	case n.N < 1:
+		return fmt.Errorf("device: device.n: chiral index must be ≥ 1, got %d", n.N)
+	case n.M < 0 || n.M > n.N:
+		return fmt.Errorf("device: device.m: chiral index must satisfy 0 ≤ m ≤ n=%d, got %d", n.N, n.M)
+	case n.Cols < 2:
+		return fmt.Errorf("device: device.cols: need ≥ 2 unit cells, got %d", n.Cols)
+	case n.Cols%n.Bnum != 0:
+		return fmt.Errorf("device: device.bnum: %d columns not divisible into %d blocks", n.Cols, n.Bnum)
+	case n.Gamma <= 0:
+		return fmt.Errorf("device: device.gamma: must be positive, got %g", n.Gamma)
+	case n.HopLong <= 0:
+		return fmt.Errorf("device: device.t: must be positive, got %g", n.HopLong)
+	}
+	return n.grid().Validate()
+}
+
+func (c CNT) grid() Params {
+	return Params{
+		Nkz: c.Nkz, Nqz: c.Nkz, NE: c.NE, Nw: c.Nw,
+		NA: c.Subbands * c.Cols, NB: c.NB, Norb: 1, N3D: 3,
+		Rows: c.Subbands, Bnum: c.Bnum,
+		Emin: c.Emin, Emax: c.Emax, Seed: c.Seed,
+	}
+}
+
+// Grid returns the simulation grid: Subbands rows × Cols columns of
+// single-orbital sites.
+func (c CNT) Grid() Params { return c.norm().grid() }
+
+// Fingerprint mixes the kind tag with the canonical fields.
+func (c CNT) Fingerprint() uint64 {
+	n := c.norm()
+	return mix(kindTag("cnt"),
+		uint64(n.N), uint64(n.M), uint64(n.Cols), uint64(n.Subbands),
+		math.Float64bits(n.Gamma), math.Float64bits(n.HopLong),
+		uint64(n.Bnum), uint64(n.NE), uint64(n.Nw), uint64(n.Nkz), uint64(n.NB),
+		math.Float64bits(n.Emin), math.Float64bits(n.Emax), n.Seed)
+}
+
+// Diameter returns the tube diameter d = a·sqrt(n² + nm + m²)/π in nm.
+func (c CNT) Diameter() float64 {
+	n, m := float64(c.N), float64(c.M)
+	return GrapheneLattice * math.Sqrt(n*n+n*m+m*m) / math.Pi
+}
+
+// Metallic reports the zone-folding classification: (n−m) mod 3 == 0.
+func (c CNT) Metallic() bool {
+	d := c.N - c.M
+	return ((d%3)+3)%3 == 0
+}
+
+// SubbandHalfGaps returns Δ_r = γ·a_cc·w_r/d for the lowest Subbands
+// folded subbands, ascending (Δ_0 = 0 for metallic tubes).
+func (c CNT) SubbandHalfGaps() []float64 {
+	n := c.norm()
+	d := n.Diameter()
+	out := make([]float64, n.Subbands)
+	for r, w := range subbandWeights(n.N, n.M, n.Subbands) {
+		out[r] = n.Gamma * CarbonBond * float64(w) / d
+	}
+	return out
+}
+
+// GapEnergy returns the fundamental band gap 2·Δ_0: zero for metallic
+// tubes, 2γ·a_cc/d for semiconducting ones.
+func (c CNT) GapEnergy() float64 { return 2 * c.SubbandHalfGaps()[0] }
+
+// subbandWeights returns the `count` smallest values of |3q − (n−m)| over
+// integer q, ascending — the transverse quantization distances from the
+// K point in units of the subband spacing.
+func subbandWeights(n, m, count int) []int {
+	d := n - m
+	// Center the scan window on the minimizing q ≈ d/3: for large n−m the
+	// closest allowed line sits far from q = 0.
+	q0 := d / 3
+	var ws []int
+	for q := q0 - count - 2; q <= q0+count+2; q++ {
+		ws = append(ws, abs(3*q-d))
+	}
+	// Insertion-sort the short list (count+5 entries).
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j] < ws[j-1]; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+	return ws[:count]
+}
+
+// Build generates the structure: shared synthetic geometry (phonons, SSE
+// neighbor maps) with the zone-folded chain Hamiltonian installed.
+func (c CNT) Build() (*Device, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.norm()
+	deltas := n.SubbandHalfGaps()
+	t := complex(-n.HopLong, 0)
+	return NewWith(n.grid(), Model{
+		Kind:       "cnt",
+		FP:         n.Fingerprint(),
+		Orthogonal: true,
+		Onsite: func(a int, theta float64) *cmat.Dense {
+			row, col := a%n.Subbands, a/n.Subbands
+			sign := 1.0
+			if col%2 == 1 {
+				sign = -1
+			}
+			h := cmat.NewDense(1, 1)
+			h.Set(0, 0, complex(sign*deltas[row], 0))
+			return h
+		},
+		Hop: func(a, b int) *cmat.Dense {
+			// Subband chains are independent: only same-row,
+			// adjacent-column pairs couple.
+			if a%n.Subbands != b%n.Subbands {
+				return nil
+			}
+			h := cmat.NewDense(1, 1)
+			h.Set(0, 0, t)
+			return h
+		},
+	})
+}

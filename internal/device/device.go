@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"negfsim/internal/cmat"
 )
 
 // LatticeConst is the atom spacing of the synthetic 2-D slice in nm,
@@ -16,6 +18,15 @@ const LatticeConst = 0.2715
 // synthetic operators.
 type Device struct {
 	P Params
+
+	// Kind names the device-zoo spec that built this structure ("" and
+	// "nanowire" both mean the original synthetic FinFET family).
+	Kind string
+
+	// FP, when nonzero, overrides P.Fingerprint() as the content identity
+	// of the structure. Zoo kinds set it so that two kinds sharing a grid
+	// never collide in the front tier's content-addressed cache.
+	FP uint64
 
 	// Pos[a] is the (x, y) position of atom a in nm. Atoms are ordered
 	// column-major along the transport direction x: atom a sits at column
@@ -30,6 +41,25 @@ type Device struct {
 	// The z component is nonzero for the synthetic out-of-plane partner
 	// bonds so all three vibration directions couple.
 	BondDir [][][3]float64
+
+	// onsite0/hop0 are optional electron-model overrides installed by zoo
+	// kinds (CNT, chain, GNR). A nil hop0 result drops that bond from H.
+	onsite0 func(a int, theta float64) *cmat.Dense
+	hop0    func(a, b int) *cmat.Dense
+	// orthogonal marks kinds whose basis is orthonormal: Overlap(kz) = I.
+	orthogonal bool
+}
+
+// Model carries the electron-structure overrides a device-zoo spec installs
+// on top of the shared geometry (positions, SSE neighbor map, phonon
+// springs). Onsite and Hop replace the synthetic random-matrix entries with
+// the kind's tight-binding blocks; Hop may return nil to drop a bond.
+type Model struct {
+	Kind       string
+	FP         uint64
+	Onsite     func(a int, theta float64) *cmat.Dense
+	Hop        func(a, b int) *cmat.Dense
+	Orthogonal bool
 }
 
 // New generates the structure for the given parameters.
@@ -48,6 +78,32 @@ func New(p Params) (*Device, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// NewWith generates the structure for p and installs a zoo kind's electron
+// model on it. Geometry, neighbor maps and the phonon spring model are the
+// shared synthetic ones, so SSE scattering works identically for every kind;
+// only H(kz) (and optionally S(kz)) differ.
+func NewWith(p Params, m Model) (*Device, error) {
+	d, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	d.Kind = m.Kind
+	d.FP = m.FP
+	d.onsite0 = m.Onsite
+	d.hop0 = m.Hop
+	d.orthogonal = m.Orthogonal
+	return d, nil
+}
+
+// Fingerprint returns the content identity of the generated structure: the
+// spec-level fingerprint for zoo kinds, P.Fingerprint() otherwise.
+func (d *Device) Fingerprint() uint64 {
+	if d.FP != 0 {
+		return d.FP
+	}
+	return d.P.Fingerprint()
 }
 
 // Col returns the transport-direction column of atom a.

@@ -67,6 +67,23 @@ func (d *Device) hop(a, b int) *cmat.Dense {
 	return h
 }
 
+// onsiteAt returns the onsite block honoring a zoo kind's override.
+func (d *Device) onsiteAt(a int, theta float64) *cmat.Dense {
+	if d.onsite0 != nil {
+		return d.onsite0(a, theta)
+	}
+	return d.onsite(a, theta)
+}
+
+// hopAt returns the hopping block honoring a zoo kind's override; a nil
+// result means the kind has no bond on that pair (dropped from H).
+func (d *Device) hopAt(a, b int) *cmat.Dense {
+	if d.hop0 != nil {
+		return d.hop0(a, b)
+	}
+	return d.hop(a, b)
+}
+
 // hopPairs enumerates the in-plane Hamiltonian bonds: ordered pairs (a, b)
 // with a < b, |Δcol| ≤ 1 and |Δrow| ≤ 1. This nearest-neighbor hopping
 // range is what keeps H block-tridiagonal for any block of ≥1 column.
@@ -115,6 +132,9 @@ func (d *Device) assembleElectron(diagBlock func(a int) *cmat.Dense, bond func(a
 	}
 	d.hopPairs(func(a, b int) {
 		m := bond(a, b)
+		if m == nil {
+			return // kind has no bond on this pair
+		}
 		place(a, b, m)
 		place(b, a, m.ConjTranspose())
 	})
@@ -126,14 +146,20 @@ func (d *Device) assembleElectron(diagBlock func(a int) *cmat.Dense, bond func(a
 func (d *Device) Hamiltonian(kz int) *cmat.BlockTri {
 	theta := d.KzPhase(kz)
 	return d.assembleElectron(
-		func(a int) *cmat.Dense { return d.onsite(a, theta) },
-		func(a, b int) *cmat.Dense { return d.hop(a, b) })
+		func(a int) *cmat.Dense { return d.onsiteAt(a, theta) },
+		func(a, b int) *cmat.Dense { return d.hopAt(a, b) })
 }
 
 // Overlap returns S(kz): identity plus a small Hermitian non-orthogonality
-// on the same bond pattern as H (Gaussian-type orbitals overlap).
+// on the same bond pattern as H (Gaussian-type orbitals overlap). Zoo kinds
+// with orthonormal tight-binding bases get the exact identity.
 func (d *Device) Overlap(kz int) *cmat.BlockTri {
 	no := d.P.Norb
+	if d.orthogonal {
+		return d.assembleElectron(
+			func(a int) *cmat.Dense { return cmat.Identity(no) },
+			func(a, b int) *cmat.Dense { return nil })
+	}
 	return d.assembleElectron(
 		func(a int) *cmat.Dense { return cmat.Identity(no) },
 		func(a, b int) *cmat.Dense {

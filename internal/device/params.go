@@ -12,7 +12,6 @@
 package device
 
 import (
-	"errors"
 	"fmt"
 )
 
@@ -39,23 +38,35 @@ type Params struct {
 	Seed uint64 `json:"seed"`
 }
 
-// Validate checks internal consistency of the parameters.
+// Validate checks internal consistency of the parameters. Error messages
+// name the offending JSON field path (device.<field>) so the 400 bodies the
+// qtsimd/qtfront services return point a client at the exact key to fix
+// instead of dumping the whole struct.
 func (p Params) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"device.nkz", p.Nkz}, {"device.nqz", p.Nqz}, {"device.ne", p.NE},
+		{"device.nw", p.Nw}, {"device.na", p.NA}, {"device.nb", p.NB},
+		{"device.norb", p.Norb}, {"device.n3d", p.N3D},
+		{"device.rows", p.Rows}, {"device.bnum", p.Bnum},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("device: %s: must be positive, got %d", f.name, f.v)
+		}
+	}
 	switch {
-	case p.NA <= 0 || p.NE <= 0 || p.Nkz <= 0 || p.Nqz <= 0 || p.Nw <= 0:
-		return fmt.Errorf("device: non-positive grid parameter: %+v", p)
-	case p.Norb <= 0 || p.N3D <= 0 || p.NB <= 0:
-		return fmt.Errorf("device: non-positive per-atom parameter: %+v", p)
-	case p.Rows <= 0 || p.NA%p.Rows != 0:
-		return fmt.Errorf("device: NA=%d not divisible into Rows=%d columns", p.NA, p.Rows)
-	case p.Bnum <= 0 || (p.NA/p.Rows)%p.Bnum != 0:
-		return fmt.Errorf("device: %d columns not divisible into Bnum=%d blocks", p.NA/p.Rows, p.Bnum)
+	case p.NA%p.Rows != 0:
+		return fmt.Errorf("device: device.na: %d atoms not divisible into device.rows=%d columns", p.NA, p.Rows)
+	case (p.NA/p.Rows)%p.Bnum != 0:
+		return fmt.Errorf("device: device.bnum: %d columns not divisible into %d blocks", p.NA/p.Rows, p.Bnum)
 	case p.NB >= p.NA:
-		return errors.New("device: NB must be smaller than NA")
+		return fmt.Errorf("device: device.nb: %d must be smaller than device.na=%d", p.NB, p.NA)
 	case p.Emax <= p.Emin:
-		return errors.New("device: empty energy window")
+		return fmt.Errorf("device: device.emax: energy window [%g, %g] is empty", p.Emin, p.Emax)
 	case p.Nw >= p.NE:
-		return errors.New("device: need Nw < NE (phonon energies live on the electron grid)")
+		return fmt.Errorf("device: device.nw: %d must be below device.ne=%d (phonon energies live on the electron grid)", p.Nw, p.NE)
 	}
 	return nil
 }

@@ -1,0 +1,154 @@
+package device
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The spec layer's contract: tagged JSON round-trips losslessly, the
+// legacy flat form still decodes (as a nanowire), strictness rejects
+// typos and unknown kinds, and canonicalization makes equivalent
+// spellings fingerprint identically.
+
+func TestSpecConfigRoundTrip(t *testing.T) {
+	specs := []Spec{
+		Nanowire{Mini()},
+		CNT{N: 7, M: 0, Cols: 12, NE: 16},
+		Chain{Cols: 12, T1: 1, T2: 0.6, Step: 0.3, Junction: 6},
+		GNR{Width: 2, Layers: 2, Cols: 8},
+	}
+	for _, s := range specs {
+		sc := WrapSpec(s)
+		raw, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", s.Kind(), err)
+		}
+		if !strings.Contains(string(raw), `"kind":"`+s.Kind()+`"`) {
+			t.Fatalf("%s: encoded spec lacks kind tag: %s", s.Kind(), raw)
+		}
+		var back SpecConfig
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", s.Kind(), err)
+		}
+		if back.Kind() != s.Kind() {
+			t.Fatalf("%s: round-trip changed kind to %s", s.Kind(), back.Kind())
+		}
+		if back.Fingerprint() != sc.Fingerprint() {
+			t.Fatalf("%s: round-trip changed fingerprint %016x → %016x",
+				s.Kind(), sc.Fingerprint(), back.Fingerprint())
+		}
+		if back != sc {
+			t.Fatalf("%s: round-trip changed value: %+v vs %+v", s.Kind(), back, sc)
+		}
+	}
+}
+
+func TestSpecConfigGolden(t *testing.T) {
+	// The wire shape is pinned: kind first, then the spec's own fields in
+	// declaration order. A change here is a schema change and must bump
+	// the config version.
+	sc := WrapSpec(Chain{Cols: 4, T1: 1, T2: 0.5, Junction: 2, Bnum: 4, NE: 8, Nw: 4, Nkz: 1, NB: 4, Emin: -2, Emax: 2})
+	raw, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"kind":"chain","cols":4,"rows":0,"t1":1,"t2":0.5,"step":0,"junction":2,"bnum":4,"ne":8,"nw":4,"nkz":1,"nb":4,"emin":-2,"emax":2,"seed":0}`
+	if string(raw) != want {
+		t.Fatalf("golden mismatch:\n got %s\nwant %s", raw, want)
+	}
+}
+
+func TestSpecConfigLegacyFlatIsNanowire(t *testing.T) {
+	// A version-1 "device" object has no kind key; it must decode as the
+	// nanowire it always was, with an unchanged fingerprint.
+	legacy := `{"nkz":3,"nqz":3,"ne":16,"nw":4,"na":24,"nb":4,"norb":2,"n3d":3,"rows":4,"bnum":3,"emin":-1,"emax":1,"seed":7}`
+	var sc SpecConfig
+	if err := json.Unmarshal([]byte(legacy), &sc); err != nil {
+		t.Fatalf("legacy flat device rejected: %v", err)
+	}
+	if sc.Kind() != "nanowire" {
+		t.Fatalf("legacy flat device decoded as %q, want nanowire", sc.Kind())
+	}
+	if sc.Fingerprint() != Mini().Fingerprint() {
+		t.Fatal("legacy decode changed the nanowire fingerprint — cache keys would shift")
+	}
+}
+
+func TestSpecConfigRejects(t *testing.T) {
+	cases := []struct {
+		name, in, frag string
+	}{
+		{"unknown kind", `{"kind":"quantum-dot"}`, "unknown kind"},
+		{"unknown field tagged", `{"kind":"cnt","n":7,"m":0,"colz":12}`, "colz"},
+		{"unknown field legacy", `{"na":24,"rowz":4}`, "rowz"},
+	}
+	for _, c := range cases {
+		var sc SpecConfig
+		err := json.Unmarshal([]byte(c.in), &sc)
+		if err == nil {
+			t.Fatalf("%s: accepted %s", c.name, c.in)
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestSpecCanonicalFingerprintStable(t *testing.T) {
+	// An all-defaults spelling and the fully explicit spelling of the
+	// same device must share a fingerprint (and therefore cache keys).
+	pairs := []struct {
+		name        string
+		terse, full Spec
+	}{
+		{"cnt", CNT{N: 7, M: 0},
+			CNT{N: 7, M: 0, Cols: 24, Subbands: 2, Gamma: 2.7, HopLong: 0.9, Bnum: 24, NE: 64, Nw: 8, Nkz: 1, NB: 4, Emin: -2.5, Emax: 2.5}},
+		{"chain", Chain{},
+			Chain{Cols: 24, Rows: 1, T1: 1, T2: 0.6, Junction: 12, Bnum: 24, NE: 64, Nw: 8, Nkz: 1, NB: 4, Emin: -2.5, Emax: 2.5}},
+		{"gnr", GNR{},
+			GNR{Width: 3, Layers: 1, Cols: 24, THop: 0.8, T1: 1, T2: 0.7, Interlayer: 0.2, Bnum: 24, NE: 64, Nw: 8, Nkz: 1, NB: 4, Emin: -3, Emax: 3}},
+	}
+	for _, p := range pairs {
+		if got, want := p.terse.Fingerprint(), p.full.Fingerprint(); got != want {
+			t.Fatalf("%s: terse fingerprint %016x != explicit %016x", p.name, got, want)
+		}
+	}
+}
+
+func TestSpecKindsFingerprintsDiffer(t *testing.T) {
+	// Specs of different kinds must never collide even when their grids
+	// coincide — the kind tag is mixed into every fingerprint.
+	cnt := CNT{N: 7, M: 0, Cols: 24, Subbands: 1}
+	chain := Chain{Cols: 24, Rows: 1}
+	if cnt.Grid().NA != chain.Grid().NA || cnt.Grid().Rows != chain.Grid().Rows {
+		t.Fatal("test premise broken: grids should coincide")
+	}
+	if cnt.Fingerprint() == chain.Fingerprint() {
+		t.Fatal("cnt and chain with identical grids share a fingerprint")
+	}
+}
+
+func TestSpecValidateFieldPaths(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		frag string
+	}{
+		{CNT{N: 0}, "device.n"},
+		{CNT{N: 5, M: 6}, "device.m"},
+		{CNT{N: 5, M: 0, Cols: 10, Bnum: 3}, "device.bnum"},
+		{Chain{T1: -1}, "device.t1"},
+		{Chain{Junction: 99}, "device.junction"},
+		{GNR{Width: -1}, "device.width"},
+		{GNR{Interlayer: -0.5}, "device.interlayer"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Fatalf("%+v: validated", c.spec)
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Fatalf("%+v: error %q does not name %s", c.spec, err, c.frag)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package device_test
+
+import (
+	"testing"
+
+	"negfsim/internal/device"
+	"negfsim/internal/rgf"
+)
+
+// Per-kind device-zoo benchmarks: structure assembly (geometry + operator
+// blocks) and one ballistic solve through the assembled Hamiltonian — the
+// per-point costs a campaign ladder multiplies.
+
+// benchSpecs returns one representative spec per zoo kind at canonical
+// default sizes.
+func benchSpecs() []device.Spec {
+	return []device.Spec{
+		device.Nanowire{Params: device.Mini()},
+		device.CNT{N: 7, M: 0},
+		device.Chain{Step: 0.3},
+		device.GNR{Layers: 2},
+	}
+}
+
+func BenchmarkZooAssemble(b *testing.B) {
+	for _, s := range benchSpecs() {
+		s := s.Canonical()
+		b.Run(s.Kind(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := s.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = d.Hamiltonian(0)
+			}
+		})
+	}
+}
+
+func BenchmarkZooBallisticSolve(b *testing.B) {
+	for _, s := range benchSpecs() {
+		s := s.Canonical()
+		d, err := s.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, ov := d.Hamiltonian(0), d.Overlap(0)
+		b.Run(s.Kind(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := rgf.SolveElectronBallistic(h, ov, 0.9, rgf.Contacts{MuL: 0.1, MuR: -0.1, KT: 0.025}, 1e-6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,212 @@
+package device_test
+
+import (
+	"math"
+	"testing"
+
+	"negfsim/internal/device"
+	"negfsim/internal/rgf"
+)
+
+// Zone-folding physics of the device zoo, checked against the solver the
+// zoo feeds: metallicity classes, the gap ∝ 1/d law, heterojunction band
+// alignment, and the block-tridiagonal invariants every kind must hold.
+
+func TestCNTMetallicityClasses(t *testing.T) {
+	cases := []struct {
+		n, m     int
+		metallic bool
+	}{
+		{5, 5, true},   // armchair: always metallic
+		{9, 0, true},   // zigzag with n ≡ 0 (mod 3)
+		{6, 3, true},   // chiral, n−m = 3
+		{10, 0, false}, // zigzag, n−m = 10 → 1 (mod 3)
+		{7, 5, false},  // chiral, n−m = 2
+		{8, 4, false},  // chiral, n−m = 4 → 1 (mod 3)
+	}
+	for _, c := range cases {
+		cnt := device.CNT{N: c.n, M: c.m}
+		if got := cnt.Metallic(); got != c.metallic {
+			t.Errorf("(%d,%d): Metallic() = %v, want %v", c.n, c.m, got, c.metallic)
+		}
+		gap := cnt.GapEnergy()
+		if c.metallic && gap != 0 {
+			t.Errorf("(%d,%d): metallic tube has gap %g", c.n, c.m, gap)
+		}
+		if !c.metallic && gap <= 0 {
+			t.Errorf("(%d,%d): semiconducting tube has gap %g", c.n, c.m, gap)
+		}
+	}
+}
+
+func TestCNTGapInverseDiameterLaw(t *testing.T) {
+	// For semiconducting tubes E_g = 2γ·a_cc/d exactly under zone folding:
+	// the product gap·diameter is a chirality-independent constant, and
+	// the gap decreases monotonically with diameter.
+	want := 2 * 2.7 * device.CarbonBond
+	series := []device.CNT{{N: 7, M: 0}, {N: 10, M: 0}, {N: 11, M: 3}, {N: 13, M: 0}, {N: 16, M: 0}}
+	prevD, prevGap := 0.0, math.Inf(1)
+	for _, c := range series {
+		d, gap := c.Diameter(), c.GapEnergy()
+		if d <= prevD {
+			t.Fatalf("series not ordered by diameter at (%d,%d)", c.N, c.M)
+		}
+		if gap >= prevGap {
+			t.Errorf("(%d,%d): gap %g did not decrease with diameter", c.N, c.M, gap)
+		}
+		if got := gap * d; math.Abs(got-want) > 1e-12 {
+			t.Errorf("(%d,%d): gap·d = %g, want %g", c.N, c.M, got, want)
+		}
+		prevD, prevGap = d, gap
+	}
+}
+
+// ballisticT solves one energy point of the built device's kz=0 slab.
+func ballisticT(t *testing.T, d *device.Device, e float64) float64 {
+	t.Helper()
+	h, s := d.Hamiltonian(0), d.Overlap(0)
+	_, trans, err := rgf.SolveElectronBallistic(h, s, e, rgf.Contacts{MuL: 0.1, MuR: -0.1, KT: 0.025}, 1e-6)
+	if err != nil {
+		t.Fatalf("E=%g: %v", e, err)
+	}
+	return trans
+}
+
+func TestCNTTransportGap(t *testing.T) {
+	// A metallic tube conducts at E = 0; a semiconducting one is dead
+	// inside its zone-folding gap and alive mid-band. Cols is odd so both
+	// edge columns carry the +Δ staggering sign: the contact model repeats
+	// the edge column as the lead cell, and matched leads keep the whole
+	// device band inside the lead band.
+	metal := device.CNT{N: 6, M: 6, Cols: 15, NE: 8, Nw: 4}
+	md, err := metal.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trans := ballisticT(t, md, 0); trans < 0.5 {
+		t.Fatalf("metallic (6,6): T(0) = %g, want ≥ 0.5", trans)
+	}
+
+	semi := device.CNT{N: 7, M: 0, Cols: 15, NE: 8, Nw: 4}
+	delta := semi.SubbandHalfGaps()[0]
+	sd, err := semi.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trans := ballisticT(t, sd, 0); trans > 1e-3 {
+		t.Fatalf("semiconducting (7,0): T(0) = %g inside the gap (Δ = %g)", trans, delta)
+	}
+	mid := (delta + math.Sqrt(delta*delta+4*0.9*0.9)) / 2 // middle of the first band
+	if trans := ballisticT(t, sd, mid); trans < 0.5 {
+		t.Fatalf("semiconducting (7,0): T(%g) = %g mid-band, want ≥ 0.5", mid, trans)
+	}
+}
+
+func TestChainJunctionStepAlignment(t *testing.T) {
+	// The dimerized chain's positive band is [|t1−t2|, t1+t2] = [0.4, 1.6].
+	// A potential step V = 0.8 on the right half shifts the right band to
+	// [1.2, 2.4]: energies in the left band but below the shifted right
+	// edge are blocked, energies in the overlap [1.2, 1.6] transmit. The
+	// flat chain shows Fabry–Pérot mismatch ripple against its uniform
+	// leads, so "open" means order 1, not exactly 1.
+	flat := device.Chain{Cols: 24, T1: 1, T2: 0.6, NE: 8, Nw: 4}
+	fd, err := flat.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped := device.Chain{Cols: 24, T1: 1, T2: 0.6, Step: 0.8, NE: 8, Nw: 4}
+	sd, err := stepped.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocked, open = 0.6, 1.4 // below the shifted edge vs inside the overlap
+	if trans := ballisticT(t, fd, blocked); trans < 0.9 {
+		t.Fatalf("flat chain: T(%g) = %g, want ≥ 0.9", blocked, trans)
+	}
+	if trans := ballisticT(t, sd, blocked); trans > 0.05 {
+		t.Fatalf("stepped chain: T(%g) = %g below the shifted band edge, want ≈ 0", blocked, trans)
+	}
+	if trans := ballisticT(t, sd, open); trans < 0.5 {
+		t.Fatalf("stepped chain: T(%g) = %g in the band overlap, want order 1", open, trans)
+	}
+}
+
+func TestZooBlockTridiagonalInvariants(t *testing.T) {
+	// Every kind must emit the same structure device.New produces: the
+	// declared grid, a kind-tagged fingerprint, a Hermitian Hamiltonian in
+	// Bnum blocks of ElectronBlockSize, and (for orthogonal models) an
+	// identity overlap.
+	specs := []device.Spec{
+		device.Nanowire{Params: device.Mini()},
+		device.CNT{N: 6, M: 3, Cols: 8, NE: 8, Nw: 4},
+		device.Chain{Cols: 8, Step: 0.2, NE: 8, Nw: 4},
+		device.GNR{Width: 2, Layers: 2, Cols: 6, NE: 8, Nw: 4},
+	}
+	for _, s := range specs {
+		s = s.Canonical()
+		d, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", s.Kind(), err)
+		}
+		if d.Kind != s.Kind() {
+			t.Fatalf("%s: device kind %q", s.Kind(), d.Kind)
+		}
+		if d.Fingerprint() != s.Fingerprint() {
+			t.Fatalf("%s: device fingerprint differs from spec", s.Kind())
+		}
+		grid := s.Grid()
+		if d.P != grid {
+			t.Fatalf("%s: device grid %+v != spec grid %+v", s.Kind(), d.P, grid)
+		}
+		h := d.Hamiltonian(0)
+		if h.N != grid.Bnum || h.Bs != grid.ElectronBlockSize() {
+			t.Fatalf("%s: Hamiltonian is %d blocks of %d, want %d of %d",
+				s.Kind(), h.N, h.Bs, grid.Bnum, grid.ElectronBlockSize())
+		}
+		// Hermiticity: diagonal blocks self-adjoint, off-diagonals mutual
+		// adjoints.
+		for i, blk := range h.Diag {
+			for r := 0; r < h.Bs; r++ {
+				for c := 0; c < h.Bs; c++ {
+					if math.Abs(real(blk.At(r, c)-blk.At(c, r))) > 1e-12 ||
+						math.Abs(imag(blk.At(r, c)+blk.At(c, r))) > 1e-12 {
+						t.Fatalf("%s: diag block %d not Hermitian at (%d,%d)", s.Kind(), i, r, c)
+					}
+				}
+			}
+		}
+		for i := range h.Upper {
+			for r := 0; r < h.Bs; r++ {
+				for c := 0; c < h.Bs; c++ {
+					up, lo := h.Upper[i].At(r, c), h.Lower[i].At(c, r)
+					if math.Abs(real(up-lo)) > 1e-12 || math.Abs(imag(up+lo)) > 1e-12 {
+						t.Fatalf("%s: off-diag pair %d not mutually adjoint at (%d,%d)", s.Kind(), i, r, c)
+					}
+				}
+			}
+		}
+		if s.Kind() != "nanowire" {
+			sOv := d.Overlap(0)
+			for i, blk := range sOv.Diag {
+				for r := 0; r < sOv.Bs; r++ {
+					for c := 0; c < sOv.Bs; c++ {
+						want := complex(0, 0)
+						if r == c {
+							want = 1
+						}
+						if blk.At(r, c) != want {
+							t.Fatalf("%s: overlap diag block %d not identity", s.Kind(), i)
+						}
+					}
+				}
+			}
+			for i := range sOv.Upper {
+				for _, v := range sOv.Upper[i].Data {
+					if v != 0 {
+						t.Fatalf("%s: orthogonal overlap has off-diagonal coupling in block %d", s.Kind(), i)
+					}
+				}
+			}
+		}
+	}
+}

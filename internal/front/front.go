@@ -428,6 +428,44 @@ func (f *Front) status(j *job) *Status {
 // Workers returns the registry snapshot.
 func (f *Front) Workers() []WorkerStatus { return f.registry.statuses() }
 
+// WaitIter exposes the job's shared iteration log to in-process clients
+// (the campaign runner): it blocks until record i exists, the run is
+// terminal, or ctx fires — the same replay-from-any-index contract the
+// streaming endpoint offers over HTTP.
+func (f *Front) WaitIter(ctx context.Context, id string, i int) (serve.IterRecord, bool) {
+	f.mu.Lock()
+	j, ok := f.jobs[id]
+	f.mu.Unlock()
+	if !ok {
+		return serve.IterRecord{}, false
+	}
+	return j.r.WaitIter(ctx, i)
+}
+
+// Result returns a succeeded job's result document (its ID rewritten to
+// the front job id, as the HTTP endpoint does) and the gob checkpoint
+// bytes of the finished run.
+func (f *Front) Result(id string) (*serve.ResultDoc, []byte, error) {
+	f.mu.Lock()
+	j, ok := f.jobs[id]
+	f.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("front: no such job %q", id)
+	}
+	j.r.mu.Lock()
+	state, doc, ck, errmsg := j.r.state, j.r.result, j.r.checkpoint, j.r.errmsg
+	j.r.mu.Unlock()
+	if state != RunSucceeded || doc == nil {
+		if errmsg == "" {
+			errmsg = string(state)
+		}
+		return nil, nil, fmt.Errorf("front: job %s has no result: %s", id, errmsg)
+	}
+	out := *doc
+	out.ID = id
+	return &out, ck, nil
+}
+
 // permanentError marks a failure that re-placement cannot fix (the solver
 // rejected or failed the job); transient errors — connection loss, worker
 // overload — trigger eviction and re-routing instead.

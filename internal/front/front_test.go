@@ -26,12 +26,12 @@ func init() { obs.Enable() }
 // enough for fast self-consistent runs, every phase exercised.
 func testConfig(seed uint64, maxIter int) core.RunConfig {
 	cfg := core.DefaultRunConfig()
-	cfg.Device = device.Params{
+	cfg.Device = device.WrapParams(device.Params{
 		Nkz: 2, Nqz: 2, NE: 10, Nw: 3,
 		NA: 12, NB: 3, Norb: 2, N3D: 3,
 		Rows: 2, Bnum: 3,
 		Emin: -1, Emax: 1, Seed: seed,
-	}
+	})
 	cfg.MaxIter = maxIter
 	return cfg
 }
@@ -173,7 +173,9 @@ func TestKeyCanonicalization(t *testing.T) {
 
 	// A different device splits the family too.
 	dev := base
-	dev.Device.Seed = 8
+	dg := dev.Device.Grid()
+	dg.Seed = 8
+	dev.Device = device.WrapParams(dg)
 	kd, _ := KeyOf(dev)
 	if kd.ID == k0.ID || kd.Family == k0.Family {
 		t.Errorf("device change did not split key and family")

@@ -69,8 +69,9 @@ func (a *API) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad run config: %v", err)
 		return
 	}
-	if cfg.Version != 0 && cfg.Version != core.RunConfigVersion {
-		writeErr(w, http.StatusBadRequest, "unsupported config version %d (want %d)", cfg.Version, core.RunConfigVersion)
+	if cfg.Version != 0 && !core.VersionSupported(cfg.Version) {
+		writeErr(w, http.StatusBadRequest, "unsupported config version %d (want %d, or legacy %d)",
+			cfg.Version, core.RunConfigVersion, core.RunConfigLegacyVersion)
 		return
 	}
 	st, err := a.f.Submit(r.Header.Get("X-Tenant"), cfg)

@@ -1,0 +1,92 @@
+package front
+
+import (
+	"testing"
+
+	"negfsim/internal/core"
+	"negfsim/internal/device"
+)
+
+// The content-address contract over the device zoo: equivalent spellings
+// of the same physics share a key, every kind gets its own key space, and
+// the bias-zeroed family is stable — the warm-start group a campaign's
+// ladder points all fall into.
+
+// zooConfig wraps a spec in an otherwise-default run config.
+func zooConfig(s device.Spec) core.RunConfig {
+	cfg := core.DefaultRunConfig()
+	cfg.Device = device.WrapSpec(s)
+	return cfg
+}
+
+func TestKeyOfZooSpellingInvariance(t *testing.T) {
+	// Terse (defaults omitted) and fully explicit spellings of each kind,
+	// with execution-only knobs (workers) varied on one side.
+	pairs := []struct {
+		name        string
+		terse, full device.Spec
+	}{
+		{"cnt", device.CNT{N: 7, M: 0},
+			device.CNT{N: 7, M: 0, Cols: 24, Subbands: 2, Gamma: 2.7, HopLong: 0.9, Bnum: 24, NE: 64, Nw: 8, Nkz: 1, NB: 4, Emin: -2.5, Emax: 2.5}},
+		{"chain", device.Chain{},
+			device.Chain{Cols: 24, Rows: 1, T1: 1, T2: 0.6, Junction: 12, Bnum: 24, NE: 64, Nw: 8, Nkz: 1, NB: 4, Emin: -2.5, Emax: 2.5}},
+		{"gnr", device.GNR{},
+			device.GNR{Width: 3, Layers: 1, Cols: 24, THop: 0.8, T1: 1, T2: 0.7, Interlayer: 0.2, Bnum: 24, NE: 64, Nw: 8, Nkz: 1, NB: 4, Emin: -3, Emax: 3}},
+	}
+	for _, p := range pairs {
+		a := zooConfig(p.terse)
+		a.Variant = "" // canonicalizes to "dace"
+		a.Workers = 7  // execution-only: zeroed by Canonical
+		b := zooConfig(p.full)
+		ka, err := KeyOf(a)
+		if err != nil {
+			t.Fatalf("%s terse: %v", p.name, err)
+		}
+		kb, err := KeyOf(b)
+		if err != nil {
+			t.Fatalf("%s full: %v", p.name, err)
+		}
+		if ka.ID != kb.ID {
+			t.Errorf("%s: terse and explicit spellings hash to different keys", p.name)
+		}
+		if ka.Family != kb.Family {
+			t.Errorf("%s: terse and explicit spellings land in different warm-start families", p.name)
+		}
+	}
+}
+
+func TestKeyOfZooFamilies(t *testing.T) {
+	// Two bias points of the same device: different keys, one family.
+	lo := zooConfig(device.CNT{N: 7, M: 0, Cols: 12, NE: 16, Nw: 4})
+	lo.Bias = 0.30
+	hi := lo
+	hi.Bias = 0.50
+	klo, err := KeyOf(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	khi, err := KeyOf(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if klo.ID == khi.ID {
+		t.Error("different bias points share a key")
+	}
+	if klo.Family != khi.Family {
+		t.Error("ladder points of one device split into different families")
+	}
+	if klo.Bias != 0.30 || khi.Bias != 0.50 {
+		t.Errorf("key biases %g/%g, want 0.30/0.50", klo.Bias, khi.Bias)
+	}
+
+	// A different kind on a coinciding grid is a different family.
+	other := zooConfig(device.Chain{Cols: 12, Rows: 1, NE: 16, Nw: 4})
+	other.Bias = 0.30
+	kother, err := KeyOf(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kother.Family == klo.Family {
+		t.Error("chain and cnt devices share a warm-start family")
+	}
+}

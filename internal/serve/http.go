@@ -126,10 +126,10 @@ func (a *API) submit(w http.ResponseWriter, r *http.Request) {
 	if cfg.Version == 0 {
 		cfg.Version = core.RunConfigVersion
 	}
-	if cfg.Version != core.RunConfigVersion {
+	if !core.VersionSupported(cfg.Version) {
 		writeError(w, http.StatusBadRequest,
-			"run config version %d not supported (this build speaks version %d)",
-			cfg.Version, core.RunConfigVersion)
+			"run config version %d not supported (this build speaks version %d and still accepts %d)",
+			cfg.Version, core.RunConfigVersion, core.RunConfigLegacyVersion)
 		return
 	}
 	j, err := a.s.SubmitFrom(cfg, ck)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"negfsim/internal/core"
+	"negfsim/internal/device"
 )
 
 // postConfig submits a RunConfig through the HTTP API and decodes the
@@ -371,7 +372,9 @@ func TestHTTPWarmStartEnvelope(t *testing.T) {
 
 	// A checkpoint from a different device is rejected up front.
 	other := mkCfg(0.44)
-	other.Device.Seed = 99
+	og := other.Device.Grid()
+	og.Seed = 99
+	other.Device = device.WrapParams(og)
 	if resp, _ := postEnvelope(other, ck); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("incompatible checkpoint: %d, want 400", resp.StatusCode)
 	}

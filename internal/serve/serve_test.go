@@ -19,12 +19,12 @@ func init() { obs.Enable() }
 // exercised.
 func testConfig(seed uint64, maxIter int) core.RunConfig {
 	cfg := core.DefaultRunConfig()
-	cfg.Device = device.Params{
+	cfg.Device = device.WrapParams(device.Params{
 		Nkz: 2, Nqz: 2, NE: 10, Nw: 3,
 		NA: 12, NB: 3, Norb: 2, N3D: 3,
 		Rows: 2, Bnum: 3,
 		Emin: -1, Emax: 1, Seed: seed,
-	}
+	})
 	cfg.MaxIter = maxIter
 	return cfg
 }
@@ -34,7 +34,9 @@ func testConfig(seed uint64, maxIter int) core.RunConfig {
 // an iteration budget far past any test timeout.
 func longConfig(seed uint64) core.RunConfig {
 	cfg := core.DefaultRunConfig()
-	cfg.Device.Seed = seed
+	g := cfg.Device.Grid()
+	g.Seed = seed
+	cfg.Device = device.WrapParams(g)
 	cfg.MaxIter = 100_000
 	cfg.Tol = 1e-300
 	return cfg
