@@ -1,7 +1,7 @@
 # Tier-1 gate: everything a PR must keep green.
-.PHONY: check fmt build vet test race race-ft serve-test transport-test peer-test partition-test tune-test front-test device-test campaign-test docs-lint bench bench-json
+.PHONY: check fmt build vet test race race-ft serve-test transport-test peer-test partition-test tune-test front-test device-test campaign-test adapt-test docs-lint bench bench-json
 
-check: fmt build vet test race-ft serve-test transport-test peer-test partition-test tune-test front-test device-test campaign-test docs-lint
+check: fmt build vet test race-ft serve-test transport-test peer-test partition-test tune-test front-test device-test campaign-test adapt-test docs-lint
 
 # gofmt -l prints nothing (and exits 0) on a clean tree; any output fails
 # the gate via the grep.
@@ -91,6 +91,19 @@ device-test:
 campaign-test:
 	go test -race -count=1 ./internal/campaign
 
+# Adaptive energy-grid suite under the race detector: the egrid
+# controller/quadrature unit tests, the adaptive-vs-uniform agreement pins
+# across all four zoo kinds (plus the bit-compatibility pin on the full
+# grid), checkpoint/resume and distributed adaptive in core, the
+# warm-chained adaptive I–V ladder in campaign, the scheduler dispatch /
+# DefaultAdapt / warm-gate tests in serve, and the adapt cache-key
+# canonicalization in front.
+adapt-test:
+	go test -race -count=1 ./internal/egrid
+	go test -race -count=1 -run 'Adaptive|UniformRunBit|IntegratedCurrent|SparseGrid|AdaptSpec|AdaptConfig|ParseRejectsUnknownAdapt' ./internal/core
+	go test -race -count=1 -run 'Adaptive|DefaultAdapt|PartialGrid' ./internal/campaign ./internal/serve
+	go test -race -count=1 -run 'KeyOfAdapt' ./internal/front
+
 # Docs lint: every relative markdown link in README, the root docs and
 # docs/ must resolve to an existing file, so renames can't silently rot the
 # docs suite.
@@ -102,13 +115,11 @@ bench:
 	go test -bench . -benchtime 3x -run '^$$' .
 	go test -bench 'BenchmarkGEMM' -benchtime 20x -run '^$$' ./internal/cmat
 
-# Machine-readable benchmark snapshot for this PR: per-kind device-zoo
-# assembly and ballistic-solve costs (the per-point costs a campaign
-# ladder multiplies), plus the tuned-vs-default schedule deltas and the
-# sequential-vs-partitioned retarded solve, concatenated into one record.
+# Machine-readable benchmark snapshot for this PR: uniform-vs-adaptive
+# converged Born solves on two zoo devices (energy points solved + wall
+# time — the convergence-vs-cost record in EXPERIMENTS.md), concatenated
+# into one record.
 bench-json:
-	{ go test -bench 'BenchmarkZoo' -benchtime 10x -run '^$$' ./internal/device ; \
-	  go test -bench 'BenchmarkSched' -benchtime 10x -run '^$$' . ; \
-	  go test -bench 'BenchmarkRetarded' -benchtime 10x -run '^$$' ./internal/rgf ; } \
-	  | go run ./cmd/benchjson -out BENCH_9.json
-	@echo wrote BENCH_9.json
+	go test -bench 'BenchmarkAdapt' -benchtime 3x -run '^$$' ./internal/core \
+	  | go run ./cmd/benchjson -out BENCH_10.json
+	@echo wrote BENCH_10.json

@@ -140,6 +140,8 @@ type configFlags struct {
 	dist                                  string
 	space                                 int
 	commTimeout                           time.Duration
+	adapt                                 string
+	adaptTol                              float64
 }
 
 // registerConfigFlags declares the config-overriding flags on fs. The
@@ -168,6 +170,8 @@ func registerConfigFlags(fs *flag.FlagSet) *configFlags {
 	fs.StringVar(&f.dist, "dist", def.Dist, "run the SSE phase on a simulated TExTA rank grid, e.g. 2x2 (fault-tolerant)")
 	fs.IntVar(&f.space, "space", def.Space, "partition every electron retarded solve across this many spatial ranks (device-dimension split; needs bnum ≥ 2·space−1)")
 	fs.DurationVar(&f.commTimeout, "comm-timeout", 0, "per-operation deadline of the simulated cluster (default 10s)")
+	fs.StringVar(&f.adapt, "adapt", "off", "adaptive energy grid: off | grid | grid+sigma (error-controlled refinement; see docs/API.md)")
+	fs.Float64Var(&f.adaptTol, "adapt-tol", 1e-6, "adaptive refinement tolerance on the integrated current (with -adapt)")
 	return f
 }
 
@@ -230,6 +234,20 @@ func applyConfigFlags(fs *flag.FlagSet, f *configFlags, cfg *core.RunConfig) err
 			cfg.Space = f.space
 		case "comm-timeout":
 			cfg.CommTimeoutMs = int(f.commTimeout / time.Millisecond)
+		case "adapt":
+			a := core.AdaptSpec{}
+			if cfg.Adapt != nil {
+				a = *cfg.Adapt
+			}
+			a.Mode = f.adapt
+			cfg.Adapt = &a
+		case "adapt-tol":
+			a := core.AdaptSpec{}
+			if cfg.Adapt != nil {
+				a = *cfg.Adapt
+			}
+			a.TolCurrent = f.adaptTol
+			cfg.Adapt = &a
 		}
 	})
 	if devTouched {
@@ -339,6 +357,9 @@ func main() {
 			if cerr := ck.Compatible(cfg.Device); cerr != nil {
 				log.Fatal(cerr)
 			}
+			if cerr := ck.CompatibleGrid(cfg.AdaptEnabled()); cerr != nil {
+				log.Fatal(cerr)
+			}
 			resume = ck
 			fmt.Printf("resuming from %s (iteration %d)\n", *checkpoint, ck.Iterations)
 		} else if !os.IsNotExist(err) {
@@ -380,7 +401,48 @@ func main() {
 
 	start := time.Now()
 	var res *core.Result
+	adaptCfg, adaptive := cfg.AdaptConfig()
 	switch {
+	case adaptive:
+		adaptCfg.Resume = resume
+		if distributed {
+			if *peers != "" {
+				log.Fatal("-adapt does not compose with -peers (the grid controller must run in a single process)")
+			}
+			distCfg.Fault = faultPlan
+			distCfg.FaultIter = faultIter
+			distCfg.CheckpointPath = *checkpoint
+			adaptCfg.Dist = &distCfg
+		}
+		r, bytes, err := sim.RunAdaptive(adaptCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = r
+		a := res.Adapt
+		fmt.Printf("\nadaptive grid: %d/%d energy points after %d rounds (%s), %d refined, %d coarsened\n",
+			a.PointsActive, a.PointsFine, a.Rounds, a.Reason, a.Refined, a.Coarsened)
+		fmt.Printf("RGF solves: %d of %d uniform-grid equivalent (%.0f%% saved)",
+			a.Solves, a.UniformSolves, 100*(1-float64(a.Solves)/float64(a.UniformSolves)))
+		if a.SigmaSeeded > 0 {
+			fmt.Printf(", %d points Σ-seeded", a.SigmaSeeded)
+		}
+		fmt.Println()
+		if distributed {
+			fmt.Printf("distributed rounds exchanged %.2f MiB\n", float64(bytes)/(1<<20))
+		} else if *checkpoint != "" {
+			f, err := os.Create(*checkpoint)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := core.CheckpointOf(cfg.Device, res).Save(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("checkpoint written to %s\n", *checkpoint)
+		}
 	case distributed:
 		distCfg.Fault = faultPlan
 		distCfg.FaultIter = faultIter

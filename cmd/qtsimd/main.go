@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"negfsim/internal/campaign"
+	"negfsim/internal/core"
 	"negfsim/internal/obs"
 	"negfsim/internal/serve"
 	"negfsim/internal/tune"
@@ -65,6 +66,8 @@ func main() {
 	tuneMode := flag.String("tune", "cached", "kernel schedule source: off | cached | force (force probes now and caches)")
 	tuneBudget := flag.Duration("tune-budget", tune.DefaultBudget, "probe budget under -tune=force")
 	schedulePath := flag.String("schedule", "", "explicit schedule JSON file; overrides -tune")
+	adaptMode := flag.String("adapt", "", "daemon-wide adaptive energy grid for serial jobs without their own \"adapt\" block: off | grid | grid+sigma")
+	adaptTol := flag.Float64("adapt-tol", 1e-6, "refinement tolerance on the integrated current (with -adapt)")
 	flag.Parse()
 
 	obs.Enable()
@@ -92,12 +95,20 @@ func main() {
 	if !budgetSet && tuned.Workers > 0 {
 		*workerBudget = tuned.Workers
 	}
+	var defaultAdapt *core.AdaptSpec
+	if *adaptMode != "" && *adaptMode != "off" {
+		defaultAdapt = &core.AdaptSpec{Mode: *adaptMode, TolCurrent: *adaptTol}
+	}
 	sched := serve.New(serve.Config{
 		MaxConcurrent: *maxConcurrent,
 		QueueDepth:    *queueDepth,
 		WorkerBudget:  *workerBudget,
 		Retain:        *retain,
+		DefaultAdapt:  defaultAdapt,
 	})
+	if defaultAdapt != nil {
+		fmt.Printf("qtsimd: serial jobs default to adapt mode %q (tol %g)\n", defaultAdapt.Mode, defaultAdapt.TolCurrent)
+	}
 
 	// Campaigns (bias-ladder sweeps) ride on the same scheduler: the
 	// campaign API mounts its /v1/campaigns routes next to the job API,

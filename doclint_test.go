@@ -24,6 +24,7 @@ var doclintPackages = []string{
 	"internal/front",
 	"internal/device",
 	"internal/campaign",
+	"internal/egrid",
 }
 
 // exportedRecv reports whether a method receiver names an exported type

@@ -63,7 +63,15 @@ func (b LocalBackend) RunPoint(ctx context.Context, cfg core.RunConfig, warm *co
 		return nil, err
 	}
 	var res *core.Result
-	if warm != nil {
+	if ac, adaptive := cfg.AdaptConfig(); adaptive {
+		// Adaptive ladder points chain the whole grid state: the previous
+		// bias point's checkpoint seeds both the Born loop (Σ≷/Π≷) and the
+		// refinement controller (its active point set), so each point
+		// resumes refinement from the neighbor's resolved grid instead of
+		// the coarse seed.
+		ac.Resume = warm
+		res, _, err = sim.RunAdaptiveCtx(ctx, ac)
+	} else if warm != nil {
 		res, err = sim.RunFromCtx(ctx, warm)
 	} else {
 		res, err = sim.RunCtx(ctx)

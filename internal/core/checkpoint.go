@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"negfsim/internal/device"
+	"negfsim/internal/egrid"
 	"negfsim/internal/tensor"
 )
 
@@ -29,6 +30,13 @@ type Checkpoint struct {
 
 	SigmaLess, SigmaGtr *tensor.GTensor
 	PiLess, PiGtr       *tensor.DTensor
+
+	// EGrid is the active energy grid the self-energies were converged
+	// on: nil (checkpoints from uniform-grid runs, and every checkpoint
+	// written before the adaptive subsystem) means the full fine grid.
+	// It travels with Σ≷ so an adaptive resume or a campaign warm start
+	// continues on the exact grid the saved state belongs to.
+	EGrid *egrid.State
 }
 
 // CheckpointOf captures the current self-energies of a result.
@@ -38,6 +46,7 @@ func CheckpointOf(spec device.SpecConfig, res *Result) *Checkpoint {
 		Iterations: res.Iterations,
 		SigmaLess:  res.SigmaLess, SigmaGtr: res.SigmaGtr,
 		PiLess: res.PiLess, PiGtr: res.PiGtr,
+		EGrid: res.EGrid,
 	}
 }
 
@@ -81,6 +90,21 @@ func (c *Checkpoint) CompatibleDevice(d *device.Device) error {
 			c.Kind, c.DevFP, d.Kind, d.Fingerprint())
 	}
 	return nil
+}
+
+// CompatibleGrid reports whether the checkpoint's energy-grid state can
+// seed a run whose adaptation is on (adaptive true) or off. A nil or
+// full grid state seeds anything; a partial grid — Σ≷ converged with
+// interpolation-filled gaps — can only seed a run that itself adapts,
+// where the controller resumes from the saved active set. The device
+// fine-grid identity (NE, window) is already pinned by Params equality
+// in Compatible/CompatibleDevice.
+func (c *Checkpoint) CompatibleGrid(adaptive bool) error {
+	if c.EGrid == nil || c.EGrid.IsFull() || adaptive {
+		return nil
+	}
+	return fmt.Errorf("core: checkpoint grid has %d of %d energy points active; a non-adaptive run needs a full-grid (or pre-adaptive) checkpoint",
+		len(c.EGrid.Active), c.EGrid.NE)
 }
 
 // RunFrom resumes the Born loop from a checkpoint's self-energies. The

@@ -19,6 +19,7 @@ import (
 
 	"negfsim/internal/cmat"
 	"negfsim/internal/device"
+	"negfsim/internal/egrid"
 	"negfsim/internal/obs"
 	"negfsim/internal/pool"
 	"negfsim/internal/rgf"
@@ -158,6 +159,14 @@ type Result struct {
 	PiLess, PiGtr       *tensor.DTensor
 
 	Obs Observables
+
+	// EGrid is the active energy grid the result was solved on (nil for
+	// plain uniform-grid runs). CheckpointOf copies it into checkpoints
+	// so a converged adaptive grid travels with the Σ≷ it produced.
+	EGrid *egrid.State
+	// Adapt summarizes the adaptive refinement loop that produced the
+	// result (nil unless RunAdaptiveCtx ran it).
+	Adapt *AdaptReport
 }
 
 // Simulator couples a device with solver options and cached operators.
@@ -168,6 +177,10 @@ type Simulator struct {
 
 	h, s []*cmat.BlockTri // per kz
 	phi  []*cmat.BlockTri // per qz
+
+	// grid is the active energy grid the GF phase solves on: the full
+	// fine grid unless the adaptive runner installed a subset (SetGrid).
+	grid *egrid.Grid
 }
 
 // New builds a simulator, generating and caching H(kz), S(kz), Φ(qz).
@@ -193,8 +206,32 @@ func New(dev *device.Device, opts Options) *Simulator {
 	for qz := 0; qz < p.Nqz; qz++ {
 		s.phi[qz] = dev.Dynamical(qz)
 	}
+	s.grid = egrid.Uniform(p.NE, p.Emin, p.Emax)
 	return s
 }
+
+// SetGrid installs an active energy grid: subsequent GF phases solve the
+// electron points only at its active energies (with its quadrature
+// weights) and fill the skipped energies by interpolation. The grid must
+// live on the device's fine grid. The adaptive runner calls this between
+// refinement rounds; a nil grid restores the full uniform grid.
+func (s *Simulator) SetGrid(g *egrid.Grid) error {
+	p := s.Dev.P
+	if g == nil {
+		s.grid = egrid.Uniform(p.NE, p.Emin, p.Emax)
+		return nil
+	}
+	if g.NE() != p.NE || g.Emin() != p.Emin || g.Emax() != p.Emax {
+		return fmt.Errorf("core: grid over %d points on [%g, %g] does not match device (%d points on [%g, %g])",
+			g.NE(), g.Emin(), g.Emax(), p.NE, p.Emin, p.Emax)
+	}
+	s.grid = g
+	return nil
+}
+
+// EnergyGrid returns the active energy grid the GF phase currently
+// solves on (the full uniform grid unless SetGrid installed a subset).
+func (s *Simulator) EnergyGrid() *egrid.Grid { return s.grid }
 
 // scatteringBlocks assembles the per-RGF-block electron scattering matrices
 // for one (kz, E) point from the per-atom self-energy tensors (diagonal
@@ -331,10 +368,18 @@ func (s *Simulator) gfPhase(ctx context.Context, sigR, sigL, sigG *tensor.GTenso
 	dg = tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
 	o.CurrentPerEnergy = make([]float64, p.NE)
 
+	// The electron points come from the active energy grid — the full
+	// fine grid unless the adaptive runner installed a subset — with
+	// each point's quadrature weight carried explicitly. On the full
+	// grid every weight is bitwise the uniform ΔE (the egrid weight
+	// pin), so this accumulation reproduces the historical uniform
+	// numbers exactly.
+	grid := s.grid
+	activeE := grid.Active()
 	type job struct{ kz, e, qz, w int } // e < 0 marks a phonon job
-	jobs := make([]job, 0, p.Nkz*p.NE+p.Nqz*p.Nw)
+	jobs := make([]job, 0, p.Nkz*len(activeE)+p.Nqz*p.Nw)
 	for kz := 0; kz < p.Nkz; kz++ {
-		for e := 0; e < p.NE; e++ {
+		for _, e := range activeE {
 			jobs = append(jobs, job{kz: kz, e: e})
 		}
 	}
@@ -362,11 +407,12 @@ func (s *Simulator) gfPhase(ctx context.Context, sigR, sigL, sigG *tensor.GTenso
 			}
 			s.extractElectron(j.kz, j.e, res, gl, gg)
 			res.Release()
+			we := grid.Weight(j.e) / float64(p.Nkz)
 			mu.Lock()
-			o.CurrentL += res.CurrentL * eWeight
-			o.CurrentR += res.CurrentR * eWeight
-			o.EnergyCurrentL += p.Energy(j.e) * res.CurrentL * eWeight
-			o.EnergyCurrentR += p.Energy(j.e) * res.CurrentR * eWeight
+			o.CurrentL += res.CurrentL * we
+			o.CurrentR += res.CurrentR * we
+			o.EnergyCurrentL += p.Energy(j.e) * res.CurrentL * we
+			o.EnergyCurrentR += p.Energy(j.e) * res.CurrentR * we
 			o.CurrentPerEnergy[j.e] += res.CurrentL
 			mu.Unlock()
 		} else {
@@ -420,6 +466,16 @@ func (s *Simulator) gfPhase(ctx context.Context, sigR, sigL, sigG *tensor.GTenso
 	pool.Do(tasks...)
 	if firstErr != nil {
 		return nil, nil, nil, nil, o, firstErr
+	}
+	// On a partial grid, fill the skipped energies of G^≷ (and of the
+	// spectral current, for reporting) by linear interpolation between
+	// the nearest solved neighbors: the SSE convolution consumes every
+	// fine-grid energy, so the tensors must be dense even when the
+	// solves are not.
+	if !grid.Full() {
+		interpolateInactiveG(gl, grid)
+		interpolateInactiveG(gg, grid)
+		grid.InterpolateValues(o.CurrentPerEnergy)
 	}
 	return gl, gg, dl, dg, o, nil
 }
@@ -614,9 +670,14 @@ func (s *Simulator) dissipationPerAtom(r *Result) (particle, energy []float64) {
 	if r.SigmaLess == nil || r.GLess == nil {
 		return particle, energy
 	}
-	w := p.EStep() / float64(p.Nkz)
+	// Quadrature weights come from the active grid (bitwise ΔE on the
+	// full grid); inactive energies carry zero weight and are skipped.
 	for kz := 0; kz < p.Nkz; kz++ {
 		for e := 0; e < p.NE; e++ {
+			w := s.grid.Weight(e) / float64(p.Nkz)
+			if w == 0 {
+				continue
+			}
 			for a := 0; a < p.NA; a++ {
 				t := r.SigmaLess.Block(kz, e, a).TraceMul(r.GGtr.Block(kz, e, a)) -
 					r.SigmaGtr.Block(kz, e, a).TraceMul(r.GLess.Block(kz, e, a))

@@ -52,6 +52,19 @@ func split(n, parts, i int) (lo, hi int) {
 	return i * n / parts, (i + 1) * n / parts
 }
 
+// gfChunk is rank i's energy ownership in the GF layout: a contiguous
+// fine-grid window whose boundaries balance the ACTIVE (actually solved)
+// energy points across ranks — the point-list generalization of the
+// count split, recomputed from the current grid every call so ownership
+// rebalances after each adaptive refinement round. On the full grid the
+// boundaries coincide with split(NE, parts, i), keeping the historical
+// uniform decomposition (and its byte accounting) bit-identical. The SSE
+// tile split stays count-based: the convolution's cost is per fine
+// energy regardless of which points were solved.
+func (s *Simulator) gfChunk(parts, i int) (lo, hi int) {
+	return s.grid.ChunkBounds(parts, i)
+}
+
 // rankGrid maps rank id ↔ (energy tile, atom tile) coordinates.
 func rankGrid(id, ta int) (tE, tA int) { return id / ta, id % ta }
 
@@ -245,7 +258,7 @@ func (s *Simulator) distributedSSEOn(cluster *comm.Cluster, in sse.PhaseInput, t
 			dHalo := s.atomHalo(daLo, daHi)
 			dhLo, dhHi := s.energyHalo(dtE, te)
 			// My GF energy chunk intersected with d's halo window.
-			myLo, myHi := split(p.NE, procs, r.ID)
+			myLo, myHi := s.gfChunk(procs, r.ID)
 			energies := intersect(myLo, myHi, dhLo, dhHi)
 			var buf []complex128
 			buf = append(buf, packG(in.GLess, energies, dHalo)...)
@@ -265,7 +278,7 @@ func (s *Simulator) distributedSSEOn(cluster *comm.Cluster, in sse.PhaseInput, t
 		dl := tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
 		dg := tensor.NewDTensor(p.Nqz, p.Nw, p.NA, p.NB, p.N3D)
 		for from := 0; from < procs; from++ {
-			fLo, fHi := split(p.NE, procs, from)
+			fLo, fHi := s.gfChunk(procs, from)
 			energies := intersect(fLo, fHi, hLo, hHi)
 			n2 := p.Norb * p.Norb
 			gLen := len(energies) * len(halo) * p.Nkz * n2
@@ -302,7 +315,7 @@ func (s *Simulator) distributedSSEOn(cluster *comm.Cluster, in sse.PhaseInput, t
 		tileAtoms := intersect(aLo, aHi, 0, p.NA)
 		send2 := make([][]complex128, procs)
 		for d := 0; d < procs; d++ {
-			dLo, dHi := split(p.NE, procs, d)
+			dLo, dHi := s.gfChunk(procs, d)
 			energies := intersect(dLo, dHi, eLo, eHi)
 			var buf []complex128
 			buf = append(buf, packG(sigL, energies, tileAtoms)...)
@@ -319,7 +332,7 @@ func (s *Simulator) distributedSSEOn(cluster *comm.Cluster, in sse.PhaseInput, t
 		// Assemble the shared result: every rank writes only the regions it
 		// owns after exchange 2 (its GF energy chunk for Σ, its phonon
 		// points for Π), so the writes are disjoint.
-		myLo, myHi := split(p.NE, procs, r.ID)
+		myLo, myHi := s.gfChunk(procs, r.ID)
 		myPts := s.phononPointsOwnedBy(r.ID, procs)
 		for from := 0; from < procs; from++ {
 			_, ftA := rankGrid(from, ta)

@@ -69,6 +69,59 @@ type RunConfig struct {
 	// Gate, when non-nil, wraps the run in the coupled NEGF–Poisson
 	// (Gummel) loop. Mutually exclusive with Dist.
 	Gate *GateSpec `json:"gate,omitempty"`
+
+	// Adapt, when non-nil with a mode other than "off", runs the run
+	// under the adaptive energy-grid refinement loop (internal/egrid).
+	// Mutually exclusive with Gate.
+	Adapt *AdaptSpec `json:"adapt,omitempty"`
+}
+
+// AdaptSpec is the RunConfig "adapt" block: the error-controlled
+// energy-grid refinement settings. The zero value of every optional
+// field keeps the documented default.
+type AdaptSpec struct {
+	// Mode selects the refinement strategy: "off" (uniform grid, same
+	// as omitting the block), "grid" (refine the point set, cold Born
+	// restart each round) or "grid+sigma" (refine and chain the
+	// converged Σ≷/Π≷ into the next round, seeding new points from
+	// interpolated self-energies).
+	Mode string `json:"mode"`
+	// TolCurrent is the tolerance on the integrated current driving
+	// refinement; 0 means 1e-6.
+	TolCurrent float64 `json:"tol_current,omitempty"`
+	// MaxNE caps the active point count (0: the full device.ne grid).
+	MaxNE int `json:"max_ne,omitempty"`
+	// MinNE is the seed-grid size and the coarsening floor (0: ~ne/8,
+	// at least 9).
+	MinNE int `json:"min_ne,omitempty"`
+}
+
+// enabled reports whether the spec actually requests adaptation.
+func (a *AdaptSpec) enabled() bool {
+	if a == nil {
+		return false
+	}
+	m := strings.ToLower(a.Mode)
+	return m != "" && m != "off"
+}
+
+// AdaptEnabled reports whether the config requests adaptive energy-grid
+// refinement.
+func (c *RunConfig) AdaptEnabled() bool { return c.Adapt.enabled() }
+
+// AdaptConfig translates the config's adapt block into the adaptive
+// runner's configuration; false when the config does not request
+// adaptation. Resume and Dist are left for the dispatching frontend.
+func (c *RunConfig) AdaptConfig() (AdaptConfig, bool) {
+	if !c.Adapt.enabled() {
+		return AdaptConfig{}, false
+	}
+	return AdaptConfig{
+		SigmaReuse: strings.ToLower(c.Adapt.Mode) == "grid+sigma",
+		Tol:        c.Adapt.TolCurrent,
+		MinNE:      c.Adapt.MinNE,
+		MaxNE:      c.Adapt.MaxNE,
+	}, true
 }
 
 // RunConfigVersion is the RunConfig schema version this build writes:
@@ -211,6 +264,29 @@ func (c *RunConfig) Validate() error {
 			return fmt.Errorf("core: run config: gate.damping %g outside (0, 1]", c.Gate.Damping)
 		}
 	}
+	if c.Adapt != nil {
+		switch strings.ToLower(c.Adapt.Mode) {
+		case "", "off", "grid", "grid+sigma":
+		default:
+			return fmt.Errorf("core: run config: adapt.mode %q unknown (want off, grid or grid+sigma)", c.Adapt.Mode)
+		}
+		if c.Adapt.TolCurrent < 0 {
+			return fmt.Errorf("core: run config: adapt.tol_current must be non-negative, got %g", c.Adapt.TolCurrent)
+		}
+		ne := c.Device.Grid().NE
+		if c.Adapt.MinNE < 0 || c.Adapt.MinNE == 1 || c.Adapt.MinNE > ne {
+			return fmt.Errorf("core: run config: adapt.min_ne %d outside {0} ∪ [2, device.ne=%d]", c.Adapt.MinNE, ne)
+		}
+		if c.Adapt.MaxNE < 0 || c.Adapt.MaxNE > ne {
+			return fmt.Errorf("core: run config: adapt.max_ne %d outside [0, device.ne=%d]", c.Adapt.MaxNE, ne)
+		}
+		if c.Adapt.MinNE > 0 && c.Adapt.MaxNE > 0 && c.Adapt.MinNE > c.Adapt.MaxNE {
+			return fmt.Errorf("core: run config: adapt.min_ne %d exceeds adapt.max_ne %d", c.Adapt.MinNE, c.Adapt.MaxNE)
+		}
+		if c.Adapt.enabled() && c.Gate != nil {
+			return fmt.Errorf("core: run config: adapt and gate are mutually exclusive (the Poisson outer loop owns the run)")
+		}
+	}
 	return nil
 }
 
@@ -247,6 +323,22 @@ func (c RunConfig) Canonical() RunConfig {
 	// (partitioned solve) and stays, like Dist.
 	if c.Space < 2 {
 		c.Space = 0
+	}
+	// An "off" (or empty-mode) adapt block is the uniform grid — the
+	// same computation as no block at all, so it folds away and the two
+	// spellings share a cache key. An enabled block is normalized: mode
+	// lower-cased, the tolerance default filled.
+	if c.Adapt != nil {
+		if !c.Adapt.enabled() {
+			c.Adapt = nil
+		} else {
+			a := *c.Adapt
+			a.Mode = strings.ToLower(a.Mode)
+			if a.TolCurrent <= 0 {
+				a.TolCurrent = 1e-6
+			}
+			c.Adapt = &a
+		}
 	}
 	return c
 }

@@ -449,9 +449,13 @@ func (s *Simulator) saveCheckpointFile(path string, ck *memCheckpoint) error {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 	full := &Checkpoint{
-		Params: s.Dev.P, Iterations: ck.iterations,
-		SigmaLess: ck.sigL, SigmaGtr: ck.sigG,
+		Params: s.Dev.P, Kind: s.Dev.Kind, DevFP: s.Dev.Fingerprint(),
+		Iterations: ck.iterations,
+		SigmaLess:  ck.sigL, SigmaGtr: ck.sigG,
 		PiLess: ck.piL, PiGtr: ck.piG,
+	}
+	if !s.grid.Full() {
+		full.EGrid = s.grid.State()
 	}
 	if err := full.Save(f); err != nil {
 		f.Close()

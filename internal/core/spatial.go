@@ -37,8 +37,11 @@ func (s *Simulator) gfPhaseSpatial(ctx context.Context, cluster *comm.Cluster,
 	eWeight := p.EStep() / float64(p.Nkz)
 	multi := cluster.MultiProcess()
 
+	// As in gfPhase, electron points come from the active energy grid
+	// with explicit quadrature weights (bitwise ΔE on the full grid).
+	grid := s.grid
 	for kz := 0; kz < p.Nkz; kz++ {
-		for e := 0; e < p.NE; e++ {
+		for _, e := range grid.Active() {
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, nil, nil, nil, o, fmt.Errorf("core: GF phase cancelled: %w", cerr)
 			}
@@ -63,10 +66,11 @@ func (s *Simulator) gfPhaseSpatial(ctx context.Context, cluster *comm.Cluster,
 				return nil, nil, nil, nil, o, fmt.Errorf("electron point (kz=%d, E=%d): %w", kz, e, rerr)
 			}
 			s.extractElectron(kz, e, res, gl, gg)
-			o.CurrentL += res.CurrentL * eWeight
-			o.CurrentR += res.CurrentR * eWeight
-			o.EnergyCurrentL += p.Energy(e) * res.CurrentL * eWeight
-			o.EnergyCurrentR += p.Energy(e) * res.CurrentR * eWeight
+			we := grid.Weight(e) / float64(p.Nkz)
+			o.CurrentL += res.CurrentL * we
+			o.CurrentR += res.CurrentR * we
+			o.EnergyCurrentL += p.Energy(e) * res.CurrentL * we
+			o.EnergyCurrentR += p.Energy(e) * res.CurrentR * we
 			o.CurrentPerEnergy[e] += res.CurrentL
 			res.Release()
 		}
@@ -131,6 +135,12 @@ func (s *Simulator) gfPhaseSpatial(ctx context.Context, cluster *comm.Cluster,
 	pool.Do(tasks...)
 	if firstErr != nil {
 		return nil, nil, nil, nil, o, firstErr
+	}
+	// Dense-fill the skipped energies for the SSE phase, as in gfPhase.
+	if !grid.Full() {
+		interpolateInactiveG(gl, grid)
+		interpolateInactiveG(gg, grid)
+		grid.InterpolateValues(o.CurrentPerEnergy)
 	}
 	return gl, gg, dl, dg, o, nil
 }

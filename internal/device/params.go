@@ -57,6 +57,8 @@ func (p Params) Validate() error {
 		}
 	}
 	switch {
+	case p.NE < 2:
+		return fmt.Errorf("device: device.ne: need at least 2 energy points to span [emin, emax], got %d", p.NE)
 	case p.NA%p.Rows != 0:
 		return fmt.Errorf("device: device.na: %d atoms not divisible into device.rows=%d columns", p.NA, p.Rows)
 	case (p.NA/p.Rows)%p.Bnum != 0:

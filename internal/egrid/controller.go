@@ -1,0 +1,319 @@
+package egrid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config tunes the refinement controller.
+type Config struct {
+	// TolCurrent is the tolerance on the integrated observable (the
+	// energy-integrated current): the controller refines until its own
+	// error indicators and the round-to-round change of the integral are
+	// both below it. It is an absolute tolerance, relaxed to relative
+	// via tol·max(1, |I|) when the integral is large. ≤ 0 means the
+	// default 1e-6.
+	TolCurrent float64
+	// MinNE is the seed-grid size (and the floor coarsening never drops
+	// below). ≤ 0 means DefaultSeedPoints of the fine grid.
+	MinNE int
+	// MaxNE caps the active point count; refinement past it stops with
+	// reason "max_ne". ≤ 0 means the full fine grid.
+	MaxNE int
+	// MaxRounds bounds the refinement rounds (each round is one full
+	// Born solve). ≤ 0 means 12.
+	MaxRounds int
+}
+
+// withDefaults resolves the zero fields against a fine grid of ne points.
+func (c Config) withDefaults(ne int) Config {
+	if c.TolCurrent <= 0 {
+		c.TolCurrent = 1e-6
+	}
+	if c.MinNE <= 0 {
+		c.MinNE = DefaultSeedPoints(ne)
+	}
+	if c.MinNE > ne {
+		c.MinNE = ne
+	}
+	if c.MaxNE <= 0 || c.MaxNE > ne {
+		c.MaxNE = ne
+	}
+	if c.MaxNE < c.MinNE {
+		c.MaxNE = c.MinNE
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 12
+	}
+	return c
+}
+
+// The controller's indicator thresholds, as fractions of the per-round
+// effective tolerance scaled by interval width. Refinement triggers at
+// refineFrac of the budget; coarsening only below coarsenFrac of it, a
+// 25× hysteresis band that keeps a point from oscillating in and out.
+// blanketFloorFrac is the round-0 "is this region worth resolving at
+// all" floor on the integrand magnitude.
+const (
+	refineFrac       = 0.25
+	coarsenFrac      = 0.01
+	blanketFloorFrac = 0.05
+)
+
+// Controller drives the refine/coarsen loop: feed it the per-energy
+// integrand of each converged Born solve (Plan), apply the plan it
+// returns (Apply), and re-solve on the new grid until Plan reports Done.
+// It is not safe for concurrent use.
+type Controller struct {
+	grid *Grid
+	cfg  Config
+
+	round int
+	prevI float64
+	warm  bool // resumed from a previous grid: skip the blanket round
+
+	inserted map[int]bool // points this controller added (never dropped)
+	dropped  map[int]bool // points this controller removed (never re-added)
+
+	refined, coarsened int
+}
+
+// NewController seeds a coarse grid over the fine window and returns the
+// controller that will refine it.
+func NewController(ne int, emin, emax float64, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults(ne)
+	g, err := Seed(ne, emin, emax, cfg.MinNE)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{grid: g, cfg: cfg,
+		inserted: map[int]bool{}, dropped: map[int]bool{}}, nil
+}
+
+// ResumeController starts from a previously converged grid (a campaign
+// warm start, or a checkpoint resume): the saved active set replaces the
+// seed, and the first round uses the curvature indicator instead of the
+// blanket refinement pass, so a grid that already resolves the spectrum
+// converges without re-inserting points it does not need.
+func ResumeController(st *State, cfg Config) (*Controller, error) {
+	g, err := st.Grid()
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(st.NE)
+	return &Controller{grid: g, cfg: cfg, warm: true,
+		inserted: map[int]bool{}, dropped: map[int]bool{}}, nil
+}
+
+// Grid returns the current grid.
+func (c *Controller) Grid() *Grid { return c.grid }
+
+// Round returns the number of Plan/Apply rounds completed so far.
+func (c *Controller) Round() int { return c.round }
+
+// Refined and Coarsened report the cumulative point insertions and
+// removals across all rounds.
+func (c *Controller) Refined() int { return c.refined }
+
+// Coarsened reports the cumulative point removals across all rounds.
+func (c *Controller) Coarsened() int { return c.coarsened }
+
+// Plan is one round's verdict: the fine-grid points to activate and
+// deactivate, or Done with the reason refinement stopped.
+type Plan struct {
+	// Insert and Drop are the fine-grid indices to activate/deactivate.
+	// Both are empty when Done.
+	Insert, Drop []int
+	// Done reports that the grid is final; Reason says why ("resolved",
+	// "max_ne", "max_rounds").
+	Done   bool
+	Reason string
+	// Integrated is the quadrature of the supplied values on the current
+	// grid; EstError is the controller's error estimate for it (the
+	// round-to-round change, NaN on the first round).
+	Integrated float64
+	EstError   float64
+}
+
+type flagged struct {
+	mid int
+	err float64
+}
+
+// Plan evaluates the refinement indicators on one converged solve's
+// per-energy integrand (indexed by fine-grid point; only active entries
+// are read) and returns the next move. It does not mutate the
+// controller — call Apply to commit the plan.
+func (c *Controller) Plan(values []float64) Plan {
+	if len(values) != c.grid.ne {
+		panic(fmt.Sprintf("egrid: Plan got %d values for a %d-point fine grid", len(values), c.grid.ne))
+	}
+	p := Plan{Integrated: c.grid.Integrate(values), EstError: math.NaN()}
+	if c.round > 0 {
+		p.EstError = math.Abs(p.Integrated - c.prevI)
+	}
+	tolEff := c.cfg.TolCurrent * math.Max(1, math.Abs(p.Integrated))
+	window := c.grid.emax - c.grid.emin
+	active := c.grid.active
+
+	// Refinement indicators. The workhorse is the Richardson / interval-
+	// halving estimate on each interior active triple (i, j, k): the
+	// difference between the coarse trapezoid over [E_i, E_k] and the
+	// fine pair over [E_i, E_j] + [E_j, E_k] is (E_k−E_i)/2 · |v_j −
+	// lerp_{i,k}(E_j)|, i.e. exactly the local quadrature error revealed
+	// by having the midpoint. Where it exceeds its share of the
+	// tolerance budget, both flanking intervals are bisected.
+	var flags []flagged
+	flag := func(a, b int, err float64) {
+		if b-a < 2 {
+			return // already at fine resolution
+		}
+		mid := (a + b) / 2
+		if c.dropped[mid] {
+			return // coarsening removed it; do not oscillate
+		}
+		flags = append(flags, flagged{mid: mid, err: err})
+	}
+	blanket := c.round == 0 && !c.warm
+	if blanket {
+		// Round 0 on a cold seed: bisect every interval whose endpoints
+		// carry non-negligible integrand, so the curvature indicator of
+		// the following rounds has midpoints to work with. Flat regions
+		// (|v| below the floor at both ends) stay coarse; their skipped
+		// contribution is bounded by floor·window ≤ blanketFloorFrac·tol.
+		floor := blanketFloorFrac * tolEff / window
+		for i := 1; i < len(active); i++ {
+			a, b := active[i-1], active[i]
+			if math.Abs(values[a]) > floor || math.Abs(values[b]) > floor {
+				flag(a, b, math.Inf(1))
+			}
+		}
+	} else {
+		for i := 1; i+1 < len(active); i++ {
+			a, j, b := active[i-1], active[i], active[i+1]
+			ea, ej, eb := c.grid.Energy(a), c.grid.Energy(j), c.grid.Energy(b)
+			alpha := (ej - ea) / (eb - ea)
+			lerp := (1-alpha)*values[a] + alpha*values[b]
+			err := math.Abs(values[j]-lerp) * (eb - ea) / 2
+			if err > refineFrac*tolEff*(eb-ea)/window {
+				flag(a, j, err)
+				flag(j, b, err)
+			}
+		}
+	}
+
+	// Deduplicate (a flagged point can be the midpoint of both the left
+	// and right triple) keeping the larger error, then order by error so
+	// a MaxNE budget spends itself on the worst intervals first.
+	best := map[int]float64{}
+	for _, f := range flags {
+		if f.err > best[f.mid] {
+			best[f.mid] = f.err
+		}
+	}
+	insert := make([]flagged, 0, len(best))
+	for mid, err := range best {
+		insert = append(insert, flagged{mid: mid, err: err})
+	}
+	sort.Slice(insert, func(i, j int) bool {
+		if insert[i].err != insert[j].err {
+			return insert[i].err > insert[j].err
+		}
+		return insert[i].mid < insert[j].mid
+	})
+	room := c.cfg.MaxNE - len(active)
+	capped := len(insert) > room
+	if capped {
+		insert = insert[:room]
+	}
+	for _, f := range insert {
+		p.Insert = append(p.Insert, f.mid)
+	}
+	sort.Ints(p.Insert)
+
+	// Coarsening: an interior point whose removal changes the quadrature
+	// by far less than its share of the tolerance is dropped (points the
+	// controller itself inserted are kept — they are the resolution the
+	// indicators asked for). Adjacent drops are skipped so a flat region
+	// thins gradually instead of collapsing in one round, and the active
+	// count never falls below MinNE.
+	if !blanket {
+		keep := len(active) + len(p.Insert)
+		insertSet := map[int]bool{}
+		for _, m := range p.Insert {
+			insertSet[m] = true
+		}
+		lastDrop := -2
+		for i := 1; i+1 < len(active); i++ {
+			if keep-len(p.Drop) <= c.cfg.MinNE {
+				break
+			}
+			a, j, b := active[i-1], active[i], active[i+1]
+			if c.inserted[j] || i-1 == lastDrop {
+				continue
+			}
+			// Keep the mesh where this round is still inserting.
+			if insertSet[(a+j)/2] || insertSet[(j+b)/2] {
+				continue
+			}
+			ea, ej, eb := c.grid.Energy(a), c.grid.Energy(j), c.grid.Energy(b)
+			alpha := (ej - ea) / (eb - ea)
+			lerp := (1-alpha)*values[a] + alpha*values[b]
+			err := math.Abs(values[j]-lerp) * (eb - ea) / 2
+			if err < coarsenFrac*tolEff*(eb-ea)/window {
+				p.Drop = append(p.Drop, j)
+				lastDrop = i
+			}
+		}
+	}
+
+	// Termination: nothing left to insert and the integral has settled
+	// (or the budgets are exhausted).
+	switch {
+	case len(p.Insert) == 0 && (c.round == 0 || p.EstError <= tolEff):
+		p.Done, p.Reason = true, "resolved"
+	case capped && len(p.Insert) == 0:
+		p.Done, p.Reason = true, "max_ne"
+	case c.round+1 >= c.cfg.MaxRounds:
+		p.Done, p.Reason = true, "max_rounds"
+	}
+	if p.Done {
+		p.Insert, p.Drop = nil, nil
+	}
+	return p
+}
+
+// Apply commits a plan: inserts and drops its points, rebuilding the
+// grid, and advances the round counter. Applying a Done plan only
+// advances the bookkeeping.
+func (c *Controller) Apply(p Plan) {
+	c.round++
+	c.prevI = p.Integrated
+	if p.Done || (len(p.Insert) == 0 && len(p.Drop) == 0) {
+		return
+	}
+	dropSet := map[int]bool{}
+	for _, d := range p.Drop {
+		dropSet[d] = true
+		c.dropped[d] = true
+	}
+	next := make([]int, 0, c.grid.NumActive()+len(p.Insert)-len(p.Drop))
+	for _, e := range c.grid.active {
+		if !dropSet[e] {
+			next = append(next, e)
+		}
+	}
+	next = append(next, p.Insert...)
+	sort.Ints(next)
+	for _, m := range p.Insert {
+		c.inserted[m] = true
+	}
+	c.refined += len(p.Insert)
+	c.coarsened += len(p.Drop)
+	g, err := FromActive(c.grid.ne, c.grid.emin, c.grid.emax, next)
+	if err != nil {
+		panic(fmt.Sprintf("egrid: applying plan broke the grid: %v", err))
+	}
+	c.grid = g
+}

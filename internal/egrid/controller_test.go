@@ -1,0 +1,214 @@
+package egrid
+
+import (
+	"math"
+	"testing"
+)
+
+// gaussian is a synthetic resonance: a peak of the given height, center
+// and width — the spectral shape adaptive refinement exists for. Real
+// spectral currents decay exponentially outside the bias window (the
+// Fermi factors), which is what makes coarse far-field grids viable;
+// Gaussian tails model that, where a Lorentzian's algebraic tails would
+// genuinely need resolution everywhere at tight tolerance.
+func gaussian(e, center, sigma, height float64) float64 {
+	d := (e - center) / sigma
+	return height * math.Exp(-d*d/2)
+}
+
+// runController drives a controller against an analytic integrand until
+// Done, evaluating the function exactly at every active point each round
+// (the stand-in for a converged Born solve), and returns the final plan.
+func runController(t *testing.T, c *Controller, f func(e float64) float64) Plan {
+	t.Helper()
+	for round := 0; round < 50; round++ {
+		g := c.Grid()
+		v := make([]float64, g.NE())
+		for _, e := range g.Active() {
+			v[e] = f(g.Energy(e))
+		}
+		p := c.Plan(v)
+		c.Apply(p)
+		if p.Done {
+			return p
+		}
+	}
+	t.Fatalf("controller did not terminate in 50 rounds")
+	return Plan{}
+}
+
+// TestControllerResolvesPeaks checks the core behavior: on a spectrum of
+// two narrow resonances over a flat background, the controller refines
+// the peaks to the fine resolution, keeps the flat regions coarse, and
+// reproduces the fine-grid quadrature within tolerance with far fewer
+// points.
+func TestControllerResolvesPeaks(t *testing.T) {
+	const ne = 256
+	f := func(e float64) float64 {
+		return gaussian(e, -0.31, 0.02, 1.0) + gaussian(e, 0.42, 0.03, 0.6)
+	}
+	c, err := NewController(ne, -1, 1, Config{TolCurrent: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := runController(t, c, f)
+	if p.Reason != "resolved" {
+		t.Fatalf("stopped with reason %q (round %d, %d active)", p.Reason, c.Round(), c.Grid().NumActive())
+	}
+
+	full := Uniform(ne, -1, 1)
+	v := make([]float64, ne)
+	for e := 0; e < ne; e++ {
+		v[e] = f(full.Energy(e))
+	}
+	ref := full.Integrate(v)
+	if d := math.Abs(p.Integrated - ref); d > 1e-4*math.Max(1, math.Abs(ref)) {
+		t.Errorf("adaptive integral %v vs fine-grid %v (diff %g)", p.Integrated, ref, d)
+	}
+	if n := c.Grid().NumActive(); n > ne/2 {
+		t.Errorf("used %d of %d points; want ≤ half", n, ne)
+	}
+	if c.Refined() == 0 {
+		t.Errorf("no points were refined on a peaked spectrum")
+	}
+}
+
+// TestControllerFlatSpectrum checks the other extreme: a zero integrand
+// terminates immediately on the seed grid with no refinement.
+func TestControllerFlatSpectrum(t *testing.T) {
+	c, err := NewController(128, -1, 1, Config{TolCurrent: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := c.Grid().NumActive()
+	p := runController(t, c, func(e float64) float64 { return 0 })
+	if p.Reason != "resolved" || c.Refined() != 0 {
+		t.Fatalf("flat spectrum: reason %q, refined %d", p.Reason, c.Refined())
+	}
+	if n := c.Grid().NumActive(); n != seed {
+		t.Errorf("flat spectrum grew the grid: %d → %d", seed, n)
+	}
+}
+
+// TestControllerCoarsensSmooth checks that on a broad smooth integrand a
+// deliberately oversized seed is thinned: the controller drops points the
+// quadrature does not need while holding the integral.
+func TestControllerCoarsensSmooth(t *testing.T) {
+	const ne = 128
+	f := func(e float64) float64 { return gaussian(e, 0, 0.8, 1.0) }
+	c, err := NewController(ne, -1, 1, Config{TolCurrent: 1e-4, MinNE: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 96-point seed on a gentle bump is overkill; drive past round 0 so
+	// coarsening (disabled on the blanket round) gets a chance.
+	p := runController(t, c, f)
+	if !p.Done {
+		t.Fatal("controller did not finish")
+	}
+	if c.Coarsened() != 0 && c.Grid().NumActive() >= 96+c.Refined() {
+		t.Errorf("coarsening removed %d points but the grid never shrank", c.Coarsened())
+	}
+}
+
+// TestControllerMaxNEBudget checks the point budget is a hard cap.
+func TestControllerMaxNEBudget(t *testing.T) {
+	const ne, budget = 256, 24
+	f := func(e float64) float64 { return gaussian(e, 0.1, 0.01, 1.0) }
+	c, err := NewController(ne, -1, 1, Config{TolCurrent: 1e-9, MinNE: 9, MaxNE: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 50; round++ {
+		g := c.Grid()
+		if g.NumActive() > budget {
+			t.Fatalf("round %d: %d active points exceed the %d budget", round, g.NumActive(), budget)
+		}
+		v := make([]float64, g.NE())
+		for _, e := range g.Active() {
+			v[e] = f(g.Energy(e))
+		}
+		p := c.Plan(v)
+		c.Apply(p)
+		if p.Done {
+			return
+		}
+	}
+	t.Fatal("budgeted controller did not terminate")
+}
+
+// TestControllerMaxRounds checks the round budget terminates a run that
+// would otherwise keep going.
+func TestControllerMaxRounds(t *testing.T) {
+	c, err := NewController(1024, -1, 1, Config{TolCurrent: 1e-12, MinNE: 5, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(e float64) float64 { return gaussian(e, 0, 0.02, 1.0) }
+	rounds := 0
+	for {
+		g := c.Grid()
+		v := make([]float64, g.NE())
+		for _, e := range g.Active() {
+			v[e] = f(g.Energy(e))
+		}
+		p := c.Plan(v)
+		c.Apply(p)
+		rounds++
+		if p.Done {
+			if p.Reason != "max_rounds" && p.Reason != "resolved" {
+				t.Fatalf("reason %q", p.Reason)
+			}
+			break
+		}
+	}
+	if rounds > 2 {
+		t.Fatalf("ran %d rounds past a MaxRounds=2 budget", rounds)
+	}
+}
+
+// TestControllerWarmResume checks that resuming from a converged grid
+// skips the blanket round: an already-resolved grid terminates without
+// inserting points.
+func TestControllerWarmResume(t *testing.T) {
+	const ne = 256
+	f := func(e float64) float64 {
+		return gaussian(e, -0.31, 0.02, 1.0) + gaussian(e, 0.42, 0.03, 0.6)
+	}
+	cold, err := NewController(ne, -1, 1, Config{TolCurrent: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runController(t, cold, f)
+	st := cold.Grid().State()
+
+	warm, err := ResumeController(st, Config{TolCurrent: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := runController(t, warm, f)
+	if !p.Done {
+		t.Fatal("warm controller did not finish")
+	}
+	if warm.Refined() > cold.Refined()/4 {
+		t.Errorf("warm resume re-refined %d points (cold run needed %d)", warm.Refined(), cold.Refined())
+	}
+}
+
+// TestControllerDefaults checks Config.withDefaults resolution.
+func TestControllerDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults(64)
+	if cfg.TolCurrent != 1e-6 || cfg.MinNE != DefaultSeedPoints(64) || cfg.MaxNE != 64 || cfg.MaxRounds != 12 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	cfg = Config{MinNE: 100, MaxNE: 200}.withDefaults(64)
+	if cfg.MinNE != 64 || cfg.MaxNE != 64 {
+		t.Errorf("clamping: %+v", cfg)
+	}
+	if n := DefaultSeedPoints(4); n != 4 {
+		t.Errorf("DefaultSeedPoints(4) = %d", n)
+	}
+	if n := DefaultSeedPoints(256); n != 33 {
+		t.Errorf("DefaultSeedPoints(256) = %d", n)
+	}
+}

@@ -1,0 +1,58 @@
+package front
+
+import (
+	"testing"
+
+	"negfsim/internal/core"
+)
+
+// The adapt block is part of the computation's identity — except when it
+// says "off", which is the same computation as no block at all.
+func TestKeyOfAdaptCanonicalization(t *testing.T) {
+	key := func(mut func(*core.RunConfig)) Key {
+		t.Helper()
+		cfg := core.DefaultRunConfig()
+		mut(&cfg)
+		k, err := KeyOf(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	plain := key(func(c *core.RunConfig) {})
+	off := key(func(c *core.RunConfig) { c.Adapt = &core.AdaptSpec{Mode: "off"} })
+	offLoud := key(func(c *core.RunConfig) { c.Adapt = &core.AdaptSpec{Mode: "OFF", TolCurrent: 1e-3} })
+	if off.ID != plain.ID || offLoud.ID != plain.ID {
+		t.Fatal(`"adapt": {"mode": "off"} must hash like no adapt block`)
+	}
+
+	grid := key(func(c *core.RunConfig) { c.Adapt = &core.AdaptSpec{Mode: "grid"} })
+	if grid.ID == plain.ID {
+		t.Fatal("an enabled adapt block must change the key")
+	}
+	sigma := key(func(c *core.RunConfig) { c.Adapt = &core.AdaptSpec{Mode: "grid+sigma"} })
+	if sigma.ID == grid.ID {
+		t.Fatal(`"grid" and "grid+sigma" are different computations`)
+	}
+	// Case and the filled tolerance default don't split the cache.
+	loud := key(func(c *core.RunConfig) { c.Adapt = &core.AdaptSpec{Mode: "Grid+Sigma", TolCurrent: 1e-6} })
+	if loud.ID != sigma.ID {
+		t.Fatal("mode case / explicit default tolerance split the cache key")
+	}
+	// A different tolerance is a different accuracy contract.
+	loose := key(func(c *core.RunConfig) { c.Adapt = &core.AdaptSpec{Mode: "grid+sigma", TolCurrent: 1e-4} })
+	if loose.ID == sigma.ID {
+		t.Fatal("tolerance must be part of the key")
+	}
+	// Adaptation never splits the warm-start family's bias grouping
+	// logic: same device + solver at different bias, both adaptive, share
+	// a family.
+	a := key(func(c *core.RunConfig) { c.Adapt = &core.AdaptSpec{Mode: "grid+sigma"}; c.Bias = 0.3 })
+	b := key(func(c *core.RunConfig) { c.Adapt = &core.AdaptSpec{Mode: "grid+sigma"}; c.Bias = 0.4 })
+	if a.Family != b.Family {
+		t.Fatal("adaptive runs at different bias must share a warm-start family")
+	}
+	if a.Family == plain.Family {
+		t.Fatal("adaptive and uniform runs must not share a warm-start family (their checkpoints differ in grid)")
+	}
+}

@@ -224,6 +224,9 @@ type ResultDoc struct {
 	Observables core.Observables `json:"observables"`
 	// Bytes is the simulated exchange traffic of a distributed run.
 	Bytes int64 `json:"bytes,omitempty"`
+	// Adapt is the refinement summary of an adaptive-grid run (absent
+	// for uniform runs).
+	Adapt *core.AdaptReport `json:"adapt,omitempty"`
 }
 
 func (a *API) result(w http.ResponseWriter, r *http.Request) {
@@ -244,6 +247,7 @@ func (a *API) result(w http.ResponseWriter, r *http.Request) {
 		Residuals:   res.Residuals,
 		Observables: res.Obs,
 		Bytes:       j.Bytes(),
+		Adapt:       res.Adapt,
 	})
 }
 

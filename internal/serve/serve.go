@@ -76,6 +76,11 @@ type Config struct {
 	// Retain is how many finished jobs stay queryable before the oldest is
 	// evicted, its per-job metrics unregistered with it (default 64).
 	Retain int
+	// DefaultAdapt, when non-nil, is applied to every plain serial
+	// submission that carries no adapt block of its own — the daemon-wide
+	// adaptive-grid policy (qtsimd -adapt). Submissions with an explicit
+	// block (including mode "off") keep theirs.
+	DefaultAdapt *core.AdaptSpec
 }
 
 // withDefaults fills the zero fields of a Config.
@@ -370,6 +375,11 @@ func (s *Scheduler) Submit(cfg core.RunConfig) (*Job, error) {
 // the config's device exactly and the run must be a plain serial one —
 // distributed and Gummel-coupled runs manage their own checkpointing.
 func (s *Scheduler) SubmitFrom(cfg core.RunConfig, ck *core.Checkpoint) (*Job, error) {
+	if s.cfg.DefaultAdapt != nil && cfg.Adapt == nil &&
+		cfg.Dist == "" && cfg.Space < 2 && cfg.Gate == nil {
+		a := *s.cfg.DefaultAdapt
+		cfg.Adapt = &a
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -378,6 +388,9 @@ func (s *Scheduler) SubmitFrom(cfg core.RunConfig, ck *core.Checkpoint) (*Job, e
 			return nil, errors.New("serve: warm start applies to plain serial runs only (no dist, no space, no gate)")
 		}
 		if err := ck.Compatible(cfg.Device); err != nil {
+			return nil, err
+		}
+		if err := ck.CompatibleGrid(cfg.AdaptEnabled()); err != nil {
 			return nil, err
 		}
 	}
@@ -600,7 +613,8 @@ func (s *Scheduler) execute(j *Job) {
 }
 
 // runConfigured dispatches a job to the execution mode its config selects:
-// distributed fault-tolerant, Gummel-coupled, or plain serial.
+// adaptive-grid (optionally over the distributed runner), distributed
+// fault-tolerant, Gummel-coupled, or plain serial.
 func (s *Scheduler) runConfigured(ctx context.Context, j *Job) (res *core.Result, bytes int64, gummel int, err error) {
 	opts, err := j.cfg.Options()
 	if err != nil {
@@ -613,6 +627,16 @@ func (s *Scheduler) runConfigured(ctx context.Context, j *Job) (res *core.Result
 	sim, err := j.cfg.NewSimulatorWith(opts)
 	if err != nil {
 		return nil, 0, 0, err
+	}
+	if ac, adaptive := j.cfg.AdaptConfig(); adaptive {
+		ac.Resume = j.ck
+		if dc, distributed, derr := j.cfg.DistConfig(); derr != nil {
+			return nil, 0, 0, derr
+		} else if distributed {
+			ac.Dist = &dc
+		}
+		res, bytes, err = sim.RunAdaptiveCtx(ctx, ac)
+		return res, bytes, 0, err
 	}
 	if dc, distributed, derr := j.cfg.DistConfig(); derr != nil {
 		return nil, 0, 0, derr
